@@ -1,0 +1,64 @@
+// Decomposition of the two reordering rounds (paper Fig 5): how much of
+// the end-to-end speedup comes from round 1 (reorder the whole matrix to
+// enlarge dense tiles) vs round 2 (reorder the sparse remainder for L2
+// locality)? The paper motivates both but reports only their combination;
+// this ablation runs each in isolation on the reorder-needing corpus.
+//
+// Expected shape: round 1 carries most of the gain on strongly
+// clusterable matrices (dense tiles = shared-memory reuse); round 2 is
+// the only lever on matrices whose similarity is too weak for dense
+// tiles but still L2-exploitable, and it also helps after round 1 has
+// taken the dense part out.
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "synth/corpus.hpp"
+
+using namespace rrspmm;
+using namespace rrspmm::bench;
+
+int main() {
+  synth::CorpusConfig ccfg = synth::corpus_config_from_env();
+  ccfg.count = std::min(ccfg.count, 20);
+  const auto corpus = synth::build_corpus(ccfg);
+  const auto dev = gpusim::DeviceConfig::p100();
+  const index_t k = 512;
+
+  std::printf("== Ablation: round-1 vs round-2 contribution (simulated SpMM, K=%d) ==\n", k);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<double> g_r1, g_r2, g_both;
+  for (const auto& e : corpus) {
+    core::PipelineConfig both;
+    const auto plan_both = core::build_plan(e.matrix, both);
+    if (!plan_both.stats.needs_reordering()) continue;
+
+    core::PipelineConfig only1 = both;
+    only1.disable_round2 = true;
+    core::PipelineConfig only2 = both;
+    only2.disable_round1 = true;
+
+    const auto nr = core::build_plan_nr(e.matrix, both);
+    const auto p1 = core::build_plan(e.matrix, only1);
+    const auto p2 = core::build_plan(e.matrix, only2);
+
+    const double t_nr = core::simulate_spmm(nr, k, dev).time_s;
+    const double s1 = t_nr / core::simulate_spmm(p1, k, dev).time_s;
+    const double s2 = t_nr / core::simulate_spmm(p2, k, dev).time_s;
+    const double sb = t_nr / core::simulate_spmm(plan_both, k, dev).time_s;
+    g_r1.push_back(s1);
+    g_r2.push_back(s2);
+    g_both.push_back(sb);
+    rows.push_back({e.name, harness::fmt(100.0 * plan_both.stats.dense_ratio_after, 1) + "%",
+                    harness::fmt(s1, 2) + "x", harness::fmt(s2, 2) + "x",
+                    harness::fmt(sb, 2) + "x"});
+    std::fprintf(stderr, "done %s\n", e.name.c_str());
+  }
+  std::printf("%s", harness::render_table({"matrix", "dense ratio (both)", "round 1 only",
+                                           "round 2 only", "both rounds"},
+                                          rows)
+                        .c_str());
+  std::printf("\ngeomean over ASpT-NR: round 1 only %.2fx, round 2 only %.2fx, both %.2fx\n",
+              harness::geomean(g_r1), harness::geomean(g_r2), harness::geomean(g_both));
+  maybe_write_csv("ablation_rounds",
+                  {"matrix", "dense_ratio_both", "round1_only", "round2_only", "both"}, rows);
+  return 0;
+}

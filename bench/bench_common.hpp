@@ -1,0 +1,70 @@
+// Shared scaffolding for the per-table/per-figure bench binaries.
+//
+// Every binary runs (or reloads from cache) the same corpus experiment,
+// then renders one of the paper's tables or figures from the records.
+// Corpus size honours RRSPMM_CORPUS_N / RRSPMM_SCALE / RRSPMM_SEED; the
+// paper evaluated 1084 matrices, the default here is 48 (sized for a
+// single-core container) with identical structure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/cache.hpp"
+#include "harness/experiment.hpp"
+#include "harness/render.hpp"
+#include "harness/stats.hpp"
+
+namespace rrspmm::bench {
+
+using harness::MatrixRecord;
+
+/// Subset of records whose §4 heuristics fired at least one reordering
+/// round — the paper's "416 of 1084 matrices that need row-reordering".
+inline std::vector<const MatrixRecord*> needs_reordering(
+    const std::vector<MatrixRecord>& records) {
+  std::vector<const MatrixRecord*> out;
+  for (const MatrixRecord& r : records) {
+    if (r.needs_reordering()) out.push_back(&r);
+  }
+  return out;
+}
+
+/// Speedup of ASpT-RR over the faster of cuSPARSE(row-wise) and ASpT-NR
+/// for SpMM at K (the paper's Table 1 metric).
+inline double spmm_speedup_vs_best(const MatrixRecord& r, index_t k) {
+  const auto& t = r.spmm_at(k);
+  return std::min(t.rowwise.time_s, t.aspt_nr.time_s) / t.aspt_rr.time_s;
+}
+
+/// Speedup of ASpT-RR over ASpT-NR for SDDMM at K (Table 2 metric).
+inline double sddmm_speedup_vs_nr(const MatrixRecord& r, index_t k) {
+  const auto& t = r.sddmm_at(k);
+  return t.aspt_nr.time_s / t.aspt_rr.time_s;
+}
+
+inline void print_summary_line(const std::vector<double>& speedups, const char* label) {
+  std::printf("%s: n=%zu geomean=%.2fx median=%.2fx max=%.2fx min=%.2fx\n", label,
+              speedups.size(), harness::geomean(speedups), harness::median(speedups),
+              harness::max_of(speedups), harness::min_of(speedups));
+}
+
+inline void print_experiment_header(const char* what, const std::vector<MatrixRecord>& records) {
+  std::printf("== %s ==\n", what);
+  std::printf("corpus: %zu matrices (paper: 1084); %zu need row-reordering (paper: 416)\n",
+              records.size(), needs_reordering(records).size());
+}
+
+/// Writes the figure/table's underlying data as CSV when the user sets
+/// RRSPMM_CSV_DIR (for external plotting); otherwise a no-op.
+inline void maybe_write_csv(const std::string& name, const std::vector<std::string>& header,
+                            const std::vector<std::vector<std::string>>& rows) {
+  const char* dir = std::getenv("RRSPMM_CSV_DIR");
+  if (!dir) return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  harness::write_csv(path, header, rows);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+}  // namespace rrspmm::bench

@@ -1,0 +1,63 @@
+// Corpus report — family-level view of the evaluation corpus and the
+// per-family outcome of the paper's pipeline. Not a paper table; it makes
+// the synthetic-corpus substitution auditable: which structural regimes
+// exist, which trigger the §4 heuristics, and what each gains.
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace rrspmm;
+using namespace rrspmm::bench;
+
+int main() {
+  const auto records = harness::cached_default_experiment();
+  print_experiment_header("Corpus report: families, heuristics and outcomes", records);
+
+  struct Agg {
+    int count = 0;
+    int reordered = 0;
+    double rows = 0, nnz = 0;
+    std::vector<double> dr_before, dr_after, speedup512, sddmm512, pre_s;
+  };
+  std::map<std::string, Agg> families;
+  for (const auto& r : records) {
+    Agg& a = families[r.family];
+    a.count++;
+    a.reordered += r.needs_reordering();
+    a.rows += r.mstats.rows;
+    a.nnz += static_cast<double>(r.mstats.nnz);
+    a.dr_before.push_back(r.rr.dense_ratio_before);
+    a.dr_after.push_back(r.rr.dense_ratio_after);
+    a.speedup512.push_back(spmm_speedup_vs_best(r, 512));
+    a.sddmm512.push_back(sddmm_speedup_vs_nr(r, 512));
+    a.pre_s.push_back(r.rr.preprocess_seconds);
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [family, a] : families) {
+    rows.push_back({family, std::to_string(a.count),
+                    std::to_string(a.reordered) + "/" + std::to_string(a.count),
+                    harness::fmt(a.rows / a.count / 1000.0, 1) + "k",
+                    harness::fmt(a.nnz / a.count / 1000.0, 0) + "k",
+                    harness::fmt(100.0 * harness::mean(a.dr_before), 1) + "%",
+                    harness::fmt(100.0 * harness::mean(a.dr_after), 1) + "%",
+                    harness::fmt(harness::geomean(a.speedup512), 2) + "x",
+                    harness::fmt(harness::geomean(a.sddmm512), 2) + "x",
+                    harness::fmt(harness::mean(a.pre_s), 2) + "s"});
+  }
+  std::printf("%s",
+              harness::render_table({"family", "n", "reordered", "avg rows", "avg nnz",
+                                     "dense ratio", "after RR", "SpMM spdup", "SDDMM spdup",
+                                     "preproc"},
+                                    rows)
+                  .c_str());
+  std::printf("\nfamilies map to the paper's corpus regimes: clustered_contig/banded = "
+              "Fig 7a (already clustered,\nheuristics skip), erdos_renyi = Fig 7b "
+              "(unclusterable, LSH finds nothing), clustered_*/banded_shuffled =\n"
+              "the motivating scattered population, rmat/chung_lu = power-law graphs.\n");
+  maybe_write_csv("corpus_report",
+                  {"family", "n", "reordered", "avg_rows_k", "avg_nnz_k", "dense_ratio",
+                   "after_rr", "spmm_speedup", "sddmm_speedup", "preproc_s"},
+                  rows);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig 10 — SpMM throughput (GFLOPS) of cuSPARSE (row-wise), ASpT-NR and
+// ASpT-RR on the matrices needing row-reordering, sorted by ASpT-NR
+// throughput as in the paper so the lines separate.
+//
+// Paper's shape: the ASpT-RR line sits consistently above ASpT-NR, which
+// sits near or above cuSPARSE.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace rrspmm;
+using namespace rrspmm::bench;
+
+int main() {
+  const auto records = harness::cached_default_experiment();
+  print_experiment_header("Fig 10: SpMM throughput on reorder-needing matrices", records);
+  auto subset = needs_reordering(records);
+  if (subset.empty()) {
+    std::printf("no matrices need reordering at this corpus size\n");
+    return 0;
+  }
+
+  for (const index_t k : {512, 1024}) {
+    std::sort(subset.begin(), subset.end(), [&](const MatrixRecord* a, const MatrixRecord* b) {
+      return a->spmm_at(k).aspt_nr.gflops() < b->spmm_at(k).aspt_nr.gflops();
+    });
+    harness::Series cusparse{"cuSPARSE (row-wise)", {}, '.'};
+    harness::Series nr{"ASpT-NR", {}, 'o'};
+    harness::Series rr{"ASpT-RR", {}, '#'};
+    std::vector<std::vector<std::string>> rows;
+    for (const auto* r : subset) {
+      const auto& t = r->spmm_at(k);
+      cusparse.values.push_back(t.rowwise.gflops());
+      nr.values.push_back(t.aspt_nr.gflops());
+      rr.values.push_back(t.aspt_rr.gflops());
+      rows.push_back({r->name, harness::fmt(t.rowwise.gflops(), 1),
+                      harness::fmt(t.aspt_nr.gflops(), 1), harness::fmt(t.aspt_rr.gflops(), 1)});
+    }
+    std::printf("\n--- K=%d ---\n", k);
+    std::printf("%s", harness::render_line_chart("Fig 10: simulated SpMM throughput", "GFLOPS",
+                                                 {cusparse, nr, rr}, 96, 22, false)
+                          .c_str());
+    std::printf("\n%s", harness::render_table({"matrix", "cuSPARSE", "ASpT-NR", "ASpT-RR"}, rows)
+                            .c_str());
+    maybe_write_csv("fig10_spmm_throughput_k" + std::to_string(k),
+                    {"matrix", "cusparse_gflops", "aspt_nr_gflops", "aspt_rr_gflops"}, rows);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig 11 — SDDMM throughput (GFLOPS) of ASpT-NR and ASpT-RR on the
+// matrices needing row-reordering, sorted by ASpT-NR throughput.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace rrspmm;
+using namespace rrspmm::bench;
+
+int main() {
+  const auto records = harness::cached_default_experiment();
+  print_experiment_header("Fig 11: SDDMM throughput on reorder-needing matrices", records);
+  auto subset = needs_reordering(records);
+  if (subset.empty()) {
+    std::printf("no matrices need reordering at this corpus size\n");
+    return 0;
+  }
+
+  for (const index_t k : {512, 1024}) {
+    std::sort(subset.begin(), subset.end(), [&](const MatrixRecord* a, const MatrixRecord* b) {
+      return a->sddmm_at(k).aspt_nr.gflops() < b->sddmm_at(k).aspt_nr.gflops();
+    });
+    harness::Series nr{"ASpT-NR", {}, 'o'};
+    harness::Series rr{"ASpT-RR", {}, '#'};
+    for (const auto* r : subset) {
+      nr.values.push_back(r->sddmm_at(k).aspt_nr.gflops());
+      rr.values.push_back(r->sddmm_at(k).aspt_rr.gflops());
+    }
+    std::printf("\n--- K=%d ---\n", k);
+    std::printf("%s", harness::render_line_chart("Fig 11: simulated SDDMM throughput", "GFLOPS",
+                                                 {nr, rr}, 96, 22, false)
+                          .c_str());
+  }
+  return 0;
+}

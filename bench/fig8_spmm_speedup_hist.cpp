@@ -1,0 +1,34 @@
+// Fig 8 — speedups of ASpT-RR and ASpT-NR against cuSPARSE (the row-wise
+// baseline) for SpMM at K = 512 and 1024, over the full corpus, rendered
+// as the paper's bucket histograms.
+//
+// Paper's shape: row-reordering shifts mass out of the "slowdown / <10%"
+// buckets into the 10-50% and 50-100% buckets relative to ASpT-NR.
+#include "bench_common.hpp"
+
+using namespace rrspmm;
+using namespace rrspmm::bench;
+
+int main() {
+  const auto records = harness::cached_default_experiment();
+  print_experiment_header("Fig 8: SpMM speedup vs cuSPARSE (row-wise baseline)", records);
+
+  for (const index_t k : {512, 1024}) {
+    std::vector<double> nr_speedups, rr_speedups;
+    for (const auto& r : records) {
+      const auto& t = r.spmm_at(k);
+      nr_speedups.push_back(t.rowwise.time_s / t.aspt_nr.time_s);
+      rr_speedups.push_back(t.rowwise.time_s / t.aspt_rr.time_s);
+    }
+    std::printf("\n--- K=%d ---\n", k);
+    std::printf("%s", harness::render_bucket_table(
+                          "speedup over cuSPARSE (all corpus matrices)",
+                          {"ASpT-NR", "ASpT-RR"},
+                          {harness::speedup_buckets(nr_speedups),
+                           harness::speedup_buckets(rr_speedups)})
+                          .c_str());
+    print_summary_line(nr_speedups, "ASpT-NR vs cuSPARSE");
+    print_summary_line(rr_speedups, "ASpT-RR vs cuSPARSE");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig 9 — effectiveness of row-reordering per matrix: x = ΔDenseRatio
+// (change in the fraction of nonzeros captured by dense tiles), y =
+// ΔAvgSim (change in consecutive-row similarity of the sparse part),
+// glyph '+' when SpMM (K=512) got faster vs ASpT-NR, 'o' when slower.
+//
+// The paper produces this figure by reordering *every* matrix — the §4
+// skip heuristics are derived from it, not applied to it — so this bench
+// forces both rounds (unlike the other benches, which reproduce the
+// deployed pipeline). That is what populates the negative quadrant:
+// already-clustered matrices whose dense ratio and similarity *drop*
+// when reordered, the paper's Fig 7a failure mode.
+//
+// Paper's shape: both deltas positive -> faster; both negative -> slower;
+// most points near the axes; 613 of 1084 matrices faster.
+#include "bench_common.hpp"
+
+using namespace rrspmm;
+using namespace rrspmm::bench;
+
+int main() {
+  harness::ExperimentConfig cfg;
+  cfg.ks = {512};
+  cfg.pipeline.force_round1 = true;
+  cfg.pipeline.force_round2 = true;
+  const auto records = harness::cached_default_experiment(cfg);
+  print_experiment_header("Fig 9: what the speedup correlates with (both rounds forced)",
+                          records);
+
+  std::vector<harness::ScatterPoint> points;
+  int faster = 0;
+  int quadrant_pp_faster = 0, quadrant_pp_total = 0;
+  int quadrant_nn_slower = 0, quadrant_nn_total = 0;
+  for (const auto& r : records) {
+    const auto& t = r.spmm_at(512);
+    const bool win = t.aspt_rr.time_s < t.aspt_nr.time_s;
+    faster += win;
+    const double dx = r.rr.delta_dense_ratio();
+    const double dy = r.rr.delta_avg_sim();
+    points.push_back({dx, dy, win ? '+' : 'o'});
+    if (dx > 0.005 && dy > 0.005) {
+      ++quadrant_pp_total;
+      quadrant_pp_faster += win;
+    }
+    if (dx < -0.005 && dy < -0.005) {
+      ++quadrant_nn_total;
+      quadrant_nn_slower += !win;
+    }
+  }
+  std::printf("%s", harness::render_scatter(
+                        "Fig 9 (K=512): '+' = faster than ASpT-NR, 'o' = not",
+                        "dDenseRatio", "dAvgSim", points)
+                        .c_str());
+  {
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const auto& r : records) {
+      const auto& t = r.spmm_at(512);
+      csv_rows.push_back({r.name, harness::fmt(r.rr.delta_dense_ratio(), 6),
+                          harness::fmt(r.rr.delta_avg_sim(), 6),
+                          harness::fmt(t.aspt_nr.time_s / t.aspt_rr.time_s, 4)});
+    }
+    maybe_write_csv("fig9_effectiveness",
+                    {"matrix", "delta_dense_ratio", "delta_avg_sim", "rr_vs_nr_speedup"},
+                    csv_rows);
+  }
+  std::printf("\n%d of %zu matrices faster after forced row-reordering (paper: 613 of 1084)\n",
+              faster, records.size());
+  if (quadrant_pp_total > 0) {
+    std::printf("both criteria increased: %d/%d faster\n", quadrant_pp_faster,
+                quadrant_pp_total);
+  }
+  if (quadrant_nn_total > 0) {
+    std::printf("both criteria decreased: %d/%d slower\n", quadrant_nn_slower,
+                quadrant_nn_total);
+  }
+  return 0;
+}

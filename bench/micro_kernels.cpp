@@ -1,0 +1,138 @@
+// google-benchmark microbenchmarks of the host kernels and the
+// preprocessing stages. These measure real CPU wall-clock (unlike the
+// table/figure benches, which use the device model). Note that on a CPU
+// the large private caches already serve the reuse the GPU must stage
+// into shared memory, so the ASpT-structured host kernel is a
+// correctness/throughput reference, not a CPU speedup claim — the
+// paper's performance argument is specific to the GPU memory hierarchy.
+#include <benchmark/benchmark.h>
+
+#include "aspt/aspt.hpp"
+#include "cluster/hierarchy.hpp"
+#include "core/pipeline.hpp"
+#include "kernels/sddmm.hpp"
+#include "kernels/spmm.hpp"
+#include "lsh/candidates.hpp"
+#include "synth/generators.hpp"
+
+namespace {
+
+using namespace rrspmm;
+
+sparse::CsrMatrix bench_matrix(bool scattered) {
+  synth::ClusteredParams p;
+  p.rows = 4096;
+  p.cols = 4096;
+  p.num_groups = 64;
+  p.group_cols = 64;
+  p.row_nnz = 16;
+  p.noise_nnz = 0;
+  p.scatter = scattered;
+  return synth::clustered_rows(p, 77);
+}
+
+void BM_SpmmRowwise(benchmark::State& state) {
+  const auto m = bench_matrix(true);
+  const auto k = static_cast<index_t>(state.range(0));
+  sparse::DenseMatrix x(m.cols(), k), y(m.rows(), k);
+  sparse::fill_random(x, 1);
+  for (auto _ : state) {
+    kernels::spmm_rowwise(m, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz() * k * 2);
+}
+BENCHMARK(BM_SpmmRowwise)->Arg(32)->Arg(128);
+
+void BM_SpmmAsptReordered(benchmark::State& state) {
+  const auto m = bench_matrix(true);
+  const auto k = static_cast<index_t>(state.range(0));
+  const auto plan = core::build_plan(m, core::PipelineConfig{});
+  sparse::DenseMatrix x(m.cols(), k), y(m.rows(), k);
+  sparse::fill_random(x, 2);
+  for (auto _ : state) {
+    core::run_spmm(plan, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz() * k * 2);
+}
+BENCHMARK(BM_SpmmAsptReordered)->Arg(32)->Arg(128);
+
+void BM_SddmmRowwise(benchmark::State& state) {
+  const auto m = bench_matrix(true);
+  const auto k = static_cast<index_t>(state.range(0));
+  sparse::DenseMatrix x(m.cols(), k), y(m.rows(), k);
+  sparse::fill_random(x, 3);
+  sparse::fill_random(y, 4);
+  std::vector<value_t> out;
+  for (auto _ : state) {
+    kernels::sddmm_rowwise(m, x, y, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz() * k * 2);
+}
+BENCHMARK(BM_SddmmRowwise)->Arg(32)->Arg(128);
+
+void BM_SddmmAsptReordered(benchmark::State& state) {
+  const auto m = bench_matrix(true);
+  const auto k = static_cast<index_t>(state.range(0));
+  const auto plan = core::build_plan(m, core::PipelineConfig{});
+  sparse::DenseMatrix x(m.cols(), k), y(m.rows(), k);
+  sparse::fill_random(x, 5);
+  sparse::fill_random(y, 6);
+  std::vector<value_t> out;
+  for (auto _ : state) {
+    core::run_sddmm(plan, m, x, y, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz() * k * 2);
+}
+BENCHMARK(BM_SddmmAsptReordered)->Arg(32)->Arg(128);
+
+void BM_MinhashSignatures(benchmark::State& state) {
+  const auto m = bench_matrix(true);
+  const auto siglen = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh::compute_signatures(m, siglen, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz() * siglen);
+}
+BENCHMARK(BM_MinhashSignatures)->Arg(32)->Arg(128);
+
+void BM_CandidatePairs(benchmark::State& state) {
+  const auto m = bench_matrix(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh::find_candidate_pairs(m, lsh::LshConfig{}));
+  }
+}
+BENCHMARK(BM_CandidatePairs);
+
+void BM_ClusterReorder(benchmark::State& state) {
+  const auto m = bench_matrix(true);
+  const auto pairs = lsh::find_candidate_pairs(m, lsh::LshConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster::cluster_reorder(m, pairs, cluster::ClusterConfig{}));
+  }
+  state.counters["pairs"] = static_cast<double>(pairs.size());
+}
+BENCHMARK(BM_ClusterReorder);
+
+void BM_AsptBuild(benchmark::State& state) {
+  const auto m = bench_matrix(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aspt::build_aspt(m, aspt::AsptConfig{}));
+  }
+}
+BENCHMARK(BM_AsptBuild);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const auto m = bench_matrix(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_plan(m, core::PipelineConfig{}));
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

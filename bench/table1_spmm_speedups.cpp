@@ -1,0 +1,35 @@
+// Table 1 — speedups of ASpT-RR against the faster of cuSPARSE and
+// ASpT-NR for SpMM, on the matrices that need row-reordering (§4
+// heuristics fired), bucketed as in the paper.
+//
+// Paper: K=512 -> slowdowns 1%, 0-10% 40%, 10-50% 53.1%, 50-100% 4.8%,
+// >100% 1.1%; median 1.12x, geomean 1.17x, max 2.73x.
+// K=1024 -> median 1.14x, geomean 1.19x, max 2.91x.
+#include "bench_common.hpp"
+
+using namespace rrspmm;
+using namespace rrspmm::bench;
+
+int main() {
+  const auto records = harness::cached_default_experiment();
+  print_experiment_header("Table 1: SpMM speedup of ASpT-RR vs best(cuSPARSE, ASpT-NR)",
+                          records);
+  const auto subset = needs_reordering(records);
+  if (subset.empty()) {
+    std::printf("no matrices need reordering at this corpus size\n");
+    return 0;
+  }
+
+  std::vector<std::vector<harness::Bucket>> columns;
+  for (const index_t k : {512, 1024}) {
+    std::vector<double> speedups;
+    for (const auto* r : subset) speedups.push_back(spmm_speedup_vs_best(*r, k));
+    columns.push_back(harness::speedup_buckets(speedups));
+    print_summary_line(speedups, k == 512 ? "K=512 " : "K=1024");
+  }
+  std::printf("\n%s", harness::render_bucket_table(
+                          "Table 1 (matrices needing row-reordering)", {"K=512", "K=1024"},
+                          columns)
+                          .c_str());
+  return 0;
+}

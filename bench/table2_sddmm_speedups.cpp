@@ -1,0 +1,33 @@
+// Table 2 — speedups of ASpT-RR against ASpT-NR for SDDMM on the
+// matrices that need row-reordering (cuSPARSE has no SDDMM; the paper
+// compares against ASpT-NR only).
+//
+// Paper: K=512 -> 0-10% 11.3%, 10-50% 44.4%, 50-100% 33.8%, >100% 10.5%;
+// median 1.45x, geomean 1.48x, max 3.19x. K=1024 similar, max 2.95x.
+#include "bench_common.hpp"
+
+using namespace rrspmm;
+using namespace rrspmm::bench;
+
+int main() {
+  const auto records = harness::cached_default_experiment();
+  print_experiment_header("Table 2: SDDMM speedup of ASpT-RR vs ASpT-NR", records);
+  const auto subset = needs_reordering(records);
+  if (subset.empty()) {
+    std::printf("no matrices need reordering at this corpus size\n");
+    return 0;
+  }
+
+  std::vector<std::vector<harness::Bucket>> columns;
+  for (const index_t k : {512, 1024}) {
+    std::vector<double> speedups;
+    for (const auto* r : subset) speedups.push_back(sddmm_speedup_vs_nr(*r, k));
+    columns.push_back(harness::speedup_buckets(speedups));
+    print_summary_line(speedups, k == 512 ? "K=512 " : "K=1024");
+  }
+  std::printf("\n%s", harness::render_bucket_table(
+                          "Table 2 (matrices needing row-reordering)", {"K=512", "K=1024"},
+                          columns)
+                          .c_str());
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Graph Convolutional Network inference — the paper's §1 motivating
+// application for SpMM ("graph convolution ... is a SpMM, where the
+// sparse matrix represents the edges of a graph and the dense matrix
+// stores the feature vector of each vertex").
+//
+// A 2-layer GCN forward pass: H1 = ReLU(A_hat * (H0 W0)),
+// logits = A_hat * (H1 W1), with A_hat the normalised adjacency matrix.
+// The adjacency SpMM dominates; this example shows the paper's offline
+// deployment mode: reorder the graph once at "compile time"
+// (autotune_plan), then run every inference pass through the plan.
+//
+//   ./examples/gcn_inference
+#include <algorithm>
+#include <cmath>
+#include <chrono>
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "kernels/spmm.hpp"
+#include "sparse/coo.hpp"
+#include "synth/generators.hpp"
+
+using namespace rrspmm;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Symmetrically normalised adjacency with self-loops:
+// A_hat = D^-1/2 (A + I) D^-1/2, the standard GCN propagation operator.
+sparse::CsrMatrix normalise_adjacency(const sparse::CsrMatrix& a) {
+  sparse::CooMatrix coo(a.rows(), a.cols());
+  std::vector<double> degree(static_cast<std::size_t>(a.rows()), 1.0);  // self-loop
+  for (index_t i = 0; i < a.rows(); ++i) {
+    degree[static_cast<std::size_t>(i)] += a.row_nnz(i);
+  }
+  for (index_t i = 0; i < a.rows(); ++i) {
+    coo.add(i, i, static_cast<value_t>(1.0 / degree[static_cast<std::size_t>(i)]));
+    for (index_t c : a.row_cols(i)) {
+      coo.add(i, c,
+              static_cast<value_t>(1.0 / std::sqrt(degree[static_cast<std::size_t>(i)] *
+                                                   degree[static_cast<std::size_t>(c)])));
+    }
+  }
+  return sparse::CsrMatrix::from_coo(coo);
+}
+
+// Dense feature transform: H * W (naive; the sparse kernel is the star).
+sparse::DenseMatrix dense_matmul(const sparse::DenseMatrix& h, const sparse::DenseMatrix& w) {
+  sparse::DenseMatrix out(h.rows(), w.cols());
+  for (index_t i = 0; i < h.rows(); ++i) {
+    for (index_t j = 0; j < h.cols(); ++j) {
+      const value_t v = h(i, j);
+      if (v == 0.0f) continue;
+      for (index_t k = 0; k < w.cols(); ++k) out(i, k) += v * w(j, k);
+    }
+  }
+  return out;
+}
+
+void relu(sparse::DenseMatrix& m) {
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (value_t& v : m.row(i)) v = std::max(v, 0.0f);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A community-structured "social network" (vertices cluster into
+  // groups with shared neighbourhoods, e.g. citation communities) whose
+  // vertex ids carry no locality — the regime where graph SpMM leaves
+  // reuse on the table and the paper's offline reordering pays off.
+  synth::ClusteredParams gp;
+  gp.rows = 8192;
+  gp.cols = 8192;
+  gp.num_groups = 96;
+  gp.group_cols = 80;
+  gp.row_nnz = 16;
+  gp.noise_nnz = 2;
+  gp.scatter = true;
+  const auto graph = synth::clustered_rows(gp, 99);
+  const auto a_hat = normalise_adjacency(graph);
+  const index_t n = a_hat.rows();
+  const index_t f_in = 64, f_hidden = 64, f_out = 16;
+  std::printf("GCN inference on a graph with %d vertices, %lld edges\n", n,
+              static_cast<long long>(a_hat.nnz()));
+
+  sparse::DenseMatrix h0(n, f_in), w0(f_in, f_hidden), w1(f_hidden, f_out);
+  sparse::fill_random(h0, 1);
+  sparse::fill_random(w0, 2);
+  sparse::fill_random(w1, 3);
+
+  // Offline step: decide whether to reorder using the device model
+  // (the paper's trial-and-error strategy, §4).
+  const auto dev = gpusim::DeviceConfig::p100();
+  const auto t0 = Clock::now();
+  const auto plan = core::autotune_plan(a_hat, f_hidden, dev, core::PipelineConfig{});
+  const double prep_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  std::printf("offline reordering: %.2f s, dense ratio %.1f%% -> %.1f%%\n", prep_s,
+              100.0 * plan.stats.dense_ratio_before, 100.0 * plan.stats.dense_ratio_after);
+
+  // Forward pass through the plan.
+  auto forward = [&](const core::ExecutionPlan& p) {
+    sparse::DenseMatrix xw = dense_matmul(h0, w0);
+    sparse::DenseMatrix h1(n, f_hidden);
+    core::run_spmm(p, xw, h1);
+    relu(h1);
+    sparse::DenseMatrix hw = dense_matmul(h1, w1);
+    sparse::DenseMatrix logits(n, f_out);
+    core::run_spmm(p, hw, logits);
+    return logits;
+  };
+
+  const auto t1 = Clock::now();
+  const auto logits = forward(plan);
+  const double fwd_s = std::chrono::duration<double>(Clock::now() - t1).count();
+
+  // Verify against the naive kernels.
+  const auto nr = core::build_plan_nr(a_hat, core::PipelineConfig{});
+  const auto logits_ref = forward(nr);
+  std::printf("forward pass: %.3f s on CPU; |logits - reference| = %.2e\n", fwd_s,
+              logits.max_abs_diff(logits_ref));
+
+  // What the device model predicts per propagation (the deployed regime).
+  const auto sim_rr = core::simulate_spmm(plan, f_hidden, dev);
+  const auto sim_nr = core::simulate_spmm(nr, f_hidden, dev);
+  std::printf("simulated per-layer SpMM on P100: ASpT-NR %.1f GFLOPS, plan %.1f GFLOPS "
+              "(%.2fx)\n",
+              sim_nr.gflops(), sim_rr.gflops(), sim_nr.time_s / sim_rr.time_s);
+  const double saving_per_pass = 2.0 * (sim_nr.time_s - sim_rr.time_s);  // two GCN layers
+  if (saving_per_pass > 0.0) {
+    std::printf("preprocessing amortises after ~%.0f inference passes on the device model\n",
+                prep_s / saving_per_pass);
+  } else {
+    std::printf("reordering not profitable for this graph; autotune kept the baseline plan\n");
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#include "cluster/union_find.hpp"
+
+#include <numeric>
+
+namespace rrspmm::cluster {
+
+UnionFind::UnionFind(index_t n) {
+  if (n < 0) throw invalid_matrix("UnionFind: negative size");
+  parent_.resize(static_cast<std::size_t>(n));
+  size_.assign(static_cast<std::size_t>(n), 1);
+  num_sets_ = n;
+  std::iota(parent_.begin(), parent_.end(), index_t{0});
+}
+
+index_t UnionFind::find(index_t i) {
+  while (i != parent_[static_cast<std::size_t>(i)]) {
+    parent_[static_cast<std::size_t>(i)] =
+        parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(i)])];
+    i = parent_[static_cast<std::size_t>(i)];
+  }
+  return i;
+}
+
+index_t UnionFind::unite(index_t a, index_t b) {
+  index_t ra = find(a);
+  index_t rb = find(b);
+  if (ra == rb) return -1;
+  if (size_[static_cast<std::size_t>(ra)] < size_[static_cast<std::size_t>(rb)]) std::swap(ra, rb);
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+  --num_sets_;
+  return ra;
+}
+
+}  // namespace rrspmm::cluster

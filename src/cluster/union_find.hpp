@@ -1,0 +1,38 @@
+// Disjoint-set forest with union-by-size and path halving (CLRS ch. 21,
+// which the paper cites for its cluster bookkeeping).
+#pragma once
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace rrspmm::cluster {
+
+class UnionFind {
+ public:
+  explicit UnionFind(index_t n);
+
+  /// Representative (root) of the set containing i. Applies path halving,
+  /// the same optimisation as line 9 of the paper's Alg 3.
+  index_t find(index_t i);
+
+  /// Merges the sets of a and b. The larger set's root wins; on a tie the
+  /// root of `a` wins (matching Alg 3's else-branch). Returns the winning
+  /// root, or -1 if a and b were already in the same set.
+  index_t unite(index_t a, index_t b);
+
+  /// Size of the set containing i.
+  index_t size(index_t i) { return size_[static_cast<std::size_t>(find(i))]; }
+
+  /// Number of disjoint sets remaining.
+  index_t num_sets() const { return num_sets_; }
+
+  index_t elements() const { return static_cast<index_t>(parent_.size()); }
+
+ private:
+  std::vector<index_t> parent_;
+  std::vector<index_t> size_;
+  index_t num_sets_ = 0;
+};
+
+}  // namespace rrspmm::cluster

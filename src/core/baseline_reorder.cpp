@@ -1,0 +1,26 @@
+#include "core/baseline_reorder.hpp"
+
+#include <algorithm>
+
+#include "sparse/permute.hpp"
+
+namespace rrspmm::core {
+
+std::vector<index_t> lexicographic_order(const sparse::CsrMatrix& m) {
+  std::vector<index_t> order = sparse::identity_permutation(m.rows());
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    const auto ca = m.row_cols(a);
+    const auto cb = m.row_cols(b);
+    return std::lexicographical_compare(ca.begin(), ca.end(), cb.begin(), cb.end());
+  });
+  return order;
+}
+
+std::vector<index_t> degree_order(const sparse::CsrMatrix& m) {
+  std::vector<index_t> order = sparse::identity_permutation(m.rows());
+  std::stable_sort(order.begin(), order.end(),
+                   [&](index_t a, index_t b) { return m.row_nnz(a) > m.row_nnz(b); });
+  return order;
+}
+
+}  // namespace rrspmm::core

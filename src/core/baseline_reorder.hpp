@@ -1,0 +1,30 @@
+// Cheap row-reordering baselines, used to show the LSH + clustering
+// machinery earns its complexity (ablation_reorder_quality bench).
+//
+// The paper's related work covers greedy index-assignment schemes
+// (GOrder, ReCALL) whose goal is to place rows with common neighbours
+// close together at low preprocessing cost. These two orderings are the
+// classic cheap tricks in that family:
+//
+//  * lexicographic: sort rows by their column-index lists. Rows sharing
+//    a prefix of columns become adjacent — strong when similarity is
+//    concentrated in the lowest column ids, weak when shared columns sit
+//    mid-list.
+//  * degree: sort rows by nonzero count. Groups rows of similar shape,
+//    ignores *which* columns — a lower bound on structure-awareness.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace rrspmm::core {
+
+/// Rows sorted lexicographically by column list (ties by row id).
+/// Gather permutation, stable, O(nnz log n) comparisons.
+std::vector<index_t> lexicographic_order(const sparse::CsrMatrix& m);
+
+/// Rows sorted by descending nonzero count (ties by row id).
+std::vector<index_t> degree_order(const sparse::CsrMatrix& m);
+
+}  // namespace rrspmm::core

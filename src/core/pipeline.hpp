@@ -1,0 +1,121 @@
+// The paper's end-to-end workflow (Fig 5) and when-to-reorder heuristics
+// (§4) — the public entry point of the library.
+//
+//   build_plan(m)     -> ASpT-RR: round-1 row reorder (unless the matrix
+//                        already tiles densely), ASpT tiling, round-2
+//                        reorder of the sparse remainder (unless it is
+//                        already well clustered).
+//   build_plan_nr(m)  -> ASpT-NR: the Hong et al. baseline, no reordering.
+//   autotune_plan(..) -> the paper's trial-and-error strategy: build both,
+//                        keep whichever the device model says is faster.
+//
+// A plan owns everything the kernels and the simulator need: the round-1
+// permutation, the tiling built on the permuted matrix, and the round-2
+// sparse-row processing order, plus the statistics (ΔDenseRatio, ΔAvgSim,
+// preprocessing time) the paper's evaluation reports.
+#pragma once
+
+#include <vector>
+
+#include "aspt/aspt.hpp"
+#include "core/reorder_engine.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/traffic.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace rrspmm::core {
+
+using sparse::DenseMatrix;
+
+struct PipelineConfig {
+  ReorderConfig reorder;   ///< LSH + clustering parameters (both rounds)
+  aspt::AsptConfig aspt;   ///< tiling parameters
+
+  /// §4 round-1 skip: if the original matrix's dense-tile nonzero ratio
+  /// exceeds this, it is already well tiled — do not reorder. Paper: 10%.
+  double dense_ratio_skip = 0.10;
+  /// §4 round-2 skip: if the sparse remainder's average consecutive-row
+  /// Jaccard similarity exceeds this, it is already well clustered.
+  /// Paper: 0.1.
+  double avg_sim_skip = 0.10;
+
+  /// Ablation switches: force a round to run regardless of the
+  /// heuristics, or disable it entirely.
+  bool force_round1 = false;
+  bool force_round2 = false;
+  bool disable_round1 = false;
+  bool disable_round2 = false;
+};
+
+/// Per-plan statistics. Before/after pairs are the axes of the paper's
+/// Fig 9 effectiveness analysis.
+struct PipelineStats {
+  double dense_ratio_before = 0.0;  ///< DenseRatio of the input under cfg.aspt
+  double dense_ratio_after = 0.0;   ///< DenseRatio of the (possibly reordered) matrix
+  double avg_sim_before = 0.0;      ///< AvgSim of the sparse part pre round 2
+  double avg_sim_after = 0.0;       ///< AvgSim of the sparse part in processing order
+  bool round1_applied = false;
+  bool round2_applied = false;
+  std::size_t round1_candidates = 0;
+  std::size_t round2_candidates = 0;
+  index_t round1_clusters = 0;
+  index_t round2_clusters = 0;
+  double preprocess_seconds = 0.0;  ///< wall time of reordering + tiling
+
+  double delta_dense_ratio() const { return dense_ratio_after - dense_ratio_before; }
+  double delta_avg_sim() const { return avg_sim_after - avg_sim_before; }
+  /// True if the §4 heuristics asked for at least one round — the
+  /// paper's "matrices that need row-reordering" (416 of 1084).
+  bool needs_reordering() const { return round1_applied || round2_applied; }
+};
+
+struct ExecutionPlan {
+  /// Round-1 gather permutation (identity when skipped): row i of the
+  /// tiled matrix is row row_perm[i] of the caller's matrix.
+  std::vector<index_t> row_perm;
+  /// ASpT tiling of the permuted matrix.
+  aspt::AsptMatrix tiled;
+  /// Round-2 processing order of the sparse remainder's rows, in
+  /// permuted row space (identity when skipped).
+  std::vector<index_t> sparse_order;
+  PipelineStats stats;
+};
+
+/// Full ASpT-RR pipeline.
+ExecutionPlan build_plan(const CsrMatrix& m, const PipelineConfig& cfg = {});
+
+/// ASpT-NR baseline: tiling only, identity permutations. Stats carry the
+/// before-values so callers can still ask needs_reordering().
+ExecutionPlan build_plan_nr(const CsrMatrix& m, const PipelineConfig& cfg = {});
+
+/// Trial-and-error (§4): builds both plans, simulates SpMM at width `k`
+/// on `dev`, returns the faster plan.
+ExecutionPlan autotune_plan(const CsrMatrix& m, index_t k, const gpusim::DeviceConfig& dev,
+                            const PipelineConfig& cfg = {});
+
+/// The paper's online protocol verbatim: build both plans, run one real
+/// SpMM iteration through each on the host kernels (x is a caller-
+/// provided operand, so the measurement uses the deployment's actual K),
+/// keep whichever was faster. "If the reordered matrix is faster, keep
+/// the row-reordering for the rest of iterations; otherwise, discard it."
+ExecutionPlan autotune_plan_measured(const CsrMatrix& m, const DenseMatrix& x,
+                                     const PipelineConfig& cfg = {});
+
+/// Executes SpMM through a plan on the CPU kernels: y = m * x in the
+/// caller's original row order (permutation handled internally).
+void run_spmm(const ExecutionPlan& plan, const DenseMatrix& x, DenseMatrix& y);
+
+/// Executes SDDMM through a plan; `out` is aligned with the caller's
+/// original CSR nonzero order. `m` must be the matrix the plan was built
+/// from (needed to invert the row permutation of nonzero indices).
+void run_sddmm(const ExecutionPlan& plan, const CsrMatrix& m, const DenseMatrix& x,
+               const DenseMatrix& y, std::vector<value_t>& out);
+
+/// Device-model predictions for a plan.
+gpusim::SimResult simulate_spmm(const ExecutionPlan& plan, index_t k,
+                                const gpusim::DeviceConfig& dev);
+gpusim::SimResult simulate_sddmm(const ExecutionPlan& plan, index_t k,
+                                 const gpusim::DeviceConfig& dev);
+
+}  // namespace rrspmm::core

@@ -1,0 +1,176 @@
+#include "core/plan_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "sparse/permute.hpp"
+
+namespace rrspmm::core {
+
+namespace {
+
+constexpr char kMagic[10] = {'R', 'R', 'S', 'P', 'M', 'M', 'P', 'L', 'A', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+// POD write/read helpers. The format is defined as little-endian; this
+// library targets little-endian hosts (x86-64, AArch64 Linux), which the
+// writer asserts implicitly by writing native representations.
+template <typename T>
+void put(std::ostream& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw io_error("plan file truncated");
+  return v;
+}
+
+template <typename T>
+void put_vec(std::ostream& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put<std::uint64_t>(out, v.size());
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+std::vector<T> get_vec(std::istream& in, std::uint64_t max_elems = (1ULL << 33)) {
+  const auto n = get<std::uint64_t>(in);
+  if (n > max_elems) throw io_error("plan file declares an implausible array size");
+  std::vector<T> v(static_cast<std::size_t>(n));
+  if (n > 0) {
+    in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+    if (!in) throw io_error("plan file truncated inside an array");
+  }
+  return v;
+}
+
+void put_stats(std::ostream& out, const PipelineStats& s) {
+  put(out, s.dense_ratio_before);
+  put(out, s.dense_ratio_after);
+  put(out, s.avg_sim_before);
+  put(out, s.avg_sim_after);
+  put<std::uint8_t>(out, s.round1_applied ? 1 : 0);
+  put<std::uint8_t>(out, s.round2_applied ? 1 : 0);
+  put<std::uint64_t>(out, s.round1_candidates);
+  put<std::uint64_t>(out, s.round2_candidates);
+  put(out, s.round1_clusters);
+  put(out, s.round2_clusters);
+  put(out, s.preprocess_seconds);
+}
+
+PipelineStats get_stats(std::istream& in) {
+  PipelineStats s;
+  s.dense_ratio_before = get<double>(in);
+  s.dense_ratio_after = get<double>(in);
+  s.avg_sim_before = get<double>(in);
+  s.avg_sim_after = get<double>(in);
+  s.round1_applied = get<std::uint8_t>(in) != 0;
+  s.round2_applied = get<std::uint8_t>(in) != 0;
+  s.round1_candidates = static_cast<std::size_t>(get<std::uint64_t>(in));
+  s.round2_candidates = static_cast<std::size_t>(get<std::uint64_t>(in));
+  s.round1_clusters = get<index_t>(in);
+  s.round2_clusters = get<index_t>(in);
+  s.preprocess_seconds = get<double>(in);
+  return s;
+}
+
+}  // namespace
+
+void save_plan(const ExecutionPlan& plan, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  put(out, kVersion);
+
+  put_vec(out, plan.row_perm);
+  put_vec(out, plan.sparse_order);
+  put_stats(out, plan.stats);
+
+  const aspt::AsptMatrix& t = plan.tiled;
+  put(out, t.rows());
+  put(out, t.cols());
+  put<std::uint64_t>(out, t.panels().size());
+  for (const aspt::Panel& p : t.panels()) {
+    put(out, p.row_begin);
+    put(out, p.row_end);
+    put_vec(out, p.dense_cols);
+    put_vec(out, p.dense_rowptr);
+    put_vec(out, p.dense_slot);
+    put_vec(out, p.dense_val);
+    put_vec(out, p.dense_src_idx);
+  }
+  const sparse::CsrMatrix& sp = t.sparse_part();
+  put_vec(out, sp.rowptr());
+  put_vec(out, sp.colidx());
+  put_vec(out, sp.values());
+  put_vec(out, t.sparse_src_idx());
+  if (!out) throw io_error("failed writing plan");
+}
+
+void save_plan(const ExecutionPlan& plan, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw io_error("cannot open " + path + " for writing");
+  save_plan(plan, f);
+}
+
+ExecutionPlan load_plan(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw io_error("not an rrspmm plan file");
+  }
+  const auto version = get<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw io_error("unsupported plan version " + std::to_string(version));
+  }
+
+  ExecutionPlan plan;
+  plan.row_perm = get_vec<index_t>(in);
+  plan.sparse_order = get_vec<index_t>(in);
+  plan.stats = get_stats(in);
+
+  const auto rows = get<index_t>(in);
+  const auto cols = get<index_t>(in);
+  const auto npanels = get<std::uint64_t>(in);
+  if (npanels > (1ULL << 32)) throw io_error("implausible panel count");
+  std::vector<aspt::Panel> panels(static_cast<std::size_t>(npanels));
+  for (aspt::Panel& p : panels) {
+    p.row_begin = get<index_t>(in);
+    p.row_end = get<index_t>(in);
+    p.dense_cols = get_vec<index_t>(in);
+    p.dense_rowptr = get_vec<offset_t>(in);
+    p.dense_slot = get_vec<index_t>(in);
+    p.dense_val = get_vec<value_t>(in);
+    p.dense_src_idx = get_vec<offset_t>(in);
+  }
+  auto rowptr = get_vec<offset_t>(in);
+  auto colidx = get_vec<index_t>(in);
+  auto values = get_vec<value_t>(in);
+  auto src_idx = get_vec<offset_t>(in);
+
+  sparse::CsrMatrix sp(rows, cols, std::move(rowptr), std::move(colidx), std::move(values));
+  plan.tiled = aspt::AsptMatrix::from_parts(rows, cols, std::move(panels), std::move(sp),
+                                            std::move(src_idx));
+
+  if (!sparse::is_permutation(plan.row_perm, rows) ||
+      !sparse::is_permutation(plan.sparse_order, rows)) {
+    throw invalid_matrix("plan permutations are corrupt");
+  }
+  return plan;
+}
+
+ExecutionPlan load_plan(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw io_error("cannot open " + path);
+  return load_plan(f);
+}
+
+}  // namespace rrspmm::core

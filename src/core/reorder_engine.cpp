@@ -1,0 +1,16 @@
+#include "core/reorder_engine.hpp"
+
+namespace rrspmm::core {
+
+ReorderResult reorder_rows(const CsrMatrix& m, const ReorderConfig& cfg) {
+  const std::vector<lsh::CandidatePair> pairs = lsh::find_candidate_pairs(m, cfg.lsh);
+  const cluster::ClusterResult cl = cluster::cluster_reorder(m, pairs, cfg.cluster);
+  ReorderResult out;
+  out.order = cl.order;
+  out.candidate_pairs = pairs.size();
+  out.clusters = cl.num_clusters;
+  out.merges = cl.merges;
+  return out;
+}
+
+}  // namespace rrspmm::core

@@ -1,0 +1,35 @@
+// One round of the paper's row reordering: LSH candidate generation
+// followed by hierarchical clustering (Alg 3). The Pipeline (pipeline.hpp)
+// invokes this up to twice per matrix, per the Fig 5 workflow.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/hierarchy.hpp"
+#include "lsh/candidates.hpp"
+#include "sparse/csr.hpp"
+
+namespace rrspmm::core {
+
+using sparse::CsrMatrix;
+
+struct ReorderConfig {
+  lsh::LshConfig lsh;               ///< siglen=128, bsize=2 (paper §5.4)
+  cluster::ClusterConfig cluster;   ///< threshold_size=256 (paper §5.4)
+};
+
+struct ReorderResult {
+  /// Gather permutation: position p holds the original row id placed at p.
+  std::vector<index_t> order;
+  std::size_t candidate_pairs = 0;  ///< E, after similarity filtering
+  index_t clusters = 0;
+  index_t merges = 0;
+};
+
+/// Runs LSH + Alg 3 on `m` and returns the reordering. When LSH finds no
+/// candidate pairs (the paper's "too scattered" case, Fig 7b) the order
+/// comes back as identity — detection is automatic, as §4 describes.
+ReorderResult reorder_rows(const CsrMatrix& m, const ReorderConfig& cfg);
+
+}  // namespace rrspmm::core

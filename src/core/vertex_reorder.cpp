@@ -1,0 +1,76 @@
+#include "core/vertex_reorder.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "sparse/permute.hpp"
+
+namespace rrspmm::core {
+
+std::vector<index_t> rcm_order(const sparse::CsrMatrix& m) {
+  if (m.rows() != m.cols()) {
+    throw sparse::invalid_matrix("rcm_order requires a square matrix");
+  }
+  const index_t n = m.rows();
+
+  // Symmetrised adjacency: union of the patterns of m and m^T, built as
+  // merged sorted neighbour lists.
+  const sparse::CsrMatrix mt = sparse::transpose(m);
+  std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const auto a = m.row_cols(i);
+    const auto b = mt.row_cols(i);
+    auto& out = adj[static_cast<std::size_t>(i)];
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    std::erase(out, i);  // self-loops do not constrain the ordering
+  }
+
+  std::vector<index_t> degree(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    degree[static_cast<std::size_t>(i)] = static_cast<index_t>(adj[static_cast<std::size_t>(i)].size());
+  }
+
+  // Seeds in ascending degree so each component starts at a pseudo-
+  // peripheral-ish vertex.
+  std::vector<index_t> seeds(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) seeds[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(seeds.begin(), seeds.end(), [&](index_t a, index_t b) {
+    return degree[static_cast<std::size_t>(a)] < degree[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> frontier;
+
+  for (index_t seed : seeds) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    std::queue<index_t> q;
+    q.push(seed);
+    visited[static_cast<std::size_t>(seed)] = true;
+    while (!q.empty()) {
+      const index_t v = q.front();
+      q.pop();
+      order.push_back(v);
+      frontier.clear();
+      for (index_t w : adj[static_cast<std::size_t>(v)]) {
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = true;
+          frontier.push_back(w);
+        }
+      }
+      std::sort(frontier.begin(), frontier.end(), [&](index_t a, index_t b) {
+        return degree[static_cast<std::size_t>(a)] != degree[static_cast<std::size_t>(b)]
+                   ? degree[static_cast<std::size_t>(a)] < degree[static_cast<std::size_t>(b)]
+                   : a < b;
+      });
+      for (index_t w : frontier) q.push(w);
+    }
+  }
+
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace rrspmm::core

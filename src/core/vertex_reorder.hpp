@@ -1,0 +1,24 @@
+// Vertex (symmetric) reordering — the paper's negative control.
+//
+// §5.2 reorders the corpus with METIS and feeds the result to ASpT,
+// finding that *every* matrix slows down for SpMM: vertex reordering
+// permutes the rows of the dense operand, and with hundreds of dense
+// columns there is no spatial locality to create. METIS is not available
+// offline, so we use Reverse Cuthill–McKee — a classic bandwidth-
+// minimising vertex reordering with the same structural role (DESIGN.md
+// §2) — to reproduce the negative result.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace rrspmm::core {
+
+/// RCM order of the symmetrised pattern of `m` (must be square).
+/// Components are processed from lowest-degree seed vertices; neighbours
+/// expand in degree order; the concatenated BFS order is reversed.
+/// Returns a gather permutation.
+std::vector<index_t> rcm_order(const sparse::CsrMatrix& m);
+
+}  // namespace rrspmm::core

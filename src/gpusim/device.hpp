@@ -1,0 +1,77 @@
+// GPU device model.
+//
+// Substitution note (DESIGN.md §2): no CUDA toolchain or GPU exists in
+// this environment, so the paper's P100 kernels are replaced by a traffic
+// simulator parameterised by this device description. The paper's
+// performance argument is entirely about global-memory data movement
+// (§2.3 counts memory accesses for its worked examples), so a model that
+// counts DRAM transactions under a shared-memory + L2 hierarchy and
+// converts bytes to time with a roofline reproduces the comparisons.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rrspmm::gpusim {
+
+struct DeviceConfig {
+  int num_sms = 56;                        ///< streaming multiprocessors
+  int warp_size = 32;                      ///< threads per warp
+  std::size_t shared_mem_per_sm = 64 * 1024;  ///< bytes of shared memory per SM
+  std::size_t l2_bytes = 4 * 1024 * 1024;  ///< unified L2 capacity
+  int line_bytes = 128;                    ///< L2 line / memory transaction size
+  double dram_gbps = 732.0;                ///< HBM2 bandwidth, GB/s
+  /// Aggregate L2 read bandwidth. Every global access — hit or miss —
+  /// traverses the L2, so kernels whose reuse is L2-served (e.g. row-wise
+  /// SpMM on well-clustered matrices) are bound by this, not by DRAM.
+  /// Converting that L2 traffic into shared-memory traffic is precisely
+  /// the advantage of ASpT's dense tiles.
+  double l2_gbps = 1600.0;
+  /// Aggregate shared-memory bandwidth (56 SMs x 32 banks x 4 B x
+  /// ~1.4 GHz); an order of magnitude above L2.
+  double shared_gbps = 9500.0;
+  double peak_gflops = 9340.0;             ///< fp32 peak
+  /// Thread blocks resident per SM (occupancy); together with num_sms
+  /// this sets how many blocks' access streams interleave in the L2.
+  int blocks_per_sm = 4;
+  /// Warps per thread block in the row-wise kernels — each warp owns one
+  /// sparse row (paper §2.3: "put several warps processing consecutive
+  /// rows into a thread-block").
+  int warps_per_block = 4;
+  /// Fixed kernel-launch + DRAM-latency overhead added per kernel.
+  double launch_overhead_s = 4e-6;
+
+  /// Nvidia P100 (the paper's platform, §5.1).
+  static DeviceConfig p100() { return DeviceConfig{}; }
+
+  /// Nvidia V100: 80 SMs, 6 MB L2, 900 GB/s HBM2, ~14 TFLOPS fp32 — used
+  /// by the device-sensitivity ablation to check that the reordering
+  /// gains are a property of the memory hierarchy, not of one parameter
+  /// point.
+  static DeviceConfig v100() {
+    DeviceConfig dev;
+    dev.num_sms = 80;
+    dev.shared_mem_per_sm = 96 * 1024;
+    dev.l2_bytes = 6 * 1024 * 1024;
+    dev.dram_gbps = 900.0;
+    dev.l2_gbps = 2150.0;
+    dev.shared_gbps = 13800.0;
+    dev.peak_gflops = 14000.0;
+    return dev;
+  }
+
+  /// Resident thread blocks device-wide.
+  int resident_blocks() const { return num_sms * blocks_per_sm; }
+};
+
+/// Multi-level roofline execution-time estimate: a kernel is bound by the
+/// slowest of the DRAM system, the L2 crossbar, the shared-memory banks,
+/// and the ALUs. SpMM/SDDMM are DRAM-bound when reuse is poor and
+/// L2-bound when reuse is L2-served; shared-memory staging (ASpT dense
+/// tiles) moves traffic onto the fastest level. Overloads: the 2-argument
+/// memory/compute form is kept for components that only track DRAM.
+double roofline_time_s(const DeviceConfig& dev, double dram_bytes, double flops);
+double roofline_time_s(const DeviceConfig& dev, double dram_bytes, double l2_bytes,
+                       double shared_bytes, double flops);
+
+}  // namespace rrspmm::gpusim

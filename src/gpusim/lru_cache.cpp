@@ -1,0 +1,33 @@
+#include "gpusim/lru_cache.hpp"
+
+namespace rrspmm::gpusim {
+
+bool LruKeyCache::access(std::uint64_t key) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return false;
+  }
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= capacity_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(key);
+  map_.emplace(key, order_.begin());
+  return false;
+}
+
+void LruKeyCache::clear() {
+  order_.clear();
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace rrspmm::gpusim

@@ -1,0 +1,382 @@
+#include "gpusim/traffic.hpp"
+
+#include <algorithm>
+
+#include "gpusim/lru_cache.hpp"
+
+namespace rrspmm::gpusim {
+
+double roofline_time_s(const DeviceConfig& dev, double dram_bytes, double flops) {
+  const double mem_time = dram_bytes / (dev.dram_gbps * 1e9);
+  const double alu_time = flops / (dev.peak_gflops * 1e9);
+  return std::max(mem_time, alu_time);
+}
+
+double roofline_time_s(const DeviceConfig& dev, double dram_bytes, double l2_bytes,
+                       double shared_bytes, double flops) {
+  const double l2_time = l2_bytes / (dev.l2_gbps * 1e9);
+  const double shared_time = shared_bytes / (dev.shared_gbps * 1e9);
+  return std::max({roofline_time_s(dev, dram_bytes, flops), l2_time, shared_time});
+}
+
+namespace {
+
+constexpr std::uint64_t kSpaceX = 0;  ///< cache key space for X rows
+constexpr std::uint64_t kSpaceY = 1;  ///< cache key space for Y rows (SDDMM reads)
+
+std::uint64_t row_key(std::uint64_t space, index_t row) {
+  return (space << 32) | static_cast<std::uint64_t>(static_cast<std::uint32_t>(row));
+}
+
+/// Shared L2 model: exact LRU over K-wide dense rows (see lru_cache.hpp
+/// for why row granularity is exact here).
+class L2Model {
+ public:
+  L2Model(const DeviceConfig& dev, index_t k, SimResult* res)
+      : cache_(std::max<std::size_t>(1, dev.l2_bytes / (static_cast<std::size_t>(k) * 4))),
+        row_bytes_(static_cast<double>(k) * 4.0),
+        res_(res) {}
+
+  /// A warp reads a K-wide row of a dense operand; on L2 miss the whole
+  /// row comes from DRAM.
+  void read_row(std::uint64_t space, index_t row) {
+    ++res_->x_accesses;
+    res_->l2_bytes += row_bytes_;  // hits and misses both traverse the L2
+    if (cache_.access(row_key(space, row))) {
+      ++res_->x_l2_hits;
+    } else {
+      res_->dram_bytes += row_bytes_;
+    }
+  }
+
+ private:
+  LruKeyCache cache_;
+  double row_bytes_;
+  SimResult* res_;
+};
+
+/// Interleaves the nonzeros of `s` in GPU execution order: thread blocks
+/// of `warps_per_block` rows, `resident_blocks()` co-resident, each
+/// resident block advancing every warp by one nonzero per round-robin
+/// turn. `visit(row, col)` is called once per nonzero in that order.
+/// `order` (gather permutation) selects which row each warp slot owns.
+template <typename F>
+void interleave_rowwise(const CsrMatrix& s, const std::vector<index_t>* order,
+                        const DeviceConfig& dev, F&& visit) {
+  const index_t n = s.rows();
+  if (n == 0) return;
+  const index_t bs = static_cast<index_t>(dev.warps_per_block);
+  const index_t num_blocks = (n + bs - 1) / bs;
+  const index_t resident = std::min<index_t>(num_blocks, static_cast<index_t>(dev.resident_blocks()));
+
+  struct WarpCursor {
+    index_t row;
+    offset_t cur;
+    offset_t end;
+  };
+  struct Slot {
+    std::vector<WarpCursor> warps;
+    bool active = false;
+  };
+
+  auto row_at = [&](index_t p) { return order ? (*order)[static_cast<std::size_t>(p)] : p; };
+
+  index_t next_block = 0;
+  auto load_block = [&](Slot& slot) {
+    if (next_block >= num_blocks) {
+      slot.active = false;
+      return;
+    }
+    const index_t first = next_block * bs;
+    const index_t last = std::min<index_t>(n, first + bs);
+    slot.warps.clear();
+    for (index_t p = first; p < last; ++p) {
+      const index_t r = row_at(p);
+      slot.warps.push_back(WarpCursor{r, s.rowptr()[static_cast<std::size_t>(r)],
+                                      s.rowptr()[static_cast<std::size_t>(r) + 1]});
+    }
+    slot.active = true;
+    ++next_block;
+  };
+
+  std::vector<Slot> slots(static_cast<std::size_t>(resident));
+  for (auto& slot : slots) load_block(slot);
+
+  index_t active_count = 0;
+  for (const auto& slot : slots) active_count += slot.active ? 1 : 0;
+
+  while (active_count > 0) {
+    for (auto& slot : slots) {
+      if (!slot.active) continue;
+      bool any_advanced = false;
+      for (WarpCursor& w : slot.warps) {
+        if (w.cur < w.end) {
+          visit(w.row, s.colidx()[static_cast<std::size_t>(w.cur)]);
+          ++w.cur;
+          any_advanced = true;
+        }
+      }
+      if (!any_advanced) {  // block retired; next one takes the SM slot
+        load_block(slot);
+        if (!slot.active) --active_count;
+      }
+    }
+  }
+}
+
+/// One global-memory request of a panel's dense phase: a K-wide row read
+/// in the given key space (X for staged columns, Y for SDDMM row fetches).
+struct PanelItem {
+  std::uint64_t space;
+  index_t row;
+};
+
+/// Interleaves dense-tile panels (one thread block per panel): each
+/// resident panel issues one work item per turn. Panels with empty work
+/// lists launch nothing.
+template <typename F>
+void interleave_panels(const std::vector<std::vector<PanelItem>>& work, const DeviceConfig& dev,
+                       F&& visit) {
+  const index_t num_panels = static_cast<index_t>(work.size());
+  if (num_panels == 0) return;
+  const index_t resident = std::min<index_t>(num_panels, static_cast<index_t>(dev.resident_blocks()));
+
+  struct Slot {
+    index_t panel = 0;
+    std::size_t next_item = 0;
+    bool active = false;
+  };
+  index_t next_panel = 0;
+  auto load = [&](Slot& slot) {
+    while (next_panel < num_panels && work[static_cast<std::size_t>(next_panel)].empty()) {
+      ++next_panel;
+    }
+    if (next_panel >= num_panels) {
+      slot.active = false;
+      return;
+    }
+    slot.panel = next_panel++;
+    slot.next_item = 0;
+    slot.active = true;
+  };
+
+  std::vector<Slot> slots(static_cast<std::size_t>(resident));
+  for (auto& s : slots) load(s);
+  index_t active_count = 0;
+  for (const auto& s : slots) active_count += s.active ? 1 : 0;
+
+  while (active_count > 0) {
+    for (auto& slot : slots) {
+      if (!slot.active) continue;
+      const auto& items = work[static_cast<std::size_t>(slot.panel)];
+      if (slot.next_item < items.size()) {
+        visit(items[slot.next_item]);
+        ++slot.next_item;
+      } else {
+        load(slot);
+        if (!slot.active) --active_count;
+      }
+    }
+  }
+}
+
+/// Work list for SpMM's dense phase: stage each dense column once.
+std::vector<std::vector<PanelItem>> spmm_panel_work(const std::vector<aspt::Panel>& panels) {
+  std::vector<std::vector<PanelItem>> work(panels.size());
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    for (index_t c : panels[i].dense_cols) work[i].push_back({0 /*kSpaceX*/, c});
+  }
+  return work;
+}
+
+/// Work list for SDDMM's dense phase: stage each dense column, then fetch
+/// the Y row of every panel row that owns dense nonzeros.
+std::vector<std::vector<PanelItem>> sddmm_panel_work(const std::vector<aspt::Panel>& panels) {
+  std::vector<std::vector<PanelItem>> work(panels.size());
+  for (std::size_t i = 0; i < panels.size(); ++i) {
+    const aspt::Panel& p = panels[i];
+    if (p.dense_cols.empty()) continue;
+    for (index_t c : p.dense_cols) work[i].push_back({0 /*kSpaceX*/, c});
+    for (index_t r = 0; r < p.rows(); ++r) {
+      if (p.dense_rowptr[static_cast<std::size_t>(r) + 1] >
+          p.dense_rowptr[static_cast<std::size_t>(r)]) {
+        work[i].push_back({1 /*kSpaceY*/, p.row_begin + r});
+      }
+    }
+  }
+  return work;
+}
+
+double csr_stream_bytes(const CsrMatrix& s) {
+  // colidx (4B) + values (4B) per nonzero, rowptr (8B) per row.
+  return static_cast<double>(s.nnz()) * 8.0 + static_cast<double>(s.rows() + 1) * 8.0;
+}
+
+}  // namespace
+
+SimResult simulate_spmm_rowwise(const CsrMatrix& s, index_t k, const DeviceConfig& dev,
+                                const std::vector<index_t>* row_order) {
+  SimResult res;
+  res.kernels_launched = 1;
+  res.flops = 2.0 * static_cast<double>(s.nnz()) * static_cast<double>(k);
+  res.dram_bytes += csr_stream_bytes(s);
+  // Every output row is written once.
+  res.dram_bytes += static_cast<double>(s.rows()) * static_cast<double>(k) * 4.0;
+
+  L2Model l2(dev, k, &res);
+  interleave_rowwise(s, row_order, dev,
+                     [&](index_t /*row*/, index_t col) { l2.read_row(kSpaceX, col); });
+
+  res.time_s = dev.launch_overhead_s * res.kernels_launched +
+               roofline_time_s(dev, res.dram_bytes, res.l2_bytes, res.shared_bytes, res.flops);
+  return res;
+}
+
+SimResult simulate_spmm_aspt(const AsptMatrix& a, index_t k, const DeviceConfig& dev,
+                             const std::vector<index_t>* sparse_order) {
+  SimResult res;
+  res.flops = 2.0 * static_cast<double>(a.stats().nnz_total) * static_cast<double>(k);
+
+  L2Model l2(dev, k, &res);
+
+  // Phase 1: dense-tile kernel. Each panel stages its dense columns' X
+  // rows once (through L2); every dense nonzero then hits shared memory.
+  bool any_dense = false;
+  for (const aspt::Panel& p : a.panels()) any_dense |= !p.dense_cols.empty();
+  if (any_dense) {
+    res.kernels_launched++;
+    interleave_panels(spmm_panel_work(a.panels()), dev,
+                      [&](const PanelItem& item) { l2.read_row(item.space, item.row); });
+    for (const aspt::Panel& p : a.panels()) {
+      res.shared_hits += static_cast<std::uint64_t>(p.nnz());
+      res.shared_bytes += static_cast<double>(p.nnz()) * static_cast<double>(k) * 4.0;
+      // dense_slot (4B) + dense_val (4B) per nonzero; per-panel rowptr and
+      // dense-column list streamed once.
+      res.dram_bytes += static_cast<double>(p.nnz()) * 8.0 +
+                        static_cast<double>(p.rows() + 1) * 8.0 +
+                        static_cast<double>(p.dense_cols.size()) * 4.0;
+    }
+  }
+
+  // Phase 2: row-wise kernel over the sparse remainder, optionally in the
+  // round-2 reordered processing order.
+  const CsrMatrix& sp = a.sparse_part();
+  if (sp.nnz() > 0) {
+    res.kernels_launched++;
+    res.dram_bytes += csr_stream_bytes(sp);
+    interleave_rowwise(sp, sparse_order, dev,
+                       [&](index_t /*row*/, index_t col) { l2.read_row(kSpaceX, col); });
+  }
+
+  // Y traffic: one write per output row. ASpT keeps a row's accumulator
+  // in registers across its dense and sparse segments (the panel's block
+  // owns both), so — like the paper's own access counting in §2.3/§3.1 —
+  // no partial-sum reload is charged.
+  res.dram_bytes += static_cast<double>(a.rows()) * static_cast<double>(k) * 4.0;
+
+  res.time_s = dev.launch_overhead_s * std::max(res.kernels_launched, 1) +
+               roofline_time_s(dev, res.dram_bytes, res.l2_bytes, res.shared_bytes, res.flops);
+  return res;
+}
+
+SimResult simulate_spmv_rowwise(const CsrMatrix& s, const DeviceConfig& dev,
+                                const std::vector<index_t>* row_order) {
+  SimResult res;
+  res.kernels_launched = 1;
+  res.flops = 2.0 * static_cast<double>(s.nnz());
+  res.dram_bytes += csr_stream_bytes(s);
+  res.dram_bytes += static_cast<double>(s.rows()) * 4.0;  // y written once
+
+  // L2 at cache-line granularity over the x vector: each nonzero touches
+  // one 4-byte element; a miss fetches the whole line_bytes line. Nearby
+  // columns share lines — the spatial locality vertex reordering creates.
+  const auto elems_per_line = static_cast<index_t>(dev.line_bytes / 4);
+  const double line_bytes = static_cast<double>(dev.line_bytes);
+  LruKeyCache cache(std::max<std::size_t>(1, dev.l2_bytes / static_cast<std::size_t>(dev.line_bytes)));
+  interleave_rowwise(s, row_order, dev, [&](index_t /*row*/, index_t col) {
+    ++res.x_accesses;
+    res.l2_bytes += 4.0;  // one element traverses the L2 per access
+    if (cache.access(static_cast<std::uint64_t>(col / elems_per_line))) {
+      ++res.x_l2_hits;
+    } else {
+      res.dram_bytes += line_bytes;
+    }
+  });
+
+  res.time_s = dev.launch_overhead_s * res.kernels_launched +
+               roofline_time_s(dev, res.dram_bytes, res.l2_bytes, res.shared_bytes, res.flops);
+  return res;
+}
+
+SimResult simulate_sddmm_rowwise(const CsrMatrix& s, index_t k, const DeviceConfig& dev,
+                                 const std::vector<index_t>* row_order) {
+  SimResult res;
+  res.kernels_launched = 1;
+  res.flops = 2.0 * static_cast<double>(s.nnz()) * static_cast<double>(k);
+  // S structure + values in, O values out.
+  res.dram_bytes += csr_stream_bytes(s) + static_cast<double>(s.nnz()) * 4.0;
+
+  L2Model l2(dev, k, &res);
+  // The warp keeps its own Y row resident (registers/shared) across the
+  // row's nonzeros; it is fetched once per row, through L2.
+  std::vector<bool> y_fetched(static_cast<std::size_t>(s.rows()), false);
+  interleave_rowwise(s, row_order, dev, [&](index_t row, index_t col) {
+    if (!y_fetched[static_cast<std::size_t>(row)]) {
+      l2.read_row(kSpaceY, row);
+      y_fetched[static_cast<std::size_t>(row)] = true;
+    }
+    l2.read_row(kSpaceX, col);
+  });
+
+  res.time_s = dev.launch_overhead_s * res.kernels_launched +
+               roofline_time_s(dev, res.dram_bytes, res.l2_bytes, res.shared_bytes, res.flops);
+  return res;
+}
+
+SimResult simulate_sddmm_aspt(const AsptMatrix& a, index_t k, const DeviceConfig& dev,
+                              const std::vector<index_t>* sparse_order) {
+  SimResult res;
+  res.flops = 2.0 * static_cast<double>(a.stats().nnz_total) * static_cast<double>(k);
+
+  L2Model l2(dev, k, &res);
+
+  bool any_dense = false;
+  for (const aspt::Panel& p : a.panels()) any_dense |= !p.dense_cols.empty();
+  if (any_dense) {
+    res.kernels_launched++;
+    // Each panel stages its dense columns, then fetches the Y row of each
+    // panel row owning dense nonzeros — all interleaved across resident
+    // panels, as the blocks would issue them.
+    interleave_panels(sddmm_panel_work(a.panels()), dev,
+                      [&](const PanelItem& item) { l2.read_row(item.space, item.row); });
+    for (const aspt::Panel& p : a.panels()) {
+      res.shared_hits += static_cast<std::uint64_t>(p.nnz());
+      res.shared_bytes += static_cast<double>(p.nnz()) * static_cast<double>(k) * 4.0;
+      // Structure + S values in + O out for the dense nonzeros, plus
+      // panel metadata.
+      res.dram_bytes += static_cast<double>(p.nnz()) * 12.0 +
+                        static_cast<double>(p.rows() + 1) * 8.0 +
+                        static_cast<double>(p.dense_cols.size()) * 4.0;
+    }
+  }
+
+  const CsrMatrix& sp = a.sparse_part();
+  if (sp.nnz() > 0) {
+    res.kernels_launched++;
+    res.dram_bytes += csr_stream_bytes(sp) + static_cast<double>(sp.nnz()) * 4.0;
+    std::vector<bool> y_fetched(static_cast<std::size_t>(sp.rows()), false);
+    interleave_rowwise(sp, sparse_order, dev, [&](index_t row, index_t col) {
+      if (!y_fetched[static_cast<std::size_t>(row)]) {
+        l2.read_row(kSpaceY, row);
+        y_fetched[static_cast<std::size_t>(row)] = true;
+      }
+      l2.read_row(kSpaceX, col);
+    });
+  }
+
+  res.time_s = dev.launch_overhead_s * std::max(res.kernels_launched, 1) +
+               roofline_time_s(dev, res.dram_bytes, res.l2_bytes, res.shared_bytes, res.flops);
+  return res;
+}
+
+}  // namespace rrspmm::gpusim

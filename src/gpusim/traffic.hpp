@@ -1,0 +1,84 @@
+// Global-memory traffic simulation of the four GPU kernels the paper
+// compares:
+//
+//   * row-wise SpMM / SDDMM  — one warp per sparse row (Alg 1 / Alg 2);
+//     the cuSPARSE-class baseline.
+//   * ASpT SpMM / SDDMM      — dense-tile phase staging dense-column X
+//     rows in shared memory, then a row-wise pass over the sparse
+//     remainder (optionally in a reordered row-processing order — the
+//     paper's round-2 reordering).
+//
+// Execution model: thread blocks of `warps_per_block` rows are launched
+// in row order (or in `row_order`, when given); `resident_blocks()` of
+// them are co-resident and their access streams interleave round-robin at
+// one-nonzero-per-warp granularity through a shared exact-LRU L2. This is
+// what makes "similar rows placed in nearby blocks" produce L2 hits —
+// the effect row-reordering exploits.
+//
+// Byte accounting per kernel (all fp32, index_t=4B, offset_t=8B):
+//   streamed once (always DRAM): rowptr, colidx, values of the traversed
+//   sparse structure; Y output writes; SDDMM O writes and S reads.
+//   modelled through L2: X-row reads (K*4 bytes per miss);
+//   in ASpT's dense phase each panel's dense-column X rows are read once
+//   (through L2) into shared memory, after which every dense nonzero is a
+//   shared-memory hit with zero global traffic. Y accumulators live in
+//   registers across a row's dense and sparse segments, so Y is written
+//   exactly once per row in every strategy — matching the paper's own
+//   access counting (§2.3/§3.1), which tracks X reads only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aspt/aspt.hpp"
+#include "gpusim/device.hpp"
+#include "sparse/csr.hpp"
+
+namespace rrspmm::gpusim {
+
+using aspt::AsptMatrix;
+using sparse::CsrMatrix;
+
+struct SimResult {
+  double dram_bytes = 0.0;       ///< total bytes moved to/from DRAM
+  double l2_bytes = 0.0;         ///< bytes traversing the L2 (hits + misses)
+  double shared_bytes = 0.0;     ///< bytes served from shared memory
+  double flops = 0.0;            ///< useful floating-point work
+  double time_s = 0.0;           ///< roofline estimate incl. launch overhead
+  std::uint64_t x_accesses = 0;  ///< X-row read requests issued
+  std::uint64_t x_l2_hits = 0;   ///< served by the simulated L2
+  std::uint64_t shared_hits = 0; ///< served by shared memory (dense tiles)
+  int kernels_launched = 0;
+
+  double gflops() const { return time_s > 0.0 ? flops / time_s * 1e-9 : 0.0; }
+};
+
+/// Row-wise SpMM (Y = S * X), K dense columns. `row_order`, if non-null,
+/// is the row *processing* order (gather permutation); output placement
+/// is unaffected — this models processing a reordered matrix.
+SimResult simulate_spmm_rowwise(const CsrMatrix& s, index_t k, const DeviceConfig& dev,
+                                const std::vector<index_t>* row_order = nullptr);
+
+/// ASpT SpMM over a tiled matrix. `sparse_order`, if non-null, is the
+/// processing order of the sparse-remainder rows (the paper's round-2
+/// reordering).
+SimResult simulate_spmm_aspt(const AsptMatrix& a, index_t k, const DeviceConfig& dev,
+                             const std::vector<index_t>* sparse_order = nullptr);
+
+/// Row-wise SpMV (y = S * x): the dense operand is a single vector, so
+/// the L2 is modelled at cache-*line* granularity (line_bytes / 4 vector
+/// elements per line) rather than K-wide rows — this is where *spatial*
+/// locality among nearby columns exists, and why vertex reordering helps
+/// SpMV but not SpMM (paper §1/§6; reproduced by ablation_vertex_reorder).
+SimResult simulate_spmv_rowwise(const CsrMatrix& s, const DeviceConfig& dev,
+                                const std::vector<index_t>* row_order = nullptr);
+
+/// Row-wise SDDMM (O = (Y x X^T) .* S elementwise on S's pattern).
+SimResult simulate_sddmm_rowwise(const CsrMatrix& s, index_t k, const DeviceConfig& dev,
+                                 const std::vector<index_t>* row_order = nullptr);
+
+/// ASpT SDDMM over a tiled matrix.
+SimResult simulate_sddmm_aspt(const AsptMatrix& a, index_t k, const DeviceConfig& dev,
+                              const std::vector<index_t>* sparse_order = nullptr);
+
+}  // namespace rrspmm::gpusim

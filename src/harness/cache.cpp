@@ -1,0 +1,155 @@
+#include "harness/cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace rrspmm::harness {
+
+namespace {
+
+constexpr const char* kMagic = "RRSPMM_CACHE v2";
+
+void put_sim(std::ostream& out, const gpusim::SimResult& r) {
+  out << r.dram_bytes << ' ' << r.flops << ' ' << r.time_s << ' ' << r.x_accesses << ' '
+      << r.x_l2_hits << ' ' << r.shared_hits << ' ' << r.kernels_launched;
+}
+
+bool get_sim(std::istream& in, gpusim::SimResult& r) {
+  return static_cast<bool>(in >> r.dram_bytes >> r.flops >> r.time_s >> r.x_accesses >>
+                           r.x_l2_hits >> r.shared_hits >> r.kernels_launched);
+}
+
+void put_triple(std::ostream& out, const KernelTriple& t) {
+  out << t.k << ' ';
+  put_sim(out, t.rowwise);
+  out << ' ';
+  put_sim(out, t.aspt_nr);
+  out << ' ';
+  put_sim(out, t.aspt_rr);
+  out << '\n';
+}
+
+bool get_triple(std::istream& in, KernelTriple& t) {
+  return (in >> t.k) && get_sim(in, t.rowwise) && get_sim(in, t.aspt_nr) &&
+         get_sim(in, t.aspt_rr);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string experiment_fingerprint(const synth::CorpusConfig& corpus,
+                                   const ExperimentConfig& cfg) {
+  std::ostringstream os;
+  os << "corpus:" << corpus.count << ',' << corpus.scale << ',' << corpus.seed;
+  const auto& p = cfg.pipeline;
+  os << "|lsh:" << p.reorder.lsh.siglen << ',' << p.reorder.lsh.bsize << ','
+     << p.reorder.lsh.bucket_cap << ',' << p.reorder.lsh.min_similarity << ','
+     << p.reorder.lsh.seed << ',' << static_cast<int>(p.reorder.lsh.scheme);
+  os << "|cluster:" << p.reorder.cluster.threshold_size;
+  os << "|aspt:" << p.aspt.panel_rows << ',' << p.aspt.dense_col_threshold << ','
+     << p.aspt.max_dense_cols;
+  os << "|skip:" << p.dense_ratio_skip << ',' << p.avg_sim_skip << ',' << p.force_round1 << ','
+     << p.force_round2 << ',' << p.disable_round1 << ',' << p.disable_round2;
+  const auto& d = cfg.device;
+  os << "|dev:" << d.num_sms << ',' << d.l2_bytes << ',' << d.line_bytes << ',' << d.dram_gbps
+     << ',' << d.peak_gflops << ',' << d.blocks_per_sm << ',' << d.warps_per_block << ','
+     << d.launch_overhead_s;
+  os << "|ks:";
+  for (index_t k : cfg.ks) os << k << ',';
+  os << "|sddmm:" << cfg.run_sddmm << "|model:3";
+  return os.str();
+}
+
+void save_records(const std::string& path, const std::string& fingerprint,
+                  const std::vector<MatrixRecord>& records) {
+  std::ofstream f(path);
+  if (!f) return;  // cache is best-effort
+  f.precision(17);
+  f << kMagic << '\n' << fingerprint << '\n' << records.size() << '\n';
+  for (const MatrixRecord& r : records) {
+    f << r.name << ' ' << r.family << '\n';
+    f << r.mstats.rows << ' ' << r.mstats.cols << ' ' << r.mstats.nnz << ' '
+      << r.mstats.avg_row_nnz << ' ' << r.mstats.max_row_nnz << ' ' << r.mstats.empty_rows << ' '
+      << r.mstats.avg_consecutive_jaccard << '\n';
+    const auto& s = r.rr;
+    f << s.dense_ratio_before << ' ' << s.dense_ratio_after << ' ' << s.avg_sim_before << ' '
+      << s.avg_sim_after << ' ' << s.round1_applied << ' ' << s.round2_applied << ' '
+      << s.round1_candidates << ' ' << s.round2_candidates << ' ' << s.round1_clusters << ' '
+      << s.round2_clusters << ' ' << s.preprocess_seconds << ' ' << r.nr_preprocess_seconds
+      << '\n';
+    f << r.spmm.size() << ' ' << r.sddmm.size() << '\n';
+    for (const auto& t : r.spmm) put_triple(f, t);
+    for (const auto& t : r.sddmm) put_triple(f, t);
+  }
+}
+
+std::optional<std::vector<MatrixRecord>> load_records(const std::string& path,
+                                                      const std::string& fingerprint) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::string magic, stored_fp;
+  if (!std::getline(f, magic) || magic != kMagic) return std::nullopt;
+  if (!std::getline(f, stored_fp) || stored_fp != fingerprint) return std::nullopt;
+  std::size_t n = 0;
+  if (!(f >> n)) return std::nullopt;
+
+  std::vector<MatrixRecord> records(n);
+  for (MatrixRecord& r : records) {
+    if (!(f >> r.name >> r.family)) return std::nullopt;
+    if (!(f >> r.mstats.rows >> r.mstats.cols >> r.mstats.nnz >> r.mstats.avg_row_nnz >>
+          r.mstats.max_row_nnz >> r.mstats.empty_rows >> r.mstats.avg_consecutive_jaccard)) {
+      return std::nullopt;
+    }
+    auto& s = r.rr;
+    if (!(f >> s.dense_ratio_before >> s.dense_ratio_after >> s.avg_sim_before >>
+          s.avg_sim_after >> s.round1_applied >> s.round2_applied >> s.round1_candidates >>
+          s.round2_candidates >> s.round1_clusters >> s.round2_clusters >>
+          s.preprocess_seconds >> r.nr_preprocess_seconds)) {
+      return std::nullopt;
+    }
+    std::size_t nspmm = 0, nsddmm = 0;
+    if (!(f >> nspmm >> nsddmm)) return std::nullopt;
+    r.spmm.resize(nspmm);
+    r.sddmm.resize(nsddmm);
+    for (auto& t : r.spmm) {
+      if (!get_triple(f, t)) return std::nullopt;
+    }
+    for (auto& t : r.sddmm) {
+      if (!get_triple(f, t)) return std::nullopt;
+    }
+  }
+  return records;
+}
+
+std::vector<MatrixRecord> cached_default_experiment(const ExperimentConfig& cfg) {
+  const synth::CorpusConfig corpus = synth::corpus_config_from_env();
+  const std::string fp = experiment_fingerprint(corpus, cfg);
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string path = std::string(tmp ? tmp : "/tmp") + "/rrspmm_cache_" +
+                           std::to_string(fnv1a(fp)) + ".txt";
+
+  const bool no_cache = std::getenv("RRSPMM_NO_CACHE") != nullptr;
+  if (!no_cache) {
+    if (auto cached = load_records(path, fp)) {
+      if (cfg.verbose) {
+        std::fprintf(stderr, "loaded %zu cached records from %s\n", cached->size(), path.c_str());
+      }
+      return *cached;
+    }
+  }
+  auto records = run_default_experiment(cfg);
+  if (!no_cache) save_records(path, fp, records);
+  return records;
+}
+
+}  // namespace rrspmm::harness

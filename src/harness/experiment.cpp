@@ -1,0 +1,79 @@
+#include "harness/experiment.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rrspmm::harness {
+
+const KernelTriple& MatrixRecord::spmm_at(index_t k) const {
+  for (const KernelTriple& t : spmm) {
+    if (t.k == k) return t;
+  }
+  throw std::out_of_range("no SpMM simulation at K=" + std::to_string(k));
+}
+
+const KernelTriple& MatrixRecord::sddmm_at(index_t k) const {
+  for (const KernelTriple& t : sddmm) {
+    if (t.k == k) return t;
+  }
+  throw std::out_of_range("no SDDMM simulation at K=" + std::to_string(k));
+}
+
+std::vector<MatrixRecord> run_experiment(const std::vector<synth::CorpusEntry>& corpus,
+                                         const ExperimentConfig& cfg) {
+  std::vector<MatrixRecord> records;
+  records.reserve(corpus.size());
+
+  std::size_t done = 0;
+  for (const synth::CorpusEntry& entry : corpus) {
+    MatrixRecord rec;
+    rec.name = entry.name;
+    rec.family = entry.family;
+    rec.mstats = sparse::compute_stats(entry.matrix);
+
+    const core::ExecutionPlan nr = core::build_plan_nr(entry.matrix, cfg.pipeline);
+    const core::ExecutionPlan rr = core::build_plan(entry.matrix, cfg.pipeline);
+    rec.rr = rr.stats;
+    rec.nr_preprocess_seconds = nr.stats.preprocess_seconds;
+
+    for (index_t k : cfg.ks) {
+      KernelTriple t;
+      t.k = k;
+      t.rowwise = gpusim::simulate_spmm_rowwise(entry.matrix, k, cfg.device);
+      t.aspt_nr = core::simulate_spmm(nr, k, cfg.device);
+      t.aspt_rr = core::simulate_spmm(rr, k, cfg.device);
+      rec.spmm.push_back(t);
+
+      if (cfg.run_sddmm) {
+        KernelTriple d;
+        d.k = k;
+        d.rowwise = gpusim::simulate_sddmm_rowwise(entry.matrix, k, cfg.device);
+        d.aspt_nr = core::simulate_sddmm(nr, k, cfg.device);
+        d.aspt_rr = core::simulate_sddmm(rr, k, cfg.device);
+        rec.sddmm.push_back(d);
+      }
+    }
+
+    ++done;
+    if (cfg.verbose) {
+      std::fprintf(stderr, "[%3zu/%zu] %-24s rows=%-7d nnz=%-9lld dr %.3f->%.3f sim %.3f->%.3f%s\n",
+                   done, corpus.size(), rec.name.c_str(), rec.mstats.rows,
+                   static_cast<long long>(rec.mstats.nnz), rec.rr.dense_ratio_before,
+                   rec.rr.dense_ratio_after, rec.rr.avg_sim_before, rec.rr.avg_sim_after,
+                   rec.needs_reordering() ? "  [reordered]" : "");
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<MatrixRecord> run_default_experiment(const ExperimentConfig& cfg) {
+  const synth::CorpusConfig ccfg = synth::corpus_config_from_env();
+  if (cfg.verbose) {
+    std::fprintf(stderr, "corpus: %d matrices, scale %.2f, seed %llu\n", ccfg.count, ccfg.scale,
+                 static_cast<unsigned long long>(ccfg.seed));
+  }
+  return run_experiment(synth::build_corpus(ccfg), cfg);
+}
+
+}  // namespace rrspmm::harness

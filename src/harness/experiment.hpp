@@ -1,0 +1,62 @@
+// Corpus-level experiment runner shared by all bench binaries: builds the
+// ASpT-NR and ASpT-RR plans for every corpus matrix, runs the device-
+// model simulations at each K, and returns one record per matrix —
+// everything the paper's tables and figures are computed from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/traffic.hpp"
+#include "sparse/stats.hpp"
+#include "synth/corpus.hpp"
+
+namespace rrspmm::harness {
+
+struct KernelTriple {
+  index_t k = 0;
+  gpusim::SimResult rowwise;   ///< cuSPARSE-class baseline (SpMM only)
+  gpusim::SimResult aspt_nr;
+  gpusim::SimResult aspt_rr;
+};
+
+struct MatrixRecord {
+  std::string name;
+  std::string family;
+  sparse::MatrixStats mstats;
+  core::PipelineStats rr;       ///< pipeline stats of the RR plan
+  double nr_preprocess_seconds = 0.0;
+  std::vector<KernelTriple> spmm;   ///< one entry per K
+  std::vector<KernelTriple> sddmm;  ///< one entry per K (rowwise also simulated)
+
+  /// The paper's "needs row-reordering" predicate (§4 heuristics fired
+  /// at least one round).
+  bool needs_reordering() const { return rr.needs_reordering(); }
+
+  const KernelTriple& spmm_at(index_t k) const;
+  const KernelTriple& sddmm_at(index_t k) const;
+};
+
+struct ExperimentConfig {
+  std::vector<index_t> ks = {512, 1024};   ///< paper §5.2/§5.3
+  core::PipelineConfig pipeline;
+  gpusim::DeviceConfig device = gpusim::DeviceConfig::p100();
+  bool run_sddmm = true;
+  bool verbose = true;  ///< progress lines on stderr
+};
+
+/// Runs the experiment over `corpus`.
+std::vector<MatrixRecord> run_experiment(const std::vector<synth::CorpusEntry>& corpus,
+                                         const ExperimentConfig& cfg);
+
+/// Convenience used by every bench main(): corpus from env + experiment.
+std::vector<MatrixRecord> run_default_experiment(const ExperimentConfig& cfg = {});
+
+/// Speedup helpers (a speedup of 1.12 = 12% faster).
+inline double speedup(const gpusim::SimResult& base, const gpusim::SimResult& contender) {
+  return base.time_s / contender.time_s;
+}
+
+}  // namespace rrspmm::harness

@@ -1,0 +1,169 @@
+#include "harness/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace rrspmm::harness {
+
+std::string fmt(double v, int prec) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(prec);
+  os << v;
+  return os.str();
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) width[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(width[c] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(header);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows) emit(row);
+  return os.str();
+}
+
+std::string render_bucket_table(const std::string& title, const std::vector<std::string>& columns,
+                                const std::vector<std::vector<Bucket>>& per_column) {
+  if (per_column.empty()) throw std::invalid_argument("render_bucket_table: no columns");
+  std::vector<std::string> header = {"bucket"};
+  header.insert(header.end(), columns.begin(), columns.end());
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t b = 0; b < per_column[0].size(); ++b) {
+    std::vector<std::string> row = {per_column[0][b].label};
+    for (const auto& col : per_column) {
+      row.push_back(fmt(col[b].percent, 1) + "% (" + std::to_string(col[b].count) + ")");
+    }
+    rows.push_back(std::move(row));
+  }
+  return title + "\n" + render_table(header, rows);
+}
+
+namespace {
+
+double transform(double v, bool log_y) {
+  if (!log_y) return v;
+  return std::log10(std::max(v, 1e-12));
+}
+
+}  // namespace
+
+std::string render_line_chart(const std::string& title, const std::string& y_label,
+                              const std::vector<Series>& series, int width, int height,
+                              bool log_y) {
+  std::size_t n = 0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Series& s : series) {
+    n = std::max(n, s.values.size());
+    for (double v : s.values) {
+      const double t = transform(v, log_y);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  }
+  if (n == 0) return title + "\n(no data)\n";
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  auto plot = [&](std::size_t i, double v, char glyph) {
+    const int col = n > 1 ? static_cast<int>(static_cast<double>(i) * (width - 1) /
+                                             static_cast<double>(n - 1))
+                          : 0;
+    const double t = (transform(v, log_y) - lo) / (hi - lo);
+    const int row = height - 1 - static_cast<int>(t * (height - 1) + 0.5);
+    grid[static_cast<std::size_t>(std::clamp(row, 0, height - 1))]
+        [static_cast<std::size_t>(std::clamp(col, 0, width - 1))] = glyph;
+  };
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.values.size(); ++i) plot(i, s.values[i], s.glyph);
+  }
+
+  std::ostringstream os;
+  os << title << '\n';
+  for (const Series& s : series) os << "  " << s.glyph << " = " << s.name << '\n';
+  const double top = log_y ? std::pow(10.0, hi) : hi;
+  const double bot = log_y ? std::pow(10.0, lo) : lo;
+  os << fmt(top, 2) << " " << y_label << (log_y ? " (log scale)" : "") << '\n';
+  for (const std::string& line : grid) os << '|' << line << '\n';
+  os << '+' << std::string(static_cast<std::size_t>(width), '-') << "> matrix index (0.."
+     << (n - 1) << ")\n";
+  os << fmt(bot, 4) << " at baseline\n";
+  return os.str();
+}
+
+std::string render_scatter(const std::string& title, const std::string& x_label,
+                           const std::string& y_label, const std::vector<ScatterPoint>& points,
+                           int width, int height) {
+  double xmax = 1e-9, ymax = 1e-9;
+  for (const ScatterPoint& p : points) {
+    xmax = std::max(xmax, std::abs(p.x));
+    ymax = std::max(ymax, std::abs(p.y));
+  }
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  const int cx = width / 2;
+  const int cy = height / 2;
+  for (int r = 0; r < height; ++r) grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(cx)] = '.';
+  for (int c = 0; c < width; ++c) grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(c)] = '.';
+  for (const ScatterPoint& p : points) {
+    const int col = cx + static_cast<int>(p.x / xmax * (width / 2 - 1) + (p.x >= 0 ? 0.5 : -0.5));
+    const int row = cy - static_cast<int>(p.y / ymax * (height / 2 - 1) + (p.y >= 0 ? 0.5 : -0.5));
+    grid[static_cast<std::size_t>(std::clamp(row, 0, height - 1))]
+        [static_cast<std::size_t>(std::clamp(col, 0, width - 1))] = p.glyph;
+  }
+  std::ostringstream os;
+  os << title << '\n';
+  os << "  y: " << y_label << " in [" << fmt(-ymax) << ", " << fmt(ymax) << "]\n";
+  os << "  x: " << x_label << " in [" << fmt(-xmax) << ", " << fmt(xmax) << "]\n";
+  for (const std::string& line : grid) os << line << '\n';
+  return os.str();
+}
+
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::string& cell = row[c];
+      const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+      if (c > 0) f << ',';
+      if (quote) {
+        f << '"';
+        for (char ch : cell) {
+          if (ch == '"') f << '"';
+          f << ch;
+        }
+        f << '"';
+      } else {
+        f << cell;
+      }
+    }
+    f << '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) emit(row);
+}
+
+}  // namespace rrspmm::harness

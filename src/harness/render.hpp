@@ -1,0 +1,56 @@
+// Terminal rendering of the paper's tables and figures: fixed-width
+// tables, ASCII line charts (Figs 10-12) and scatter plots (Fig 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/stats.hpp"
+
+namespace rrspmm::harness {
+
+/// Renders a table: `header` row followed by `rows`; column widths are
+/// fitted to content, separated by two spaces.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// Renders a bucket histogram as a paper-style two-column percentage
+/// table with one column per entry of `columns` (e.g. {"K=512","K=1024"}).
+/// `per_column` holds one bucket vector per column; all must share labels.
+std::string render_bucket_table(const std::string& title, const std::vector<std::string>& columns,
+                                const std::vector<std::vector<Bucket>>& per_column);
+
+/// One line series for a chart.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+  char glyph;
+};
+
+/// ASCII line chart: x is the index within each series (all series share
+/// x), y is the value. `log_y` plots on a log10 scale (throughput and
+/// time figures span orders of magnitude, as in the paper).
+std::string render_line_chart(const std::string& title, const std::string& y_label,
+                              const std::vector<Series>& series, int width = 96,
+                              int height = 24, bool log_y = false);
+
+/// ASCII scatter plot with axes through zero (Fig 9: ΔDenseRatio vs
+/// ΔAvgSim, glyph '+' for speedup and 'x' for slowdown).
+struct ScatterPoint {
+  double x;
+  double y;
+  char glyph;
+};
+std::string render_scatter(const std::string& title, const std::string& x_label,
+                           const std::string& y_label, const std::vector<ScatterPoint>& points,
+                           int width = 72, int height = 28);
+
+/// Writes rows as CSV (simple quoting: fields containing commas/quotes
+/// are double-quoted).
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with `prec` significant decimals.
+std::string fmt(double v, int prec = 3);
+
+}  // namespace rrspmm::harness

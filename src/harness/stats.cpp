@@ -1,0 +1,97 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rrspmm::harness {
+
+double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : v) {
+    if (x <= 0.0) throw std::invalid_argument("geomean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double min_of(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::min_element(v.begin(), v.end());
+}
+
+double max_of(const std::vector<double>& v) {
+  return v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+}
+
+namespace {
+
+void fill_percentages(std::vector<Bucket>& buckets, std::size_t total) {
+  for (Bucket& b : buckets) {
+    b.percent = total > 0 ? 100.0 * b.count / static_cast<double>(total) : 0.0;
+  }
+}
+
+}  // namespace
+
+std::vector<Bucket> speedup_buckets(const std::vector<double>& speedups) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<Bucket> buckets = {
+      {"slowdown >10%", 0.0, 0.90},
+      {"slowdown 0%~10%", 0.90, 1.00},
+      {"speedup 0%~10%", 1.00, 1.10},
+      {"speedup 10%~50%", 1.10, 1.50},
+      {"speedup 50%~100%", 1.50, 2.00},
+      {"speedup >100%", 2.00, inf},
+  };
+  for (double s : speedups) {
+    for (Bucket& b : buckets) {
+      if (s >= b.lo && s < b.hi) {
+        ++b.count;
+        break;
+      }
+    }
+  }
+  fill_percentages(buckets, speedups.size());
+  return buckets;
+}
+
+std::vector<Bucket> ratio_buckets(const std::vector<double>& ratios) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<Bucket> buckets = {
+      {"0x~5x", 0.0, 5.0},
+      {"5x~10x", 5.0, 10.0},
+      {"10x~100x", 10.0, 100.0},
+      {">100x", 100.0, inf},
+  };
+  for (double r : ratios) {
+    for (Bucket& b : buckets) {
+      if (r >= b.lo && r < b.hi) {
+        ++b.count;
+        break;
+      }
+    }
+  }
+  fill_percentages(buckets, ratios.size());
+  return buckets;
+}
+
+}  // namespace rrspmm::harness

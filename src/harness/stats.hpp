@@ -1,0 +1,35 @@
+// Summary statistics and speedup bucketing used by the experiment
+// harness — the paper reports geometric-mean / median speedups and
+// bucketed histograms (Fig 8, Tables 1-4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rrspmm::harness {
+
+double geomean(const std::vector<double>& v);
+double median(std::vector<double> v);  // by value: needs a sortable copy
+double mean(const std::vector<double>& v);
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+
+/// One histogram bucket over a half-open interval [lo, hi).
+struct Bucket {
+  std::string label;
+  double lo;
+  double hi;
+  int count = 0;
+  double percent = 0.0;
+};
+
+/// Buckets `values` by the paper's speedup table breakpoints:
+/// slowdown 0~10% | speedup 0~10% | 10~50% | 50~100% | >100%.
+/// A value of 1.10 means a 10% speedup; 0.95 a 5% slowdown.
+std::vector<Bucket> speedup_buckets(const std::vector<double>& speedups);
+
+/// Buckets `ratios` by the paper's preprocessing-cost breakpoints
+/// (Tables 3-4): 0x~5x | 5x~10x | 10x~100x | >100x.
+std::vector<Bucket> ratio_buckets(const std::vector<double>& ratios);
+
+}  // namespace rrspmm::harness

@@ -1,0 +1,104 @@
+#include "kernels/sddmm.hpp"
+
+#include <algorithm>
+
+namespace rrspmm::kernels {
+
+namespace {
+
+void check_sddmm_shapes(index_t s_rows, index_t s_cols, const DenseMatrix& x,
+                        const DenseMatrix& y) {
+  if (y.rows() != s_rows) throw sparse::invalid_matrix("SDDMM: Y rows must equal S rows");
+  if (x.rows() != s_cols) throw sparse::invalid_matrix("SDDMM: X rows must equal S cols");
+  if (x.cols() != y.cols()) throw sparse::invalid_matrix("SDDMM: X and Y must share K");
+}
+
+value_t dot(const value_t* a, const value_t* b, index_t k) {
+  value_t acc = 0;
+  for (index_t kk = 0; kk < k; ++kk) acc += a[kk] * b[kk];
+  return acc;
+}
+
+}  // namespace
+
+void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
+                   std::vector<value_t>& out) {
+  check_sddmm_shapes(s.rows(), s.cols(), x, y);
+  const index_t k = x.cols();
+  out.assign(static_cast<std::size_t>(s.nnz()), value_t{0});
+
+#ifdef RRSPMM_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 64)
+#endif
+  for (index_t i = 0; i < s.rows(); ++i) {
+    const value_t* yr = y.row(i).data();
+    const auto cols = s.row_cols(i);
+    const auto vals = s.row_vals(i);
+    const offset_t base = s.rowptr()[static_cast<std::size_t>(i)];
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      out[static_cast<std::size_t>(base) + j] = vals[j] * dot(yr, x.row(cols[j]).data(), k);
+    }
+  }
+}
+
+void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
+                std::vector<value_t>& out, const std::vector<index_t>* sparse_order) {
+  check_sddmm_shapes(a.rows(), a.cols(), x, y);
+  const index_t k = x.cols();
+  out.assign(static_cast<std::size_t>(a.stats().nnz_total), value_t{0});
+
+  // Phase 1: dense tiles with a staged panel buffer (see spmm_aspt).
+#ifdef RRSPMM_HAVE_OPENMP
+#pragma omp parallel
+#endif
+  {
+    std::vector<value_t> staged;
+#ifdef RRSPMM_HAVE_OPENMP
+#pragma omp for schedule(dynamic, 1)
+#endif
+    for (std::size_t pi = 0; pi < a.panels().size(); ++pi) {
+      const aspt::Panel& p = a.panels()[pi];
+      if (p.dense_cols.empty()) continue;
+      staged.resize(p.dense_cols.size() * static_cast<std::size_t>(k));
+      for (std::size_t d = 0; d < p.dense_cols.size(); ++d) {
+        const value_t* xr = x.row(p.dense_cols[d]).data();
+        std::copy(xr, xr + k, staged.data() + d * static_cast<std::size_t>(k));
+      }
+      for (index_t r = 0; r < p.rows(); ++r) {
+        const value_t* yr = y.row(p.row_begin + r).data();
+        const offset_t lo = p.dense_rowptr[static_cast<std::size_t>(r)];
+        const offset_t hi = p.dense_rowptr[static_cast<std::size_t>(r) + 1];
+        for (offset_t j = lo; j < hi; ++j) {
+          const value_t* xr =
+              staged.data() +
+              static_cast<std::size_t>(p.dense_slot[static_cast<std::size_t>(j)]) *
+                  static_cast<std::size_t>(k);
+          out[static_cast<std::size_t>(p.dense_src_idx[static_cast<std::size_t>(j)])] =
+              p.dense_val[static_cast<std::size_t>(j)] * dot(yr, xr, k);
+        }
+      }
+    }
+  }
+
+  // Phase 2: sparse remainder. Distinct nonzeros scatter to distinct
+  // source indices, so the loop is race-free.
+  const CsrMatrix& sp = a.sparse_part();
+  const auto& src = a.sparse_src_idx();
+#ifdef RRSPMM_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 64)
+#endif
+  for (index_t pos = 0; pos < sp.rows(); ++pos) {
+    const index_t i = sparse_order ? (*sparse_order)[static_cast<std::size_t>(pos)] : pos;
+    const auto cols = sp.row_cols(i);
+    if (cols.empty()) continue;
+    const auto vals = sp.row_vals(i);
+    const value_t* yr = y.row(i).data();
+    const offset_t base = sp.rowptr()[static_cast<std::size_t>(i)];
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      out[static_cast<std::size_t>(src[static_cast<std::size_t>(base) + j])] =
+          vals[j] * dot(yr, x.row(cols[j]).data(), k);
+    }
+  }
+}
+
+}  // namespace rrspmm::kernels

@@ -1,0 +1,32 @@
+// Host (OpenMP) SDDMM kernels: O[i][c] = S[i][c] * dot(Y row i, X row c)
+// on the nonzero pattern of S (paper Alg 2, accumulate then scale).
+//
+// Output is a value array aligned with the *source* CSR's nonzero order,
+// so callers can pair it directly with their matrix regardless of the
+// execution strategy (the ASpT variant scatters through src-index maps).
+#pragma once
+
+#include <vector>
+
+#include "aspt/aspt.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace rrspmm::kernels {
+
+using aspt::AsptMatrix;
+using sparse::CsrMatrix;
+using sparse::DenseMatrix;
+
+/// Row-wise SDDMM. `out` is resized to s.nnz(); out[j] corresponds to the
+/// j-th nonzero of `s`. y must be s.rows() x K, x must be s.cols() x K.
+void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
+                   std::vector<value_t>& out);
+
+/// ASpT-structured SDDMM; `out` is aligned with the CSR that `a` was
+/// built from (via the tiling's source-index maps).
+void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
+                std::vector<value_t>& out,
+                const std::vector<index_t>* sparse_order = nullptr);
+
+}  // namespace rrspmm::kernels

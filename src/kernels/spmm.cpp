@@ -1,0 +1,101 @@
+#include "kernels/spmm.hpp"
+
+#include <algorithm>
+
+namespace rrspmm::kernels {
+
+namespace {
+
+void check_spmm_shapes(index_t s_rows, index_t s_cols, const DenseMatrix& x,
+                       const DenseMatrix& y) {
+  if (x.rows() != s_cols) throw sparse::invalid_matrix("SpMM: X rows must equal S cols");
+  if (y.rows() != s_rows || y.cols() != x.cols()) {
+    throw sparse::invalid_matrix("SpMM: Y must be S.rows x X.cols");
+  }
+}
+
+}  // namespace
+
+void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y) {
+  check_spmm_shapes(s.rows(), s.cols(), x, y);
+  const index_t k = x.cols();
+
+#ifdef RRSPMM_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 64)
+#endif
+  for (index_t i = 0; i < s.rows(); ++i) {
+    value_t* yr = y.row(i).data();
+    std::fill(yr, yr + k, value_t{0});
+    const auto cols = s.row_cols(i);
+    const auto vals = s.row_vals(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const value_t v = vals[j];
+      const value_t* xr = x.row(cols[j]).data();
+      for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
+    }
+  }
+}
+
+void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+               const std::vector<index_t>* sparse_order) {
+  check_spmm_shapes(a.rows(), a.cols(), x, y);
+  const index_t k = x.cols();
+  y.fill(value_t{0});
+
+  // Phase 1: dense tiles. The staging buffer plays the role of the GPU
+  // shared memory: dense-column X rows are gathered once per panel, and
+  // all dense nonzeros read the compact copy.
+#ifdef RRSPMM_HAVE_OPENMP
+#pragma omp parallel
+#endif
+  {
+    std::vector<value_t> staged;
+#ifdef RRSPMM_HAVE_OPENMP
+#pragma omp for schedule(dynamic, 1)
+#endif
+    for (std::size_t pi = 0; pi < a.panels().size(); ++pi) {
+      const aspt::Panel& p = a.panels()[pi];
+      if (p.dense_cols.empty()) continue;
+      staged.resize(p.dense_cols.size() * static_cast<std::size_t>(k));
+      for (std::size_t d = 0; d < p.dense_cols.size(); ++d) {
+        const value_t* xr = x.row(p.dense_cols[d]).data();
+        std::copy(xr, xr + k, staged.data() + d * static_cast<std::size_t>(k));
+      }
+      for (index_t r = 0; r < p.rows(); ++r) {
+        value_t* yr = y.row(p.row_begin + r).data();
+        const offset_t lo = p.dense_rowptr[static_cast<std::size_t>(r)];
+        const offset_t hi = p.dense_rowptr[static_cast<std::size_t>(r) + 1];
+        for (offset_t j = lo; j < hi; ++j) {
+          const value_t v = p.dense_val[static_cast<std::size_t>(j)];
+          const value_t* xr =
+              staged.data() +
+              static_cast<std::size_t>(p.dense_slot[static_cast<std::size_t>(j)]) *
+                  static_cast<std::size_t>(k);
+          for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
+        }
+      }
+    }
+  }
+
+  // Phase 2: sparse remainder, row-wise, in the requested processing
+  // order. Each position of the order owns a distinct output row, so the
+  // parallel loop is race-free.
+  const CsrMatrix& sp = a.sparse_part();
+#ifdef RRSPMM_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 64)
+#endif
+  for (index_t pos = 0; pos < sp.rows(); ++pos) {
+    const index_t i = sparse_order ? (*sparse_order)[static_cast<std::size_t>(pos)] : pos;
+    const auto cols = sp.row_cols(i);
+    if (cols.empty()) continue;
+    const auto vals = sp.row_vals(i);
+    value_t* yr = y.row(i).data();
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const value_t v = vals[j];
+      const value_t* xr = x.row(cols[j]).data();
+      for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
+    }
+  }
+}
+
+}  // namespace rrspmm::kernels

@@ -1,0 +1,35 @@
+// Host (OpenMP) SpMM kernels.
+//
+// These are the numerical ground truth for the library: the simulator in
+// gpusim models *traffic*, these compute *values*, and the test suite
+// checks that every execution strategy (row-wise, ASpT, ASpT + either
+// round of reordering) produces identical results up to fp rounding.
+// They are also real, usable CPU kernels — the ASpT-structured variant
+// enjoys the same locality benefits on a CPU cache hierarchy, which the
+// micro benchmarks measure.
+#pragma once
+
+#include <vector>
+
+#include "aspt/aspt.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+
+namespace rrspmm::kernels {
+
+using aspt::AsptMatrix;
+using sparse::CsrMatrix;
+using sparse::DenseMatrix;
+
+/// Y = S * X, row-wise (paper Alg 1). Y is overwritten; it must be
+/// S.rows() x X.cols(); X must be S.cols() x K.
+void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y);
+
+/// Y = S * X over an ASpT tiling: dense-tile phase with a stack-local
+/// panel buffer standing in for shared memory, then the sparse remainder
+/// row-wise. `sparse_order`, if non-null, is the processing order of the
+/// sparse-part rows (affects performance only; the result is identical).
+void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+               const std::vector<index_t>* sparse_order = nullptr);
+
+}  // namespace rrspmm::kernels

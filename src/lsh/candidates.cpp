@@ -1,0 +1,90 @@
+#include "lsh/candidates.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sparse/stats.hpp"
+
+namespace rrspmm::lsh {
+
+namespace {
+
+std::uint64_t pair_key(index_t a, index_t b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+}
+
+// FNV-1a over the band's signature entries; bucket keys only need to be
+// collision-resistant enough that unrelated bands rarely merge.
+std::uint64_t band_hash(const std::uint32_t* sig, int bsize, int band) {
+  std::uint64_t h = 1469598103934665603ULL ^ static_cast<std::uint64_t>(static_cast<unsigned>(band));
+  for (int k = 0; k < bsize; ++k) {
+    h ^= sig[k];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::pair<index_t, index_t>> band_pairs(const SignatureMatrix& sig,
+                                                    const CsrMatrix& m, const LshConfig& cfg) {
+  if (cfg.bsize <= 0 || cfg.siglen <= 0 || cfg.siglen % cfg.bsize != 0) {
+    throw sparse::invalid_matrix("LshConfig: siglen must be a positive multiple of bsize");
+  }
+  const int nbands = cfg.siglen / cfg.bsize;
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::pair<index_t, index_t>> pairs;
+
+  std::unordered_map<std::uint64_t, std::vector<index_t>> buckets;
+  for (int band = 0; band < nbands; ++band) {
+    buckets.clear();
+    for (index_t i = 0; i < sig.rows(); ++i) {
+      if (m.row_nnz(i) == 0) continue;  // empty rows have no similarity to exploit
+      buckets[band_hash(sig.row(i) + band * cfg.bsize, cfg.bsize, band)].push_back(i);
+    }
+    for (auto& [key, members] : buckets) {
+      (void)key;
+      if (members.size() < 2) continue;
+      auto emit = [&](index_t x, index_t y) {
+        if (x > y) std::swap(x, y);
+        if (seen.insert(pair_key(x, y)).second) pairs.emplace_back(x, y);
+      };
+      if (static_cast<int>(members.size()) <= cfg.bucket_cap) {
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          for (std::size_t j = i + 1; j < members.size(); ++j) emit(members[i], members[j]);
+        }
+      } else {
+        // Oversized bucket: chain members so clustering can still connect
+        // them, without the quadratic pair blow-up.
+        for (std::size_t i = 0; i + 1 < members.size(); ++i) emit(members[i], members[i + 1]);
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::vector<CandidatePair> find_candidate_pairs(const CsrMatrix& m, const LshConfig& cfg) {
+  const SignatureMatrix sig = cfg.scheme == MinHashScheme::kOnePermutation
+                                  ? compute_signatures_oph(m, cfg.siglen, cfg.seed)
+                                  : compute_signatures(m, cfg.siglen, cfg.seed);
+  const auto raw = band_pairs(sig, m, cfg);
+
+  std::vector<CandidatePair> out(raw.size());
+  // Exact verification is independent per pair — the second
+  // embarrassingly parallel loop of the preprocessing.
+#ifdef RRSPMM_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 256)
+#endif
+  for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(raw.size()); ++idx) {
+    const auto [a, b] = raw[static_cast<std::size_t>(idx)];
+    out[static_cast<std::size_t>(idx)] =
+        CandidatePair{a, b, sparse::jaccard(m.row_cols(a), m.row_cols(b))};
+  }
+  std::erase_if(out, [&](const CandidatePair& p) { return p.similarity < cfg.min_similarity; });
+  return out;
+}
+
+}  // namespace rrspmm::lsh

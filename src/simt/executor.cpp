@@ -1,0 +1,75 @@
+#include "simt/executor.hpp"
+
+#include <deque>
+#include <memory>
+
+namespace rrspmm::simt {
+
+namespace {
+
+/// One resident block: its warps' coroutines plus the contexts they
+/// reference (held at stable addresses for the coroutines' lifetime).
+struct ResidentBlock {
+  BlockState state;
+  std::deque<WarpCtx> contexts;  // deque: stable element addresses
+  std::vector<WarpTask> warps;
+  bool active = false;
+};
+
+}  // namespace
+
+void launch(const DeviceConfig& dev, const LaunchConfig& cfg, MemorySystem& mem,
+            const WarpFactory& make_warp) {
+  if (cfg.num_blocks == 0) return;
+  const index_t resident =
+      std::min<index_t>(cfg.num_blocks, static_cast<index_t>(dev.resident_blocks()));
+
+  index_t next_block = 0;
+  auto load_block = [&](ResidentBlock& slot) {
+    if (next_block >= cfg.num_blocks) {
+      slot.active = false;
+      return;
+    }
+    const index_t block_id = next_block++;
+    slot.state = BlockState{};
+    slot.state.shared.assign(cfg.shared_floats, 0.0f);
+    slot.state.live_warps = cfg.warps_per_block;
+    slot.contexts.clear();
+    slot.warps.clear();
+    for (int w = 0; w < cfg.warps_per_block; ++w) {
+      slot.contexts.push_back(WarpCtx{block_id, w, &mem, &slot.state});
+      slot.warps.push_back(make_warp(block_id, w, slot.contexts.back()));
+    }
+    slot.active = true;
+  };
+
+  std::deque<ResidentBlock> slots(static_cast<std::size_t>(resident));
+  for (auto& slot : slots) load_block(slot);
+  index_t active_count = 0;
+  for (const auto& slot : slots) active_count += slot.active ? 1 : 0;
+
+  while (active_count > 0) {
+    for (auto& slot : slots) {
+      if (!slot.active) continue;
+      // A block retires the turn it stops generating memory traffic with
+      // every warp complete — the same rule the analytic schedulers use
+      // ("no warp advanced"), so blocks of empty rows free their slot
+      // within the turn and the interleavings match access for access.
+      const std::uint64_t accesses_before = mem.counters().accesses;
+      bool all_done = true;
+      for (WarpTask& warp : slot.warps) {
+        if (!warp.done()) {
+          warp.resume();
+          all_done &= warp.done();
+        }
+      }
+      const bool did_access = mem.counters().accesses > accesses_before;
+      if (all_done && !did_access) {  // block retired; slot takes the next
+        load_block(slot);
+        if (!slot.active) --active_count;
+      }
+    }
+  }
+}
+
+}  // namespace rrspmm::simt

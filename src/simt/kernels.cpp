@@ -1,0 +1,294 @@
+#include "simt/kernels.hpp"
+
+#include <algorithm>
+
+namespace rrspmm::simt {
+
+namespace {
+
+constexpr std::uint64_t kSpaceX = 0;
+constexpr std::uint64_t kSpaceY = 1;
+
+double csr_stream_bytes(const CsrMatrix& s) {
+  return static_cast<double>(s.nnz()) * 8.0 + static_cast<double>(s.rows() + 1) * 8.0;
+}
+
+/// Warp program: accumulate one sparse row into y (Alg 1's i-iteration).
+/// `accumulate` controls += (ASpT sparse phase) vs overwrite.
+WarpTask spmm_row_warp(WarpCtx& ctx, const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y,
+                       index_t row, bool accumulate) {
+  const index_t k = x.cols();
+  std::vector<float> acc(static_cast<std::size_t>(k), 0.0f);
+  const auto cols = s.row_cols(row);
+  const auto vals = s.row_vals(row);
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    if (j > 0) co_await ctx.yield();  // one nonzero per scheduler turn
+    ctx.mem->read_row(kSpaceX, cols[j]);
+    const float v = vals[j];
+    const float* xr = x.row(cols[j]).data();
+    for (index_t kk = 0; kk < k; ++kk) {
+      acc[static_cast<std::size_t>(kk)] += v * xr[kk];
+    }
+  }
+  float* yr = y.row(row).data();
+  if (accumulate) {
+    for (index_t kk = 0; kk < k; ++kk) yr[kk] += acc[static_cast<std::size_t>(kk)];
+  } else {
+    std::copy(acc.begin(), acc.end(), yr);
+  }
+}
+
+/// Warp program: one panel's dense phase. A single loader warp stages
+/// each dense column's X row into block shared memory (one column per
+/// turn — the granularity the analytic model counts), then computes the
+/// panel's dense contributions from shared.
+WarpTask aspt_panel_warp(WarpCtx& ctx, const aspt::Panel& panel, const DenseMatrix& x,
+                         DenseMatrix& y) {
+  const index_t k = x.cols();
+  for (std::size_t d = 0; d < panel.dense_cols.size(); ++d) {
+    if (d > 0) co_await ctx.yield();
+    ctx.mem->read_row(kSpaceX, panel.dense_cols[d]);
+    const float* xr = x.row(panel.dense_cols[d]).data();
+    std::copy(xr, xr + k, ctx.block->shared.data() + d * static_cast<std::size_t>(k));
+  }
+  // Compute from shared memory; no global traffic, so it piggybacks on
+  // the last staging turn without perturbing the interleaving.
+  for (index_t r = 0; r < panel.rows(); ++r) {
+    float* yr = y.row(panel.row_begin + r).data();
+    const offset_t lo = panel.dense_rowptr[static_cast<std::size_t>(r)];
+    const offset_t hi = panel.dense_rowptr[static_cast<std::size_t>(r) + 1];
+    for (offset_t j = lo; j < hi; ++j) {
+      ctx.mem->read_shared_row();
+      const float v = panel.dense_val[static_cast<std::size_t>(j)];
+      const float* xr = ctx.block->shared.data() +
+                        static_cast<std::size_t>(panel.dense_slot[static_cast<std::size_t>(j)]) *
+                            static_cast<std::size_t>(k);
+      for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
+    }
+  }
+}
+
+/// Warp program: one panel's SDDMM dense phase. Stage each dense column
+/// (one per turn), then per dense-active row: fetch its Y row (one per
+/// turn) and compute that row's dense dot products from shared memory.
+WarpTask sddmm_panel_warp(WarpCtx& ctx, const aspt::Panel& panel, const DenseMatrix& x,
+                          const DenseMatrix& y, std::vector<value_t>& out) {
+  const index_t k = x.cols();
+  bool first = true;
+  for (std::size_t d = 0; d < panel.dense_cols.size(); ++d) {
+    if (!first) co_await ctx.yield();
+    first = false;
+    ctx.mem->read_row(kSpaceX, panel.dense_cols[d]);
+    const float* xr = x.row(panel.dense_cols[d]).data();
+    std::copy(xr, xr + k, ctx.block->shared.data() + d * static_cast<std::size_t>(k));
+  }
+  for (index_t r = 0; r < panel.rows(); ++r) {
+    const offset_t lo = panel.dense_rowptr[static_cast<std::size_t>(r)];
+    const offset_t hi = panel.dense_rowptr[static_cast<std::size_t>(r) + 1];
+    if (lo == hi) continue;
+    if (!first) co_await ctx.yield();
+    first = false;
+    const index_t row = panel.row_begin + r;
+    ctx.mem->read_row(kSpaceY, row);
+    const float* yr = y.row(row).data();
+    for (offset_t j = lo; j < hi; ++j) {
+      ctx.mem->read_shared_row();
+      const float* xr = ctx.block->shared.data() +
+                        static_cast<std::size_t>(panel.dense_slot[static_cast<std::size_t>(j)]) *
+                            static_cast<std::size_t>(k);
+      float dot = 0.0f;
+      for (index_t kk = 0; kk < k; ++kk) dot += yr[kk] * xr[kk];
+      out[static_cast<std::size_t>(panel.dense_src_idx[static_cast<std::size_t>(j)])] =
+          panel.dense_val[static_cast<std::size_t>(j)] * dot;
+    }
+  }
+}
+
+/// Warp program: SDDMM sparse remainder over one row, scattering through
+/// the tiling's source-index map.
+WarpTask sddmm_sparse_row_warp(WarpCtx& ctx, const CsrMatrix& sp,
+                               const std::vector<offset_t>& src, const DenseMatrix& x,
+                               const DenseMatrix& y, std::vector<value_t>& out, index_t row) {
+  const index_t k = x.cols();
+  const auto cols = sp.row_cols(row);
+  const auto vals = sp.row_vals(row);
+  const offset_t base = sp.rowptr()[static_cast<std::size_t>(row)];
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    if (j > 0) co_await ctx.yield();
+    if (j == 0) ctx.mem->read_row(kSpaceY, row);
+    ctx.mem->read_row(kSpaceX, cols[j]);
+    const float* yr = y.row(row).data();
+    const float* xr = x.row(cols[j]).data();
+    float dot = 0.0f;
+    for (index_t kk = 0; kk < k; ++kk) dot += yr[kk] * xr[kk];
+    out[static_cast<std::size_t>(src[static_cast<std::size_t>(base) + j])] = vals[j] * dot;
+  }
+}
+
+/// Warp program: SDDMM over one row — fetch the warp's Y row once, then
+/// one dot product per nonzero.
+WarpTask sddmm_row_warp(WarpCtx& ctx, const CsrMatrix& s, const DenseMatrix& x,
+                        const DenseMatrix& y, std::vector<value_t>& out, index_t row) {
+  const index_t k = x.cols();
+  const auto cols = s.row_cols(row);
+  const auto vals = s.row_vals(row);
+  const offset_t base = s.rowptr()[static_cast<std::size_t>(row)];
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    if (j > 0) co_await ctx.yield();
+    if (j == 0) ctx.mem->read_row(kSpaceY, row);  // Y row kept in registers
+    ctx.mem->read_row(kSpaceX, cols[j]);
+    const float* yr = y.row(row).data();
+    const float* xr = x.row(cols[j]).data();
+    float dot = 0.0f;
+    for (index_t kk = 0; kk < k; ++kk) dot += yr[kk] * xr[kk];
+    out[static_cast<std::size_t>(base) + j] = vals[j] * dot;
+  }
+}
+
+/// Runs a warp-per-row launch over `s` (shared by the row-wise kernels).
+template <typename MakeRowWarp>
+void launch_rowwise(const DeviceConfig& dev, const CsrMatrix& s,
+                    const std::vector<index_t>* order, MemorySystem& mem,
+                    MakeRowWarp&& make_row_warp) {
+  LaunchConfig lc;
+  lc.warps_per_block = dev.warps_per_block;
+  lc.num_blocks = (s.rows() + dev.warps_per_block - 1) /
+                  static_cast<index_t>(dev.warps_per_block);
+  launch(dev, lc, mem, [&](index_t block, int w, WarpCtx& ctx) -> WarpTask {
+    const index_t pos = block * static_cast<index_t>(dev.warps_per_block) + static_cast<index_t>(w);
+    const index_t row =
+        pos < s.rows() ? (order ? (*order)[static_cast<std::size_t>(pos)] : pos) : -1;
+    return make_row_warp(ctx, row);
+  });
+}
+
+/// Trivial warp for out-of-range tail positions.
+WarpTask idle_warp(WarpCtx&) { co_return; }
+
+}  // namespace
+
+TrafficCounters spmm_rowwise_simt(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y,
+                                  const DeviceConfig& dev,
+                                  const std::vector<index_t>* row_order) {
+  if (x.rows() != s.cols() || y.rows() != s.rows() || y.cols() != x.cols()) {
+    throw sparse::invalid_matrix("spmm_rowwise_simt: shape mismatch");
+  }
+  MemorySystem mem(dev, x.cols());
+  mem.stream_bytes(csr_stream_bytes(s));
+  mem.stream_bytes(static_cast<double>(s.rows()) * static_cast<double>(x.cols()) * 4.0);
+  launch_rowwise(dev, s, row_order, mem, [&](WarpCtx& ctx, index_t row) -> WarpTask {
+    return row < 0 ? idle_warp(ctx) : spmm_row_warp(ctx, s, x, y, row, /*accumulate=*/false);
+  });
+  return mem.counters();
+}
+
+TrafficCounters spmm_aspt_simt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+                               const DeviceConfig& dev,
+                               const std::vector<index_t>* sparse_order) {
+  if (x.rows() != a.cols() || y.rows() != a.rows() || y.cols() != x.cols()) {
+    throw sparse::invalid_matrix("spmm_aspt_simt: shape mismatch");
+  }
+  const index_t k = x.cols();
+  y.fill(0.0f);
+  MemorySystem mem(dev, k);
+
+  // Phase 1: dense tiles — one block per panel that has dense columns
+  // (mirroring the analytic scheduler's skip of empty panels).
+  std::vector<const aspt::Panel*> dense_panels;
+  std::size_t max_dense_cols = 0;
+  for (const aspt::Panel& p : a.panels()) {
+    if (!p.dense_cols.empty()) {
+      dense_panels.push_back(&p);
+      max_dense_cols = std::max(max_dense_cols, p.dense_cols.size());
+    }
+  }
+  if (!dense_panels.empty()) {
+    for (const aspt::Panel& p : a.panels()) {
+      mem.stream_bytes(static_cast<double>(p.nnz()) * 8.0 +
+                       static_cast<double>(p.rows() + 1) * 8.0 +
+                       static_cast<double>(p.dense_cols.size()) * 4.0);
+    }
+    LaunchConfig lc;
+    lc.num_blocks = static_cast<index_t>(dense_panels.size());
+    lc.warps_per_block = 1;  // one staging/compute warp per panel
+    lc.shared_floats = max_dense_cols * static_cast<std::size_t>(k);
+    launch(dev, lc, mem, [&](index_t block, int /*w*/, WarpCtx& ctx) -> WarpTask {
+      return aspt_panel_warp(ctx, *dense_panels[static_cast<std::size_t>(block)], x, y);
+    });
+  }
+
+  // Phase 2: sparse remainder, accumulating into y.
+  const CsrMatrix& sp = a.sparse_part();
+  if (sp.nnz() > 0) {
+    mem.stream_bytes(csr_stream_bytes(sp));
+    launch_rowwise(dev, sp, sparse_order, mem, [&](WarpCtx& ctx, index_t row) -> WarpTask {
+      return row < 0 ? idle_warp(ctx) : spmm_row_warp(ctx, sp, x, y, row, /*accumulate=*/true);
+    });
+  }
+
+  // One output write per row, as in the analytic model.
+  mem.stream_bytes(static_cast<double>(a.rows()) * static_cast<double>(k) * 4.0);
+  return mem.counters();
+}
+
+TrafficCounters sddmm_aspt_simt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
+                                std::vector<value_t>& out, const DeviceConfig& dev,
+                                const std::vector<index_t>* sparse_order) {
+  if (y.rows() != a.rows() || x.rows() != a.cols() || x.cols() != y.cols()) {
+    throw sparse::invalid_matrix("sddmm_aspt_simt: shape mismatch");
+  }
+  const index_t k = x.cols();
+  out.assign(static_cast<std::size_t>(a.stats().nnz_total), value_t{0});
+  MemorySystem mem(dev, k);
+
+  std::vector<const aspt::Panel*> dense_panels;
+  std::size_t max_dense_cols = 0;
+  for (const aspt::Panel& p : a.panels()) {
+    if (!p.dense_cols.empty()) {
+      dense_panels.push_back(&p);
+      max_dense_cols = std::max(max_dense_cols, p.dense_cols.size());
+    }
+  }
+  if (!dense_panels.empty()) {
+    for (const aspt::Panel& p : a.panels()) {
+      mem.stream_bytes(static_cast<double>(p.nnz()) * 12.0 +
+                       static_cast<double>(p.rows() + 1) * 8.0 +
+                       static_cast<double>(p.dense_cols.size()) * 4.0);
+    }
+    LaunchConfig lc;
+    lc.num_blocks = static_cast<index_t>(dense_panels.size());
+    lc.warps_per_block = 1;
+    lc.shared_floats = max_dense_cols * static_cast<std::size_t>(k);
+    launch(dev, lc, mem, [&](index_t block, int /*w*/, WarpCtx& ctx) -> WarpTask {
+      return sddmm_panel_warp(ctx, *dense_panels[static_cast<std::size_t>(block)], x, y, out);
+    });
+  }
+
+  const CsrMatrix& sp = a.sparse_part();
+  if (sp.nnz() > 0) {
+    mem.stream_bytes(csr_stream_bytes(sp) + static_cast<double>(sp.nnz()) * 4.0);
+    launch_rowwise(dev, sp, sparse_order, mem, [&](WarpCtx& ctx, index_t row) -> WarpTask {
+      return row < 0 ? idle_warp(ctx)
+                     : sddmm_sparse_row_warp(ctx, sp, a.sparse_src_idx(), x, y, out, row);
+    });
+  }
+  return mem.counters();
+}
+
+TrafficCounters sddmm_rowwise_simt(const CsrMatrix& s, const DenseMatrix& x,
+                                   const DenseMatrix& y, std::vector<value_t>& out,
+                                   const DeviceConfig& dev,
+                                   const std::vector<index_t>* row_order) {
+  if (y.rows() != s.rows() || x.rows() != s.cols() || x.cols() != y.cols()) {
+    throw sparse::invalid_matrix("sddmm_rowwise_simt: shape mismatch");
+  }
+  out.assign(static_cast<std::size_t>(s.nnz()), value_t{0});
+  MemorySystem mem(dev, x.cols());
+  mem.stream_bytes(csr_stream_bytes(s) + static_cast<double>(s.nnz()) * 4.0);
+  launch_rowwise(dev, s, row_order, mem, [&](WarpCtx& ctx, index_t row) -> WarpTask {
+    return row < 0 ? idle_warp(ctx) : sddmm_row_warp(ctx, s, x, y, out, row);
+  });
+  return mem.counters();
+}
+
+}  // namespace rrspmm::simt

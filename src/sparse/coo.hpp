@@ -1,0 +1,50 @@
+// Coordinate-format sparse matrix: the construction format. Generators
+// and the Matrix Market reader produce COO; everything downstream works
+// on CSR (convert with CsrMatrix::from_coo).
+#pragma once
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace rrspmm::sparse {
+
+struct CooEntry {
+  index_t row;
+  index_t col;
+  value_t value;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+    if (rows < 0 || cols < 0) throw invalid_matrix("negative COO dimensions");
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  offset_t nnz() const { return static_cast<offset_t>(entries_.size()); }
+
+  const std::vector<CooEntry>& entries() const { return entries_; }
+  std::vector<CooEntry>& entries() { return entries_; }
+
+  /// Appends one entry; bounds are checked eagerly so corruption is
+  /// caught at the producer, not during CSR conversion.
+  void add(index_t row, index_t col, value_t value);
+
+  /// Reserves space for n entries.
+  void reserve(offset_t n) { entries_.reserve(static_cast<std::size_t>(n)); }
+
+  /// Sorts entries by (row, col) and sums duplicates in place.
+  /// Idempotent; required before CSR conversion when the producer may
+  /// emit duplicates (e.g. RMAT).
+  void sort_and_combine();
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<CooEntry> entries_;
+};
+
+}  // namespace rrspmm::sparse

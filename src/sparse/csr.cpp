@@ -1,0 +1,97 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace rrspmm::sparse {
+
+CsrMatrix::CsrMatrix(index_t rows, index_t cols, std::vector<offset_t> rowptr,
+                     std::vector<index_t> colidx, std::vector<value_t> values)
+    : rows_(rows), cols_(cols), rowptr_(std::move(rowptr)), colidx_(std::move(colidx)),
+      values_(std::move(values)) {
+  validate();
+}
+
+CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+  CooMatrix sorted = coo;  // sort_and_combine mutates; keep caller's copy intact
+  sorted.sort_and_combine();
+
+  CsrMatrix m;
+  m.rows_ = coo.rows();
+  m.cols_ = coo.cols();
+  m.rowptr_.assign(static_cast<std::size_t>(coo.rows()) + 1, 0);
+  m.colidx_.reserve(sorted.entries().size());
+  m.values_.reserve(sorted.entries().size());
+  for (const CooEntry& e : sorted.entries()) {
+    m.rowptr_[static_cast<std::size_t>(e.row) + 1]++;
+    m.colidx_.push_back(e.col);
+    m.values_.push_back(e.value);
+  }
+  for (std::size_t i = 1; i < m.rowptr_.size(); ++i) m.rowptr_[i] += m.rowptr_[i - 1];
+  m.validate();
+  return m;
+}
+
+CsrMatrix CsrMatrix::from_dense_rows(const std::vector<std::vector<value_t>>& dense) {
+  const index_t rows = checked_index(static_cast<std::int64_t>(dense.size()));
+  const index_t cols = rows > 0 ? checked_index(static_cast<std::int64_t>(dense[0].size())) : 0;
+  CooMatrix coo(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    if (static_cast<index_t>(dense[static_cast<std::size_t>(i)].size()) != cols) {
+      throw invalid_matrix("ragged dense row description");
+    }
+    for (index_t j = 0; j < cols; ++j) {
+      const value_t v = dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      if (v != value_t{0}) coo.add(i, j, v);
+    }
+  }
+  return from_coo(coo);
+}
+
+index_t CsrMatrix::max_row_nnz() const {
+  index_t best = 0;
+  for (index_t i = 0; i < rows_; ++i) best = std::max(best, row_nnz(i));
+  return best;
+}
+
+void CsrMatrix::validate() const {
+  if (rows_ < 0 || cols_ < 0) throw invalid_matrix("negative dimensions");
+  if (rowptr_.size() != static_cast<std::size_t>(rows_) + 1) {
+    throw invalid_matrix("rowptr size must be rows+1");
+  }
+  if (rowptr_.front() != 0) throw invalid_matrix("rowptr must start at 0");
+  if (rowptr_.back() != static_cast<offset_t>(colidx_.size())) {
+    throw invalid_matrix("rowptr must end at nnz");
+  }
+  if (colidx_.size() != values_.size()) throw invalid_matrix("colidx/values size mismatch");
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto lo = rowptr_[static_cast<std::size_t>(i)];
+    const auto hi = rowptr_[static_cast<std::size_t>(i) + 1];
+    if (hi < lo) throw invalid_matrix("rowptr not monotone at row " + std::to_string(i));
+    for (offset_t j = lo; j < hi; ++j) {
+      const index_t c = colidx_[static_cast<std::size_t>(j)];
+      if (c < 0 || c >= cols_) {
+        throw invalid_matrix("column out of range at row " + std::to_string(i));
+      }
+      if (j > lo && colidx_[static_cast<std::size_t>(j) - 1] >= c) {
+        throw invalid_matrix("columns not strictly increasing at row " + std::to_string(i));
+      }
+    }
+  }
+}
+
+std::vector<std::vector<value_t>> CsrMatrix::to_dense() const {
+  std::vector<std::vector<value_t>> out(
+      static_cast<std::size_t>(rows_),
+      std::vector<value_t>(static_cast<std::size_t>(cols_), value_t{0}));
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto cols = row_cols(i);
+    const auto vals = row_vals(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      out[static_cast<std::size_t>(i)][static_cast<std::size_t>(cols[j])] = vals[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace rrspmm::sparse

@@ -1,0 +1,38 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rrspmm::sparse {
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw invalid_matrix("max_abs_diff: shape mismatch");
+  }
+  double best = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    best = std::max(best, std::abs(static_cast<double>(data_[i]) - static_cast<double>(other.data_[i])));
+  }
+  return best;
+}
+
+void fill_random(DenseMatrix& m, std::uint64_t seed) {
+  // SplitMix64: tiny, deterministic across platforms, good enough for
+  // filling test operands (we are not doing statistics on these values).
+  std::uint64_t state = seed;
+  auto next = [&state]() {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  value_t* p = m.data();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    // 24 random mantissa bits -> uniform in [0,1), then shift to [-1,1).
+    const auto bits = static_cast<std::uint32_t>(next() >> 40);
+    p[i] = static_cast<value_t>(bits) * (2.0f / 16777216.0f) - 1.0f;
+  }
+}
+
+}  // namespace rrspmm::sparse

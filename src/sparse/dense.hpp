@@ -1,0 +1,71 @@
+// Row-major dense matrix used as the X (input) and Y (output) operands of
+// SpMM / SDDMM. Row-major layout matches the access pattern of the GPU
+// kernels being modelled: a warp reads one row of X contiguously.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace rrspmm::sparse {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// Creates a rows x cols matrix, zero-initialised.
+  DenseMatrix(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+    if (rows < 0 || cols < 0) throw invalid_matrix("negative dense dimensions");
+    data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), value_t{0});
+  }
+
+  /// Creates a matrix taking ownership of `data` (size must be rows*cols).
+  DenseMatrix(index_t rows, index_t cols, std::vector<value_t> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    if (data_.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols)) {
+      throw invalid_matrix("dense data size mismatch");
+    }
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  value_t* data() { return data_.data(); }
+  const value_t* data() const { return data_.data(); }
+
+  /// Mutable view of row i.
+  std::span<value_t> row(index_t i) {
+    return {data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_), static_cast<std::size_t>(cols_)};
+  }
+  std::span<const value_t> row(index_t i) const {
+    return {data_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_), static_cast<std::size_t>(cols_)};
+  }
+
+  value_t& operator()(index_t i, index_t j) {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) + static_cast<std::size_t>(j)];
+  }
+  value_t operator()(index_t i, index_t j) const {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) + static_cast<std::size_t>(j)];
+  }
+
+  void fill(value_t v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Maximum absolute elementwise difference against `other`; both
+  /// matrices must have identical shape. Used by tests and examples to
+  /// verify kernel agreement.
+  double max_abs_diff(const DenseMatrix& other) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<value_t> data_;
+};
+
+/// Deterministically fills `m` with uniform values in [-1, 1) derived from
+/// `seed` (the paper multiplies by "randomly generated dense matrices").
+void fill_random(DenseMatrix& m, std::uint64_t seed);
+
+}  // namespace rrspmm::sparse

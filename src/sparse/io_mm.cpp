@@ -1,0 +1,96 @@
+#include "sparse/io_mm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace rrspmm::sparse {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+struct Header {
+  bool pattern = false;
+  bool symmetric = false;
+};
+
+Header parse_header(const std::string& line) {
+  std::istringstream hs(line);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") throw io_error("not a Matrix Market file");
+  if (to_lower(object) != "matrix" || to_lower(format) != "coordinate") {
+    throw io_error("only 'matrix coordinate' Matrix Market files are supported");
+  }
+  const std::string f = to_lower(field);
+  if (f != "real" && f != "integer" && f != "pattern") {
+    throw io_error("unsupported Matrix Market field: " + field);
+  }
+  const std::string sym = to_lower(symmetry);
+  if (sym != "general" && sym != "symmetric") {
+    throw io_error("unsupported Matrix Market symmetry: " + symmetry);
+  }
+  return Header{f == "pattern", sym == "symmetric"};
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw io_error("empty Matrix Market stream");
+  const Header h = parse_header(line);
+
+  // Skip comments, read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream ss(line);
+  std::int64_t rows = 0, cols = 0, nnz = 0;
+  if (!(ss >> rows >> cols >> nnz)) throw io_error("malformed size line");
+
+  CooMatrix coo(checked_index(rows), checked_index(cols));
+  coo.reserve(h.symmetric ? 2 * nnz : nnz);
+  for (std::int64_t k = 0; k < nnz; ++k) {
+    std::int64_t r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) throw io_error("truncated entry list");
+    if (!h.pattern && !(in >> v)) throw io_error("truncated value");
+    const index_t ri = checked_index(r - 1);
+    const index_t ci = checked_index(c - 1);
+    coo.add(ri, ci, static_cast<value_t>(v));
+    if (h.symmetric && ri != ci) coo.add(ci, ri, static_cast<value_t>(v));
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix read_matrix_market(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw io_error("cannot open " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(const CsrMatrix& m, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.rows() << ' ' << m.cols() << ' ' << m.nnz() << '\n';
+  for (index_t i = 0; i < m.rows(); ++i) {
+    const auto cols = m.row_cols(i);
+    const auto vals = m.row_vals(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      out << (i + 1) << ' ' << (cols[j] + 1) << ' ' << vals[j] << '\n';
+    }
+  }
+}
+
+void write_matrix_market(const CsrMatrix& m, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw io_error("cannot open " + path + " for writing");
+  write_matrix_market(m, f);
+}
+
+}  // namespace rrspmm::sparse

@@ -1,0 +1,27 @@
+// Matrix Market (.mtx) reader/writer — the interchange format of
+// SuiteSparse and the Network Repository, so users can run this library
+// on the paper's original corpus when they have it on disk.
+//
+// Supported: `matrix coordinate (real|integer|pattern) (general|symmetric)`.
+// Pattern matrices get value 1.0 for every entry; symmetric matrices are
+// expanded to general storage on read.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace rrspmm::sparse {
+
+/// Reads a Matrix Market file. Throws io_error on malformed input.
+CsrMatrix read_matrix_market(const std::string& path);
+
+/// Stream variant (testable without touching the filesystem).
+CsrMatrix read_matrix_market(std::istream& in);
+
+/// Writes `m` in `matrix coordinate real general` format (1-based indices).
+void write_matrix_market(const CsrMatrix& m, const std::string& path);
+void write_matrix_market(const CsrMatrix& m, std::ostream& out);
+
+}  // namespace rrspmm::sparse

@@ -1,0 +1,60 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+
+namespace rrspmm::sparse {
+
+double jaccard(std::span<const index_t> a, std::span<const index_t> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double avg_consecutive_similarity(const CsrMatrix& m) {
+  if (m.rows() < 2) return 0.0;
+  double sum = 0.0;
+  for (index_t i = 0; i + 1 < m.rows(); ++i) {
+    sum += jaccard(m.row_cols(i), m.row_cols(i + 1));
+  }
+  return sum / static_cast<double>(m.rows() - 1);
+}
+
+std::vector<index_t> row_degrees(const CsrMatrix& m) {
+  std::vector<index_t> d(static_cast<std::size_t>(m.rows()));
+  for (index_t i = 0; i < m.rows(); ++i) d[static_cast<std::size_t>(i)] = m.row_nnz(i);
+  return d;
+}
+
+std::vector<index_t> col_degrees(const CsrMatrix& m) {
+  std::vector<index_t> d(static_cast<std::size_t>(m.cols()), 0);
+  for (index_t c : m.colidx()) d[static_cast<std::size_t>(c)]++;
+  return d;
+}
+
+MatrixStats compute_stats(const CsrMatrix& m) {
+  MatrixStats s;
+  s.rows = m.rows();
+  s.cols = m.cols();
+  s.nnz = m.nnz();
+  s.avg_row_nnz = m.rows() > 0 ? static_cast<double>(m.nnz()) / static_cast<double>(m.rows()) : 0.0;
+  s.max_row_nnz = m.max_row_nnz();
+  for (index_t i = 0; i < m.rows(); ++i) {
+    if (m.row_nnz(i) == 0) s.empty_rows++;
+  }
+  s.avg_consecutive_jaccard = avg_consecutive_similarity(m);
+  return s;
+}
+
+}  // namespace rrspmm::sparse

@@ -1,0 +1,43 @@
+// Structural statistics of sparse matrices used by the paper's
+// when-to-reorder heuristics (§4) and the effectiveness analysis (Fig 9).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace rrspmm::sparse {
+
+/// Exact Jaccard similarity |A ∩ B| / |A ∪ B| of two sorted index sets.
+/// Returns 1.0 when both are empty (identical empty sets).
+double jaccard(std::span<const index_t> a, std::span<const index_t> b);
+
+/// Average Jaccard similarity of consecutive row pairs (the paper's
+/// AvgSim indicator, §4): mean over i of J(S_i, S_{i+1}). Returns 0 for
+/// matrices with fewer than two rows.
+double avg_consecutive_similarity(const CsrMatrix& m);
+
+/// Per-row nonzero counts.
+std::vector<index_t> row_degrees(const CsrMatrix& m);
+
+/// Per-column nonzero counts.
+std::vector<index_t> col_degrees(const CsrMatrix& m);
+
+/// Summary of a matrix's shape and distribution, printed by the
+/// matrix_inspect example and stored in corpus metadata.
+struct MatrixStats {
+  index_t rows = 0;
+  index_t cols = 0;
+  offset_t nnz = 0;
+  double avg_row_nnz = 0.0;
+  index_t max_row_nnz = 0;
+  index_t empty_rows = 0;
+  double avg_consecutive_jaccard = 0.0;
+};
+
+MatrixStats compute_stats(const CsrMatrix& m);
+
+}  // namespace rrspmm::sparse

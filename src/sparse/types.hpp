@@ -1,0 +1,57 @@
+// Fundamental index/value types and error handling shared by all rrspmm
+// libraries.
+//
+// Conventions:
+//  * `index_t`  — row/column indices. 32-bit: the corpus this library
+//    targets (SuiteSparse-scale, <= ~10^7 rows) fits comfortably, and
+//    halving the index footprint matters for the memory-traffic model.
+//  * `offset_t` — offsets into the nonzero arrays (CSR rowptr entries).
+//    64-bit so that matrices with > 2^31 nonzeros remain representable.
+//  * `value_t`  — nonzero values. `float` to match the paper's GPU
+//    kernels (fp32 on the P100).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rrspmm {
+
+using index_t = std::int32_t;
+using offset_t = std::int64_t;
+using value_t = float;
+
+/// Thrown when a matrix fails structural validation (unsorted columns,
+/// out-of-range indices, non-monotone rowptr, ...).
+class invalid_matrix : public std::runtime_error {
+ public:
+  explicit invalid_matrix(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on I/O failures (missing file, malformed Matrix Market header).
+class io_error : public std::runtime_error {
+ public:
+  explicit io_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Narrowing helper with a debug-friendly failure mode: throws instead of
+/// silently truncating when a size does not fit in index_t.
+inline index_t checked_index(std::int64_t v) {
+  if (v < 0 || v > static_cast<std::int64_t>(INT32_MAX)) {
+    throw invalid_matrix("index out of range for index_t: " + std::to_string(v));
+  }
+  return static_cast<index_t>(v);
+}
+
+}  // namespace rrspmm
+
+// Re-export into rrspmm::sparse so sibling libraries can refer to these
+// via their accustomed `sparse::` qualifier.
+namespace rrspmm::sparse {
+using rrspmm::checked_index;
+using rrspmm::index_t;
+using rrspmm::invalid_matrix;
+using rrspmm::io_error;
+using rrspmm::offset_t;
+using rrspmm::value_t;
+}  // namespace rrspmm::sparse

@@ -1,0 +1,47 @@
+// Evaluation corpus builder.
+//
+// Stands in for the paper's 1084 SuiteSparse + Network Repository
+// matrices (see DESIGN.md §2). Builds a deterministic, parameter-swept
+// mix of the structural families in generators.hpp, sized for the
+// available compute budget:
+//
+//   RRSPMM_CORPUS_N — number of matrices (default 96)
+//   RRSPMM_SCALE    — linear size multiplier on rows/nnz (default 1)
+//
+// Family proportions are chosen so that roughly a third of the corpus is
+// "scattered but clusterable" (shuffled clustered / shuffled banded),
+// matching the paper's observation that 351/1084 matrices have <1% of
+// nonzeros in dense tiles and benefit from reordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace rrspmm::synth {
+
+struct CorpusEntry {
+  std::string name;    ///< unique, stable identifier, e.g. "clustered_scatter_07"
+  std::string family;  ///< generator family name
+  sparse::CsrMatrix matrix;
+};
+
+struct CorpusConfig {
+  int count = 48;            ///< number of matrices
+  double scale = 1.0;        ///< linear multiplier on rows and nnz
+  std::uint64_t seed = 2020; ///< master seed; entry i uses seed + i
+};
+
+/// Reads RRSPMM_CORPUS_N / RRSPMM_SCALE / RRSPMM_SEED from the
+/// environment, falling back to the defaults above.
+CorpusConfig corpus_config_from_env();
+
+/// Builds the corpus. Deterministic in `cfg`.
+std::vector<CorpusEntry> build_corpus(const CorpusConfig& cfg);
+
+/// Builds a tiny fixed corpus (8 small matrices) for unit tests.
+std::vector<CorpusEntry> build_test_corpus();
+
+}  // namespace rrspmm::synth

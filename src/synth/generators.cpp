@@ -1,0 +1,173 @@
+#include "synth/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/permute.hpp"
+#include "synth/rng.hpp"
+
+namespace rrspmm::synth {
+
+using sparse::CooMatrix;
+
+CsrMatrix erdos_renyi(index_t rows, index_t cols, offset_t nnz_target, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(rows, cols);
+  coo.reserve(nnz_target);
+  for (offset_t k = 0; k < nnz_target; ++k) {
+    const auto r = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(rows)));
+    const auto c = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(cols)));
+    coo.add(r, c, rng.next_signed_float());
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix rmat(index_t scale, offset_t nnz_target, std::uint64_t seed, RmatParams p) {
+  Rng rng(seed);
+  const index_t n = index_t{1} << scale;
+  CooMatrix coo(n, n);
+  coo.reserve(nnz_target);
+  for (offset_t k = 0; k < nnz_target; ++k) {
+    index_t r = 0, c = 0;
+    for (index_t bit = 0; bit < scale; ++bit) {
+      const double u = rng.next_double();
+      r <<= 1;
+      c <<= 1;
+      if (u < p.a) {
+        // upper-left: nothing to add
+      } else if (u < p.a + p.b) {
+        c |= 1;
+      } else if (u < p.a + p.b + p.c) {
+        r |= 1;
+      } else {
+        r |= 1;
+        c |= 1;
+      }
+    }
+    coo.add(r, c, rng.next_signed_float());
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix chung_lu(index_t rows, index_t cols, double avg_degree, double gamma,
+                   std::uint64_t seed) {
+  Rng rng(seed);
+  // Expected column weights w_c ∝ c^{-1/(gamma-1)} (standard power-law
+  // weight sequence), normalised so the expected total nnz is
+  // rows * avg_degree.
+  std::vector<double> w(static_cast<std::size_t>(cols));
+  const double alpha = 1.0 / (gamma - 1.0);
+  double total = 0.0;
+  for (index_t c = 0; c < cols; ++c) {
+    w[static_cast<std::size_t>(c)] = std::pow(static_cast<double>(c) + 1.0, -alpha);
+    total += w[static_cast<std::size_t>(c)];
+  }
+  // Cumulative distribution for inverse-transform sampling of columns.
+  std::vector<double> cdf(w.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    acc += w[i] / total;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;
+
+  CooMatrix coo(rows, cols);
+  const auto nnz_target = static_cast<offset_t>(static_cast<double>(rows) * avg_degree);
+  coo.reserve(nnz_target);
+  for (offset_t k = 0; k < nnz_target; ++k) {
+    const auto r = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(rows)));
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const auto c = static_cast<index_t>(std::distance(cdf.begin(), it));
+    coo.add(r, std::min(c, static_cast<index_t>(cols - 1)), rng.next_signed_float());
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix banded(index_t n, index_t bandwidth, double fill, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t lo = std::max(index_t{0}, static_cast<index_t>(i - bandwidth));
+    const index_t hi = std::min(static_cast<index_t>(n - 1), static_cast<index_t>(i + bandwidth));
+    for (index_t c = lo; c <= hi; ++c) {
+      if (c == i || rng.next_double() < fill) coo.add(i, c, rng.next_signed_float());
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix diagonal(index_t n) {
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 1.0f);
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix clustered_rows(const ClusteredParams& p, std::uint64_t seed) {
+  Rng rng(seed);
+  if (p.num_groups <= 0 || p.rows <= 0) throw sparse::invalid_matrix("bad clustered params");
+
+  // Column pool per group: `group_cols` columns sampled without
+  // replacement from the full column range.
+  std::vector<std::vector<index_t>> pools(static_cast<std::size_t>(p.num_groups));
+  std::unordered_set<index_t> taken;
+  for (auto& pool : pools) {
+    taken.clear();
+    pool.reserve(static_cast<std::size_t>(p.group_cols));
+    while (static_cast<index_t>(pool.size()) < p.group_cols) {
+      const auto c = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(p.cols)));
+      if (taken.insert(c).second) pool.push_back(c);
+    }
+  }
+
+  // Group assignment: contiguous blocks, optionally scattered afterwards.
+  std::vector<index_t> group_of(static_cast<std::size_t>(p.rows));
+  for (index_t i = 0; i < p.rows; ++i) {
+    group_of[static_cast<std::size_t>(i)] =
+        static_cast<index_t>((static_cast<std::int64_t>(i) * p.num_groups) / p.rows);
+  }
+  if (p.scatter) {
+    // Fisher–Yates on the assignment vector.
+    for (std::size_t i = group_of.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(rng.next_below(i));
+      std::swap(group_of[i - 1], group_of[j]);
+    }
+  }
+
+  CooMatrix coo(p.rows, p.cols);
+  coo.reserve(static_cast<offset_t>(p.rows) * (p.row_nnz + p.noise_nnz));
+  std::unordered_set<index_t> used;
+  for (index_t i = 0; i < p.rows; ++i) {
+    const auto& pool = pools[static_cast<std::size_t>(group_of[static_cast<std::size_t>(i)])];
+    used.clear();
+    index_t placed = 0;
+    while (placed < p.row_nnz && static_cast<index_t>(used.size()) < p.group_cols) {
+      const index_t c = pool[rng.next_below(pool.size())];
+      if (used.insert(c).second) {
+        coo.add(i, c, rng.next_signed_float());
+        ++placed;
+      }
+    }
+    for (index_t k = 0; k < p.noise_nnz; ++k) {
+      const auto c = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(p.cols)));
+      if (used.insert(c).second) coo.add(i, c, rng.next_signed_float());
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix shuffle_rows(const CsrMatrix& m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<index_t> perm = sparse::identity_permutation(m.rows());
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return sparse::permute_rows(m, perm);
+}
+
+}  // namespace rrspmm::synth

@@ -1,0 +1,83 @@
+// Synthetic sparse matrix generators.
+//
+// Substitution note (see DESIGN.md §2): the paper evaluates on 1084
+// matrices from SuiteSparse and the Network Repository — real scientific
+// meshes, power-law graphs, and data-mining matrices. Those cannot be
+// downloaded here, so this module generates a corpus spanning the same
+// structural axes the paper's analysis depends on:
+//
+//  * how much latent row similarity exists (clusterability), and
+//  * how much of it is visible to *consecutive-row* tiling (ASpT) before
+//    any reordering.
+//
+// The pivotal generator is `clustered_rows` + `shuffle_rows`: matrices
+// whose rows fall into groups with overlapping column sets, scattered
+// randomly through the row order. ASpT alone finds nothing; the paper's
+// row-reordering recovers the groups. That is exactly the population of
+// "351 of 1084 matrices with <1% of nonzeros in dense tiles".
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace rrspmm::synth {
+
+using sparse::CsrMatrix;
+using rrspmm::index_t;
+using rrspmm::offset_t;
+
+/// Erdős–Rényi: each of `nnz_target` entries drawn uniformly (duplicates
+/// combined, so actual nnz may be slightly lower). The paper's "too
+/// scattered" regime (Fig 7b generalised): no two rows are similar.
+CsrMatrix erdos_renyi(index_t rows, index_t cols, offset_t nnz_target, std::uint64_t seed);
+
+/// RMAT/Kronecker power-law graph (a=0.57,b=0.19,c=0.19,d=0.05 by
+/// default, the Graph500 parameterisation). Produces skewed degree
+/// distributions typical of the web/social graphs in the Network
+/// Repository.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c
+};
+CsrMatrix rmat(index_t scale, offset_t nnz_target, std::uint64_t seed, RmatParams p = {});
+
+/// Chung–Lu graph with power-law expected degrees (exponent `gamma`,
+/// typically 2.1–3.0). Hub columns shared by many rows create natural
+/// row similarity concentrated on the hubs.
+CsrMatrix chung_lu(index_t rows, index_t cols, double avg_degree, double gamma, std::uint64_t seed);
+
+/// Banded matrix: each row has nonzeros within `bandwidth` of the
+/// diagonal with density `fill`. FEM/stencil-like; consecutive rows are
+/// already similar — the paper's Fig 7a regime where reordering is
+/// skipped.
+CsrMatrix banded(index_t n, index_t bandwidth, double fill, std::uint64_t seed);
+
+/// Pure diagonal matrix (paper Fig 7b): zero inter-row reuse no matter
+/// the order.
+CsrMatrix diagonal(index_t n);
+
+/// Rows organised in `num_groups` latent groups. Each group owns a pool
+/// of `group_cols` columns; a row in the group samples `row_nnz` columns
+/// from its pool (plus `noise_nnz` uniform noise columns). With
+/// `scatter=false` groups occupy consecutive row ranges (well-clustered,
+/// Fig 7a); with `scatter=true` group membership is randomly interleaved
+/// — the motivating case for row-reordering.
+struct ClusteredParams {
+  index_t rows = 4096;
+  index_t cols = 4096;
+  index_t num_groups = 64;
+  index_t group_cols = 96;
+  index_t row_nnz = 24;
+  index_t noise_nnz = 2;
+  bool scatter = true;
+};
+CsrMatrix clustered_rows(const ClusteredParams& p, std::uint64_t seed);
+
+/// Random row permutation of an existing matrix — destroys consecutive-row
+/// locality while preserving the latent structure a reorderer can recover.
+CsrMatrix shuffle_rows(const CsrMatrix& m, std::uint64_t seed);
+
+}  // namespace rrspmm::synth

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for the synthetic corpus.
+//
+// xoshiro256** seeded via SplitMix64 — small, fast, reproducible across
+// platforms and compilers (std::mt19937 distributions are not
+// implementation-stable, and reproducibility of the corpus is part of the
+// experiment definition).
+#pragma once
+
+#include <cstdint>
+
+namespace rrspmm::synth {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& w : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift reduction;
+  /// the bias is < 2^-64 per draw, negligible for corpus generation.
+  std::uint64_t next_below(std::uint64_t n) {
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>(next_u64()) * static_cast<u128>(n)) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [-1, 1).
+  float next_signed_float() {
+    return static_cast<float>(next_double() * 2.0 - 1.0);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace rrspmm::synth

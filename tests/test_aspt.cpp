@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "aspt/aspt.hpp"
+#include "sparse/permute.hpp"
+#include "synth/generators.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using aspt::AsptConfig;
+using aspt::AsptMatrix;
+using aspt::build_aspt;
+
+AsptConfig paper_example_cfg() {
+  // §2.3's worked example: panels of 3 rows, a column is dense with >= 2
+  // nonzeros in the panel.
+  AsptConfig cfg;
+  cfg.panel_rows = 3;
+  cfg.dense_col_threshold = 2;
+  return cfg;
+}
+
+TEST(Aspt, PaperExampleExtractsTheSingleDenseColumn) {
+  // In the Alg-3 test matrix, panel {0,1,2} has col 0 in rows 0 and 2 ->
+  // dense; panel {3,4,5} has no repeated column... check: rows 3={2,5},
+  // 4={0,3,4}, 5={6} share nothing. So exactly one dense column with 2
+  // nonzeros overall.
+  const auto m = test::alg3_matrix();
+  const AsptMatrix a = build_aspt(m, paper_example_cfg());
+  EXPECT_EQ(a.stats().num_panels, 2);
+  EXPECT_EQ(a.panels()[0].dense_cols.size(), 1u);
+  EXPECT_EQ(a.panels()[0].dense_cols[0], 0);
+  EXPECT_EQ(a.panels()[0].nnz(), 2);
+  EXPECT_TRUE(a.panels()[1].dense_cols.empty());
+  EXPECT_EQ(a.stats().nnz_dense, 2);
+  EXPECT_EQ(a.stats().nnz_total, m.nnz());
+  EXPECT_EQ(a.sparse_part().nnz(), m.nnz() - 2);
+}
+
+TEST(Aspt, RowReorderingGrowsDenseTiles) {
+  // §3.1: permuting similar rows into the same panel moves nonzeros into
+  // dense tiles. Put rows {0,2,4} (all sharing col 0; 0 & 4 sharing col
+  // 4; 2 & 4 sharing col 3) in panel one.
+  const auto m = test::alg3_matrix();
+  const auto reordered = sparse::permute_rows(m, {0, 2, 4, 1, 3, 5});
+  const AsptMatrix before = build_aspt(m, paper_example_cfg());
+  const AsptMatrix after = build_aspt(reordered, paper_example_cfg());
+  EXPECT_GT(after.stats().nnz_dense, before.stats().nnz_dense);
+  // Panel {0,2,4}: cols 0 (3), 3 (2), 4 (2); panel {1,3,5}: col 6 (2).
+  // Nine nonzeros in dense tiles — the same count as the paper's §3.1
+  // reordered example.
+  EXPECT_EQ(after.stats().nnz_dense, 9);
+  EXPECT_GT(after.stats().dense_ratio(), before.stats().dense_ratio());
+}
+
+TEST(Aspt, PanelBoundsPartitionTheRows) {
+  const auto m = synth::erdos_renyi(130, 64, 700, 2);
+  AsptConfig cfg;
+  cfg.panel_rows = 32;
+  const AsptMatrix a = build_aspt(m, cfg);
+  ASSERT_EQ(a.stats().num_panels, 5);  // ceil(130/32), last panel short
+  index_t expect_begin = 0;
+  for (const auto& p : a.panels()) {
+    EXPECT_EQ(p.row_begin, expect_begin);
+    EXPECT_GT(p.row_end, p.row_begin);
+    expect_begin = p.row_end;
+  }
+  EXPECT_EQ(expect_begin, m.rows());
+  EXPECT_EQ(a.panels().back().rows(), 2);
+}
+
+TEST(Aspt, EveryNonzeroLandsExactlyOnce) {
+  const auto m = synth::chung_lu(256, 256, 10.0, 2.3, 4);
+  const AsptMatrix a = build_aspt(m, AsptConfig{});
+  EXPECT_EQ(a.stats().nnz_dense + a.sparse_part().nnz(), m.nnz());
+
+  // Source-index maps must cover 0..nnz-1 exactly once.
+  std::vector<bool> seen(static_cast<std::size_t>(m.nnz()), false);
+  auto mark = [&](offset_t idx) {
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, m.nnz());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+    seen[static_cast<std::size_t>(idx)] = true;
+  };
+  for (const auto& p : a.panels()) {
+    for (offset_t idx : p.dense_src_idx) mark(idx);
+  }
+  for (offset_t idx : a.sparse_src_idx()) mark(idx);
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(Aspt, DenseColumnsRankedByOccupancy) {
+  // Col 2 has 3 nonzeros in the panel, col 0 has 2: col 2 must rank first.
+  const auto m = test::csr({
+      {1, 0, 1, 0},
+      {0, 0, 1, 0},
+      {1, 0, 1, 0},
+  });
+  AsptConfig cfg;
+  cfg.panel_rows = 3;
+  cfg.dense_col_threshold = 2;
+  const AsptMatrix a = build_aspt(m, cfg);
+  ASSERT_EQ(a.panels()[0].dense_cols.size(), 2u);
+  EXPECT_EQ(a.panels()[0].dense_cols[0], 2);
+  EXPECT_EQ(a.panels()[0].dense_cols[1], 0);
+}
+
+TEST(Aspt, MaxDenseColsCapsSharedMemoryUse) {
+  // 4 columns all dense; cap at 2 keeps only the two most occupied.
+  const auto m = test::csr({
+      {1, 1, 1, 1},
+      {1, 1, 1, 1},
+      {0, 1, 1, 0},
+  });
+  AsptConfig cfg;
+  cfg.panel_rows = 3;
+  cfg.dense_col_threshold = 2;
+  cfg.max_dense_cols = 2;
+  const AsptMatrix a = build_aspt(m, cfg);
+  ASSERT_EQ(a.panels()[0].dense_cols.size(), 2u);
+  EXPECT_EQ(a.panels()[0].dense_cols[0], 1);
+  EXPECT_EQ(a.panels()[0].dense_cols[1], 2);
+  EXPECT_EQ(a.sparse_part().nnz(), 4);  // cols 0 and 3 remain sparse
+}
+
+TEST(Aspt, DenseSlotsIndexTheDenseColsList) {
+  const auto m = synth::banded(64, 4, 0.9, 6);
+  const AsptMatrix a = build_aspt(m, AsptConfig{.panel_rows = 16, .dense_col_threshold = 2,
+                                                .max_dense_cols = 1024});
+  for (const auto& p : a.panels()) {
+    for (index_t slot : p.dense_slot) {
+      ASSERT_GE(slot, 0);
+      ASSERT_LT(static_cast<std::size_t>(slot), p.dense_cols.size());
+    }
+    ASSERT_EQ(p.dense_rowptr.size(), static_cast<std::size_t>(p.rows()) + 1);
+    EXPECT_EQ(p.dense_rowptr.front(), 0);
+    EXPECT_EQ(p.dense_rowptr.back(), p.nnz());
+  }
+}
+
+TEST(Aspt, DiagonalMatrixHasNoDenseTiles) {
+  const AsptMatrix a = build_aspt(synth::diagonal(100), AsptConfig{});
+  EXPECT_EQ(a.stats().nnz_dense, 0);
+  EXPECT_DOUBLE_EQ(a.stats().dense_ratio(), 0.0);
+  EXPECT_EQ(a.sparse_part().nnz(), 100);
+}
+
+TEST(Aspt, IdenticalRowsTileCompletely) {
+  // Fig 7a regime: panels of identical rows -> 100% dense ratio.
+  std::vector<std::vector<value_t>> rows(64, {1, 0, 1, 0, 1, 1, 0, 0});
+  const AsptMatrix a = build_aspt(test::csr(rows), AsptConfig{});
+  EXPECT_DOUBLE_EQ(a.stats().dense_ratio(), 1.0);
+  EXPECT_EQ(a.sparse_part().nnz(), 0);
+}
+
+TEST(Aspt, SparsePartKeepsDimensionsAndValidates) {
+  const auto m = synth::rmat(8, 2048, 7);
+  const AsptMatrix a = build_aspt(m, AsptConfig{});
+  EXPECT_EQ(a.sparse_part().rows(), m.rows());
+  EXPECT_EQ(a.sparse_part().cols(), m.cols());
+  EXPECT_NO_THROW(a.sparse_part().validate());
+}
+
+TEST(Aspt, ConfigValidation) {
+  const auto m = test::csr({{1}});
+  EXPECT_THROW(build_aspt(m, AsptConfig{.panel_rows = 0, .dense_col_threshold = 2,
+                                        .max_dense_cols = 8}),
+               invalid_matrix);
+  EXPECT_THROW(build_aspt(m, AsptConfig{.panel_rows = 4, .dense_col_threshold = 1,
+                                        .max_dense_cols = 8}),
+               invalid_matrix);
+}
+
+TEST(Aspt, DenseRatioHelperMatchesFullBuild) {
+  const auto m = synth::banded(96, 5, 0.8, 9);
+  const AsptConfig cfg;
+  EXPECT_DOUBLE_EQ(aspt::dense_ratio(m, cfg), build_aspt(m, cfg).stats().dense_ratio());
+}
+
+TEST(Aspt, MaxDenseColsForSharedBudget) {
+  // P100: 64 KB shared, 16-column strips -> 1024 columns (the default cap).
+  EXPECT_EQ(aspt::max_dense_cols_for(64 * 1024), 1024);
+  // Half the budget halves the cap; wider strips shrink it.
+  EXPECT_EQ(aspt::max_dense_cols_for(32 * 1024), 512);
+  EXPECT_EQ(aspt::max_dense_cols_for(64 * 1024, 32), 512);
+  // Degenerate budgets still allow one column.
+  EXPECT_EQ(aspt::max_dense_cols_for(16), 1);
+  EXPECT_THROW(aspt::max_dense_cols_for(1024, 0), invalid_matrix);
+}
+
+// Parameterised sweep: the dense ratio is monotonically non-increasing in
+// the dense-column threshold (stricter threshold -> fewer dense tiles).
+class AsptThresholdSweep : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(AsptThresholdSweep, DenseRatioMonotoneInThreshold) {
+  const auto m = synth::clustered_rows(
+      [] {
+        synth::ClusteredParams p;
+        p.rows = 128;
+        p.cols = 128;
+        p.num_groups = 4;
+        p.group_cols = 24;
+        p.row_nnz = 12;
+        p.noise_nnz = 1;
+        p.scatter = false;
+        return p;
+      }(),
+      3);
+  AsptConfig lo, hi;
+  lo.dense_col_threshold = GetParam();
+  hi.dense_col_threshold = GetParam() + 2;
+  EXPECT_GE(aspt::dense_ratio(m, lo), aspt::dense_ratio(m, hi));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, AsptThresholdSweep, ::testing::Values(2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace rrspmm

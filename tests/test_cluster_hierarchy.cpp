@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/hierarchy.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/stats.hpp"
+#include "synth/generators.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using cluster::cluster_reorder;
+using cluster::ClusterConfig;
+using lsh::CandidatePair;
+
+TEST(Hierarchy, PaperFig6WalkThrough) {
+  // §3.2's worked example: LSH produces candidate pairs (0,4) with
+  // J = 2/3 and (2,4) with a smaller similarity. Iteration 1 merges 4
+  // into 0; iteration 2 finds 4 non-representative, re-keys the pair to
+  // (2,0) with the computed similarity; iteration 3 merges 2 into the
+  // {0,4} cluster. The emitted order is [0, 2, 4, 1, 3, 5].
+  const auto m = test::alg3_matrix();
+  const std::vector<CandidatePair> pairs = {
+      {0, 4, 2.0 / 3.0},
+      {2, 4, 0.25},
+  };
+  const auto result = cluster_reorder(m, pairs, ClusterConfig{});
+  EXPECT_EQ(result.order, (std::vector<index_t>{0, 2, 4, 1, 3, 5}));
+  EXPECT_EQ(result.num_clusters, 4);  // {0,2,4}, {1}, {3}, {5}
+  EXPECT_EQ(result.merges, 2);
+  EXPECT_EQ(result.requeued, 1);  // the (2,4) -> (2,0) re-key
+}
+
+TEST(Hierarchy, NoPairsYieldsIdentity) {
+  const auto m = synth::diagonal(6);
+  const auto result = cluster_reorder(m, {}, ClusterConfig{});
+  EXPECT_EQ(result.order, sparse::identity_permutation(6));
+  EXPECT_EQ(result.num_clusters, 6);
+  EXPECT_EQ(result.merges, 0);
+}
+
+TEST(Hierarchy, OutputIsAlwaysAPermutation) {
+  const auto m = synth::erdos_renyi(64, 64, 512, 3);
+  std::vector<CandidatePair> pairs;
+  for (index_t i = 0; i < 63; i += 2) {
+    pairs.push_back({i, static_cast<index_t>(i + 1), 0.5});
+  }
+  const auto result = cluster_reorder(m, pairs, ClusterConfig{});
+  EXPECT_TRUE(sparse::is_permutation(result.order, 64));
+}
+
+TEST(Hierarchy, HigherSimilarityMergesFirst) {
+  // Rows 0/1 (J given 0.9) must end up adjacent before 0/2 (J 0.2) joins.
+  const auto m = test::csr({
+      {1, 1, 1, 0, 0},
+      {1, 1, 1, 0, 0},
+      {1, 0, 0, 1, 1},
+      {0, 0, 0, 0, 1},
+  });
+  const std::vector<CandidatePair> pairs = {{0, 2, 0.2}, {0, 1, 0.9}};
+  const auto result = cluster_reorder(m, pairs, ClusterConfig{});
+  // All three merge into the cluster of 0; order groups them first.
+  EXPECT_EQ(result.order[0], 0);
+  EXPECT_EQ(result.order[1], 1);
+  EXPECT_EQ(result.order[2], 2);
+  EXPECT_EQ(result.order[3], 3);
+  EXPECT_EQ(result.num_clusters, 2);
+}
+
+TEST(Hierarchy, ThresholdRetiresClusters) {
+  // threshold_size = 2: once a cluster holds 2 rows it is deleted and
+  // never grows. Chain pairs (0,1),(1,2),(2,3) with descending
+  // similarity: {0,1} forms and retires; (1,2) re-keys to (2, root=0)
+  // but 0's cluster is deleted, so 2 and 3 pair instead.
+  const auto m = test::csr({
+      {1, 1, 0, 0},
+      {1, 1, 0, 0},
+      {1, 1, 0, 0},
+      {1, 1, 0, 0},
+  });
+  const std::vector<CandidatePair> pairs = {
+      {0, 1, 0.9}, {1, 2, 0.8}, {2, 3, 0.7}};
+  ClusterConfig cfg;
+  cfg.threshold_size = 2;
+  const auto result = cluster_reorder(m, pairs, cfg);
+  EXPECT_TRUE(sparse::is_permutation(result.order, 4));
+  // No cluster may exceed the threshold.
+  // Count cluster sizes by scanning the order against cluster count.
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_EQ(result.order, (std::vector<index_t>{0, 1, 2, 3}));
+}
+
+TEST(Hierarchy, DeterministicAcrossRuns) {
+  const auto m = synth::clustered_rows(
+      [] {
+        synth::ClusteredParams p;
+        p.rows = 96;
+        p.cols = 256;
+        p.num_groups = 6;
+        p.group_cols = 20;
+        p.row_nnz = 10;
+        p.noise_nnz = 1;
+        p.scatter = true;
+        return p;
+      }(),
+      5);
+  const auto pairs = lsh::find_candidate_pairs(m, lsh::LshConfig{});
+  const auto a = cluster_reorder(m, pairs, ClusterConfig{});
+  const auto b = cluster_reorder(m, pairs, ClusterConfig{});
+  EXPECT_EQ(a.order, b.order);
+}
+
+TEST(Hierarchy, ClustersGroupSimilarRows) {
+  // End-to-end property: on a scattered group matrix, the reordering must
+  // raise consecutive-row similarity substantially.
+  synth::ClusteredParams p;
+  p.rows = 192;
+  p.cols = 768;
+  p.num_groups = 12;
+  p.group_cols = 20;
+  p.row_nnz = 10;
+  p.noise_nnz = 0;
+  p.scatter = true;
+  const auto m = synth::clustered_rows(p, 8);
+  const auto pairs = lsh::find_candidate_pairs(m, lsh::LshConfig{});
+  const auto result = cluster_reorder(m, pairs, ClusterConfig{});
+  const auto reordered = sparse::permute_rows(m, result.order);
+  EXPECT_GT(sparse::avg_consecutive_similarity(reordered),
+            5.0 * sparse::avg_consecutive_similarity(m) + 0.05);
+}
+
+TEST(Hierarchy, SelfPairsAreIgnored) {
+  const auto m = test::csr({{1, 0}, {0, 1}});
+  const std::vector<CandidatePair> pairs = {{0, 0, 1.0}};
+  const auto result = cluster_reorder(m, pairs, ClusterConfig{});
+  EXPECT_EQ(result.merges, 0);
+  EXPECT_EQ(result.order, (std::vector<index_t>{0, 1}));
+}
+
+TEST(Hierarchy, EmptyMatrix) {
+  const auto result = cluster_reorder(sparse::CsrMatrix{}, {}, ClusterConfig{});
+  EXPECT_TRUE(result.order.empty());
+  EXPECT_EQ(result.num_clusters, 0);
+}
+
+}  // namespace
+}  // namespace rrspmm

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "cluster/union_find.hpp"
+
+namespace rrspmm {
+namespace {
+
+using cluster::UnionFind;
+
+TEST(UnionFind, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.size(i), 1);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_NE(uf.unite(0, 1), -1);
+  EXPECT_EQ(uf.num_sets(), 3);
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_EQ(uf.size(0), 2);
+  EXPECT_EQ(uf.size(2), 1);
+}
+
+TEST(UnionFind, UniteSameSetReturnsMinusOne) {
+  UnionFind uf(3);
+  uf.unite(0, 1);
+  EXPECT_EQ(uf.unite(1, 0), -1);
+  EXPECT_EQ(uf.num_sets(), 2);
+}
+
+TEST(UnionFind, LargerSetRootWins) {
+  UnionFind uf(5);
+  uf.unite(0, 1);             // {0,1} root 0 (tie: a wins)
+  const index_t r = uf.unite(2, 0);  // {2} joins {0,1}: larger root wins
+  EXPECT_EQ(r, uf.find(0));
+  EXPECT_EQ(uf.find(2), uf.find(0));
+  EXPECT_EQ(uf.size(2), 3);
+}
+
+TEST(UnionFind, TieBreaksToFirstArgumentRoot) {
+  UnionFind uf(4);
+  const index_t r = uf.unite(2, 3);
+  EXPECT_EQ(r, 2);
+}
+
+TEST(UnionFind, TransitiveChains) {
+  UnionFind uf(8);
+  for (index_t i = 0; i + 1 < 8; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1);
+  const index_t root = uf.find(0);
+  for (index_t i = 1; i < 8; ++i) EXPECT_EQ(uf.find(i), root);
+  EXPECT_EQ(uf.size(5), 8);
+}
+
+TEST(UnionFind, PathHalvingFlattensTrees) {
+  UnionFind uf(1024);
+  for (index_t i = 0; i + 1 < 1024; ++i) uf.unite(i, i + 1);
+  // After full unification every find must agree regardless of entry
+  // point — this exercises the halving path on deep structures.
+  const index_t root = uf.find(1023);
+  for (index_t i = 0; i < 1024; i += 97) EXPECT_EQ(uf.find(i), root);
+}
+
+TEST(UnionFind, RejectsNegativeSize) {
+  EXPECT_THROW(UnionFind(-1), invalid_matrix);
+}
+
+TEST(UnionFind, ZeroElementsIsEmpty) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.num_sets(), 0);
+  EXPECT_EQ(uf.elements(), 0);
+}
+
+}  // namespace
+}  // namespace rrspmm

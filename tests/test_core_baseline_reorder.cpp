@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline_reorder.hpp"
+#include "core/reorder_engine.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/stats.hpp"
+#include "synth/generators.hpp"
+#include "synth/rng.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+TEST(LexOrder, SortsByColumnLists) {
+  const auto m = test::csr({
+      {0, 1, 1, 0},  // {1,2}
+      {1, 0, 0, 0},  // {0}
+      {0, 1, 0, 1},  // {1,3}
+      {1, 0, 0, 1},  // {0,3}
+  });
+  const auto order = core::lexicographic_order(m);
+  // {0} < {0,3} < {1,2} < {1,3}
+  EXPECT_EQ(order, (std::vector<index_t>{1, 3, 0, 2}));
+}
+
+TEST(LexOrder, EmptyRowsSortFirstAndTiesAreStable) {
+  const auto m = test::csr({
+      {0, 1},  // {1}
+      {0, 0},  // {}
+      {0, 1},  // {1}, tie with row 0
+      {0, 0},  // {}, tie with row 1
+  });
+  const auto order = core::lexicographic_order(m);
+  EXPECT_EQ(order, (std::vector<index_t>{1, 3, 0, 2}));
+}
+
+TEST(LexOrder, IsAlwaysAPermutation) {
+  const auto m = synth::rmat(8, 1500, 3);
+  EXPECT_TRUE(sparse::is_permutation(core::lexicographic_order(m), m.rows()));
+}
+
+TEST(LexOrder, GroupsIdenticalRows) {
+  // Identical rows become adjacent regardless of starting position.
+  std::vector<std::vector<value_t>> rows = {
+      {1, 0, 1, 0}, {0, 1, 0, 1}, {1, 0, 1, 0}, {0, 1, 0, 1}, {1, 0, 1, 0},
+  };
+  const auto m = test::csr(rows);
+  const auto reordered = sparse::permute_rows(m, core::lexicographic_order(m));
+  // Three identical rows adjacent, then two identical rows: 3 of the 4
+  // consecutive pairs have similarity 1.
+  EXPECT_GT(sparse::avg_consecutive_similarity(reordered), 0.74);
+}
+
+TEST(DegreeOrder, SortsByDescendingNnz) {
+  const auto m = test::csr({
+      {1, 0, 0, 0},
+      {1, 1, 1, 0},
+      {0, 0, 0, 0},
+      {1, 1, 0, 0},
+  });
+  const auto order = core::degree_order(m);
+  EXPECT_EQ(order, (std::vector<index_t>{1, 3, 0, 2}));
+}
+
+TEST(DegreeOrder, StableOnTies) {
+  const auto m = test::csr({{1, 0}, {0, 1}, {1, 1}});
+  const auto order = core::degree_order(m);
+  EXPECT_EQ(order, (std::vector<index_t>{2, 0, 1}));
+}
+
+TEST(DegreeOrder, IsAlwaysAPermutation) {
+  const auto m = synth::chung_lu(200, 200, 6.0, 2.2, 4);
+  EXPECT_TRUE(sparse::is_permutation(core::degree_order(m), m.rows()));
+}
+
+TEST(BaselineReorder, LshClusteringBeatsSortsOnMidListClusters) {
+  // Groups whose shared columns sit in the middle of the column range
+  // with per-row noise in the low columns: lexicographic sorting keys on
+  // the noise, Jaccard clustering keys on the overlap.
+  synth::Rng rng(9);
+  std::vector<std::vector<value_t>> rows;
+  const index_t width = 512;
+  std::vector<std::vector<index_t>> pools(8);
+  for (auto& pool : pools) {
+    for (int j = 0; j < 12; ++j) {
+      pool.push_back(static_cast<index_t>(128 + rng.next_below(256)));
+    }
+  }
+  for (int i = 0; i < 128; ++i) {
+    std::vector<value_t> r(width, 0);
+    r[rng.next_below(64)] = 1.0f;  // low-column noise dominating the sort key
+    for (index_t c : pools[static_cast<std::size_t>(rng.next_below(8))]) {
+      r[static_cast<std::size_t>(c)] = 1.0f;
+    }
+    rows.push_back(std::move(r));
+  }
+  const auto m = test::csr(rows);
+
+  const auto lex = sparse::permute_rows(m, core::lexicographic_order(m));
+  const auto lsh = sparse::permute_rows(
+      m, core::reorder_rows(m, core::ReorderConfig{}).order);
+  EXPECT_GT(sparse::avg_consecutive_similarity(lsh),
+            sparse::avg_consecutive_similarity(lex) + 0.1);
+}
+
+}  // namespace
+}  // namespace rrspmm

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/reorder_engine.hpp"
+#include "core/vertex_reorder.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/stats.hpp"
+#include "synth/generators.hpp"
+#include "synth/rng.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using core::reorder_rows;
+using core::ReorderConfig;
+using sparse::CsrMatrix;
+
+TEST(ReorderEngine, ReturnsValidPermutation) {
+  const auto m = synth::rmat(8, 1024, 2);
+  const auto r = reorder_rows(m, ReorderConfig{});
+  EXPECT_TRUE(sparse::is_permutation(r.order, m.rows()));
+}
+
+TEST(ReorderEngine, ScatteredClustersAreRecovered) {
+  synth::ClusteredParams p;
+  p.rows = 384;
+  p.cols = 1536;
+  p.num_groups = 12;
+  p.group_cols = 24;
+  p.row_nnz = 12;
+  p.noise_nnz = 0;
+  p.scatter = true;
+  const auto m = synth::clustered_rows(p, 7);
+  const auto r = reorder_rows(m, ReorderConfig{});
+  EXPECT_GT(r.candidate_pairs, 0u);
+  EXPECT_GT(r.merges, 0);
+  const auto reordered = sparse::permute_rows(m, r.order);
+  EXPECT_GT(sparse::avg_consecutive_similarity(reordered), 0.3);
+  EXPECT_LT(sparse::avg_consecutive_similarity(m), 0.05);
+}
+
+TEST(ReorderEngine, DiagonalIsLeftAlone) {
+  const auto m = synth::diagonal(128);
+  const auto r = reorder_rows(m, ReorderConfig{});
+  EXPECT_EQ(r.candidate_pairs, 0u);
+  EXPECT_EQ(r.order, sparse::identity_permutation(128));
+}
+
+TEST(ReorderEngine, ThresholdSizeBoundsClusters) {
+  // All rows identical; with threshold 16, clusters retire at 16 rows and
+  // at least ceil(128/16)... the retirement guarantees no monster cluster
+  // (the output still covers all rows exactly once).
+  std::vector<std::vector<value_t>> rows(128, {1, 0, 1, 1, 0, 0, 1, 0});
+  const auto m = test::csr(rows);
+  ReorderConfig cfg;
+  cfg.cluster.threshold_size = 16;
+  const auto r = reorder_rows(m, cfg);
+  EXPECT_TRUE(sparse::is_permutation(r.order, 128));
+  EXPECT_GE(r.clusters, 128 / 16 / 2);  // several retired clusters, not one blob
+}
+
+TEST(VertexReorder, RcmReturnsValidPermutation) {
+  const auto m = synth::rmat(7, 512, 3);
+  const auto order = core::rcm_order(m);
+  EXPECT_TRUE(sparse::is_permutation(order, m.rows()));
+}
+
+TEST(VertexReorder, RcmRequiresSquare) {
+  const auto m = test::csr({{1, 0, 0}, {0, 1, 0}});
+  EXPECT_THROW(core::rcm_order(m), invalid_matrix);
+}
+
+TEST(VertexReorder, RcmReducesBandwidthOfShuffledBand) {
+  const auto band = synth::banded(256, 3, 0.9, 4);
+  // Destroy the ordering symmetrically, then ask RCM to recover it.
+  std::vector<index_t> shuffle = sparse::identity_permutation(256);
+  synth::Rng rng(5);
+  for (std::size_t i = shuffle.size(); i > 1; --i) {
+    std::swap(shuffle[i - 1], shuffle[static_cast<std::size_t>(rng.next_below(i))]);
+  }
+  const auto scrambled = sparse::permute_symmetric(band, shuffle);
+
+  auto bandwidth = [](const CsrMatrix& m) {
+    index_t best = 0;
+    for (index_t i = 0; i < m.rows(); ++i) {
+      for (index_t c : m.row_cols(i)) best = std::max(best, static_cast<index_t>(std::abs(c - i)));
+    }
+    return best;
+  };
+  const index_t before = bandwidth(scrambled);
+  const auto rcm = core::rcm_order(scrambled);
+  const index_t after = bandwidth(sparse::permute_symmetric(scrambled, rcm));
+  EXPECT_LT(after, before / 4);
+}
+
+TEST(VertexReorder, RcmHandlesDisconnectedComponents) {
+  // Two disjoint cliques plus isolated vertices.
+  const auto m = test::csr({
+      {1, 1, 0, 0, 0, 0},
+      {1, 1, 0, 0, 0, 0},
+      {0, 0, 0, 0, 0, 0},
+      {0, 0, 0, 1, 1, 0},
+      {0, 0, 0, 1, 1, 0},
+      {0, 0, 0, 0, 0, 0},
+  });
+  const auto order = core::rcm_order(m);
+  EXPECT_TRUE(sparse::is_permutation(order, 6));
+}
+
+}  // namespace
+}  // namespace rrspmm

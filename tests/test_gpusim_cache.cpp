@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "gpusim/lru_cache.hpp"
+
+namespace rrspmm {
+namespace {
+
+using gpusim::LruKeyCache;
+
+TEST(LruCache, MissThenHit) {
+  LruKeyCache c(4);
+  EXPECT_FALSE(c.access(1));
+  EXPECT_TRUE(c.access(1));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruKeyCache c(2);
+  c.access(1);
+  c.access(2);
+  c.access(1);       // 1 becomes most recent
+  c.access(3);       // evicts 2
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(LruCache, HitRefreshesRecency) {
+  LruKeyCache c(2);
+  c.access(1);
+  c.access(2);
+  c.access(1);
+  c.access(3);  // 2 is LRU now, not 1
+  EXPECT_TRUE(c.access(1));
+}
+
+TEST(LruCache, CapacityIsRespected) {
+  LruKeyCache c(3);
+  for (std::uint64_t k = 0; k < 10; ++k) c.access(k);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_TRUE(c.contains(9));
+  EXPECT_TRUE(c.contains(8));
+  EXPECT_TRUE(c.contains(7));
+  EXPECT_FALSE(c.contains(6));
+}
+
+TEST(LruCache, ZeroCapacityAlwaysMisses) {
+  LruKeyCache c(0);
+  EXPECT_FALSE(c.access(1));
+  EXPECT_FALSE(c.access(1));
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LruCache, ClearResetsEverything) {
+  LruKeyCache c(2);
+  c.access(1);
+  c.access(1);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.access(1));  // cold again
+}
+
+TEST(LruCache, SequentialScanLargerThanCapacityNeverHits) {
+  // The classic LRU pathology; also the reason a working set larger than
+  // L2 sees no reuse in the traffic model.
+  LruKeyCache c(8);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t k = 0; k < 16; ++k) c.access(k);
+  }
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 48u);
+}
+
+TEST(Roofline, PicksTheTighterBound) {
+  gpusim::DeviceConfig dev;
+  dev.dram_gbps = 100.0;    // 1e11 B/s
+  dev.peak_gflops = 1000.0; // 1e12 flop/s
+  // Memory bound: 1e11 bytes takes 1 s; 1e12 flops takes 1 s -> equal.
+  EXPECT_DOUBLE_EQ(gpusim::roofline_time_s(dev, 1e11, 1e12), 1.0);
+  // Memory dominates.
+  EXPECT_DOUBLE_EQ(gpusim::roofline_time_s(dev, 2e11, 1e12), 2.0);
+  // Compute dominates.
+  EXPECT_DOUBLE_EQ(gpusim::roofline_time_s(dev, 1e10, 3e12), 3.0);
+}
+
+TEST(DeviceConfig, P100Preset) {
+  const auto dev = gpusim::DeviceConfig::p100();
+  EXPECT_EQ(dev.num_sms, 56);                    // §5.1
+  EXPECT_EQ(dev.shared_mem_per_sm, 64u * 1024u); // §5.1
+  EXPECT_EQ(dev.l2_bytes, 4u * 1024u * 1024u);   // §5.1
+  EXPECT_DOUBLE_EQ(dev.dram_gbps, 732.0);        // §5.1
+  EXPECT_EQ(dev.resident_blocks(), dev.num_sms * dev.blocks_per_sm);
+}
+
+}  // namespace
+}  // namespace rrspmm

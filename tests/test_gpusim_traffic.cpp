@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "aspt/aspt.hpp"
+#include "gpusim/traffic.hpp"
+#include "sparse/permute.hpp"
+#include "synth/generators.hpp"
+#include "synth/rng.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using gpusim::DeviceConfig;
+using gpusim::SimResult;
+
+DeviceConfig tiny_device() {
+  // A deliberately small device so cache effects show up on unit-test
+  // sized matrices: L2 holds 8 K-wide rows at K=128.
+  DeviceConfig dev;
+  dev.num_sms = 2;
+  dev.blocks_per_sm = 2;
+  dev.warps_per_block = 2;
+  dev.l2_bytes = 8 * 128 * 4;
+  return dev;
+}
+
+TEST(SpmmTraffic, XAccessCountEqualsNnz) {
+  const auto m = synth::erdos_renyi(64, 64, 400, 1);
+  const SimResult r = gpusim::simulate_spmm_rowwise(m, 128, tiny_device());
+  EXPECT_EQ(r.x_accesses, static_cast<std::uint64_t>(m.nnz()));
+}
+
+TEST(SpmmTraffic, FlopsAreTwoNnzK) {
+  const auto m = synth::erdos_renyi(32, 32, 128, 2);
+  const SimResult r = gpusim::simulate_spmm_rowwise(m, 64, tiny_device());
+  EXPECT_DOUBLE_EQ(r.flops, 2.0 * static_cast<double>(m.nnz()) * 64.0);
+}
+
+TEST(SpmmTraffic, DramBytesLowerBoundedByStreamsAndOutput) {
+  const auto m = synth::diagonal(64);
+  const index_t k = 128;
+  const SimResult r = gpusim::simulate_spmm_rowwise(m, k, tiny_device());
+  // Diagonal: every X row accessed once, none reused -> all 64 miss.
+  const double stream = 64 * 8.0 + 65 * 8.0;
+  const double y_out = 64.0 * k * 4.0;
+  const double x_in = 64.0 * k * 4.0;
+  EXPECT_DOUBLE_EQ(r.dram_bytes, stream + y_out + x_in);
+  EXPECT_EQ(r.x_l2_hits, 0u);
+}
+
+TEST(SpmmTraffic, RepeatedColumnsHitInL2) {
+  // All rows reference the same single column: after the first miss,
+  // everything hits (working set of 1 row << capacity 8).
+  std::vector<std::vector<value_t>> rows(32, std::vector<value_t>(4, 0));
+  for (auto& r : rows) r[2] = 1.0f;
+  const auto m = test::csr(rows);
+  const SimResult r = gpusim::simulate_spmm_rowwise(m, 128, tiny_device());
+  EXPECT_EQ(r.x_accesses, 32u);
+  EXPECT_EQ(r.x_l2_hits, 31u);
+}
+
+TEST(SpmmTraffic, ProcessingOrderChangesLocality) {
+  // 8 row groups with disjoint column sets, scattered; the working set of
+  // the interleaved stream exceeds the tiny L2. Processing rows grouped
+  // (the round-2 effect) must produce at least as many hits.
+  synth::ClusteredParams p;
+  p.rows = 256;
+  p.cols = 1024;
+  p.num_groups = 16;
+  p.group_cols = 4;
+  p.row_nnz = 4;
+  p.noise_nnz = 0;
+  p.scatter = true;
+  const auto m = synth::clustered_rows(p, 3);
+
+  const auto dev = tiny_device();
+  const SimResult natural = gpusim::simulate_spmm_rowwise(m, 128, dev);
+
+  // Group rows by (sorted) first column as a cheap similarity proxy.
+  std::vector<index_t> order = sparse::identity_permutation(m.rows());
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    const auto ca = m.row_cols(a);
+    const auto cb = m.row_cols(b);
+    if (ca.empty() || cb.empty()) return ca.size() < cb.size();
+    return ca[0] < cb[0];
+  });
+  const SimResult grouped = gpusim::simulate_spmm_rowwise(m, 128, dev, &order);
+
+  EXPECT_EQ(natural.x_accesses, grouped.x_accesses);
+  EXPECT_GT(grouped.x_l2_hits, natural.x_l2_hits);
+  EXPECT_LT(grouped.dram_bytes, natural.dram_bytes);
+  EXPECT_LT(grouped.time_s, natural.time_s);
+}
+
+TEST(AsptTraffic, DenseTilesConvertAccessesToSharedHits) {
+  // 32 identical rows: with panel 16 everything is dense. The ASpT sim
+  // loads each panel's dense columns once; all nonzeros become shared
+  // hits.
+  std::vector<std::vector<value_t>> rows(32, {1, 0, 1, 0, 1, 0, 0, 1});
+  const auto m = test::csr(rows);
+  aspt::AsptConfig acfg;
+  acfg.panel_rows = 16;
+  acfg.dense_col_threshold = 2;
+  const auto tiled = aspt::build_aspt(m, acfg);
+  ASSERT_DOUBLE_EQ(tiled.stats().dense_ratio(), 1.0);
+
+  const auto dev = tiny_device();
+  const SimResult aspt_r = gpusim::simulate_spmm_aspt(tiled, 128, dev);
+  EXPECT_EQ(aspt_r.shared_hits, static_cast<std::uint64_t>(m.nnz()));
+  // Dense-column loads: 4 columns x 2 panels = 8 X-row reads.
+  EXPECT_EQ(aspt_r.x_accesses, 8u);
+}
+
+TEST(AsptTraffic, BeatsRowwiseOnDenselyTiledMatrix) {
+  // Identical-row panels but a working set larger than the tiny L2:
+  // row-wise misses constantly, ASpT stages each panel's columns once.
+  std::vector<std::vector<value_t>> rows;
+  synth::Rng rng(5);
+  const index_t groups = 16, per_group = 16, width = 512;
+  for (index_t g = 0; g < groups; ++g) {
+    std::vector<value_t> proto(width, 0);
+    for (int j = 0; j < 12; ++j) proto[rng.next_below(width)] = 1.0f;
+    for (index_t r = 0; r < per_group; ++r) rows.push_back(proto);
+  }
+  const auto m = test::csr(rows);
+  aspt::AsptConfig acfg;
+  acfg.panel_rows = 16;
+  const auto tiled = aspt::build_aspt(m, acfg);
+  const auto dev = tiny_device();
+  const SimResult rw = gpusim::simulate_spmm_rowwise(m, 128, dev);
+  const SimResult at = gpusim::simulate_spmm_aspt(tiled, 128, dev);
+  EXPECT_LT(at.dram_bytes, rw.dram_bytes);
+  EXPECT_LT(at.time_s, rw.time_s);
+}
+
+TEST(AsptTraffic, NoDensePhaseWhenNoTiles) {
+  const auto m = synth::diagonal(64);
+  const auto tiled = aspt::build_aspt(m, aspt::AsptConfig{});
+  const SimResult r = gpusim::simulate_spmm_aspt(tiled, 128, tiny_device());
+  EXPECT_EQ(r.shared_hits, 0u);
+  EXPECT_EQ(r.kernels_launched, 1);  // sparse phase only
+}
+
+TEST(SddmmTraffic, FetchesYOncePerNonEmptyRow) {
+  const auto m = test::csr({
+      {1, 1, 1, 0},
+      {0, 0, 0, 0},
+      {0, 1, 0, 1},
+  });
+  const SimResult r = gpusim::simulate_sddmm_rowwise(m, 128, tiny_device());
+  // X accesses: 5 nonzeros. Y accesses: rows 0 and 2 -> 2. Total 7.
+  EXPECT_EQ(r.x_accesses, 7u);
+}
+
+TEST(SddmmTraffic, OutputBytesScaleWithNnzNotRows) {
+  const auto a = synth::erdos_renyi(64, 64, 256, 1);
+  const auto b = synth::erdos_renyi(64, 64, 512, 1);
+  const SimResult ra = gpusim::simulate_sddmm_rowwise(a, 128, tiny_device());
+  const SimResult rb = gpusim::simulate_sddmm_rowwise(b, 128, tiny_device());
+  EXPECT_GT(rb.dram_bytes, ra.dram_bytes);
+}
+
+TEST(SddmmTraffic, AsptDenseTilesHelpLikeSpmm) {
+  std::vector<std::vector<value_t>> rows(64, {1, 1, 0, 0, 1, 0, 1, 0});
+  const auto m = test::csr(rows);
+  const auto tiled = aspt::build_aspt(m, aspt::AsptConfig{.panel_rows = 16,
+                                                          .dense_col_threshold = 2,
+                                                          .max_dense_cols = 1024});
+  const auto dev = tiny_device();
+  const SimResult rw = gpusim::simulate_sddmm_rowwise(m, 128, dev);
+  const SimResult at = gpusim::simulate_sddmm_aspt(tiled, 128, dev);
+  EXPECT_EQ(at.shared_hits, static_cast<std::uint64_t>(m.nnz()));
+  // Far fewer L2/DRAM requests; DRAM bytes may exceed row-wise only by
+  // the per-panel metadata streams (a few hundred bytes here).
+  EXPECT_LT(at.x_accesses, rw.x_accesses);
+  EXPECT_LE(at.dram_bytes, rw.dram_bytes + 1024.0);
+}
+
+TEST(Traffic, GflopsConsistentWithTime) {
+  const auto m = synth::erdos_renyi(64, 64, 512, 9);
+  const SimResult r = gpusim::simulate_spmm_rowwise(m, 256, tiny_device());
+  EXPECT_NEAR(r.gflops(), r.flops / r.time_s * 1e-9, 1e-9);
+  EXPECT_GT(r.time_s, 0.0);
+}
+
+TEST(Traffic, EmptyMatrixIsHarmless) {
+  const sparse::CsrMatrix m(0, 0, {0}, {}, {});
+  const SimResult r = gpusim::simulate_spmm_rowwise(m, 64, tiny_device());
+  EXPECT_EQ(r.x_accesses, 0u);
+  EXPECT_DOUBLE_EQ(r.flops, 0.0);
+}
+
+// Property sweep: larger L2 never increases DRAM traffic (inclusion
+// property of LRU: hits are monotone in capacity).
+class L2CapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(L2CapacitySweep, TrafficMonotoneInCapacity) {
+  const auto m = synth::rmat(8, 2048, 11);
+  DeviceConfig small = tiny_device();
+  DeviceConfig big = tiny_device();
+  small.l2_bytes = GetParam();
+  big.l2_bytes = GetParam() * 2;
+  const SimResult rs = gpusim::simulate_spmm_rowwise(m, 64, small);
+  const SimResult rb = gpusim::simulate_spmm_rowwise(m, 64, big);
+  EXPECT_LE(rb.dram_bytes, rs.dram_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, L2CapacitySweep,
+                         ::testing::Values(1024u, 4096u, 16384u, 65536u, 262144u));
+
+}  // namespace
+}  // namespace rrspmm

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lsh/candidates.hpp"
+#include "synth/generators.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using lsh::CandidatePair;
+using lsh::find_candidate_pairs;
+using lsh::LshConfig;
+
+bool has_pair(const std::vector<CandidatePair>& pairs, index_t a, index_t b) {
+  return std::any_of(pairs.begin(), pairs.end(),
+                     [&](const CandidatePair& p) { return p.a == a && p.b == b; });
+}
+
+TEST(Lsh, IdenticalRowsAreAlwaysCandidates) {
+  // Identical sets agree on every signature entry, hence on every band.
+  const auto m = test::csr({
+      {1, 0, 1, 0, 1, 1},
+      {0, 1, 0, 1, 0, 0},
+      {1, 0, 1, 0, 1, 1},
+  });
+  const auto pairs = find_candidate_pairs(m, LshConfig{});
+  ASSERT_TRUE(has_pair(pairs, 0, 2));
+  for (const auto& p : pairs) {
+    if (p.a == 0 && p.b == 2) {
+      EXPECT_DOUBLE_EQ(p.similarity, 1.0);
+    }
+  }
+}
+
+TEST(Lsh, DiagonalMatrixYieldsNoCandidates) {
+  // Fig 7b: no two rows share any column; the similarity filter removes
+  // every banding false-positive. This is the paper's automatic
+  // detection of the "too scattered" case (§4).
+  const auto pairs = find_candidate_pairs(synth::diagonal(128), LshConfig{});
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(Lsh, SimilarityFloorFiltersWeakPairs) {
+  const auto m = test::csr({
+      {1, 1, 1, 1, 0, 0, 0, 0},
+      {1, 1, 1, 0, 1, 0, 0, 0},  // J(0,1) = 3/5
+      {1, 0, 0, 0, 0, 1, 1, 1},  // J(0,2) = 1/7
+  });
+  LshConfig strict;
+  strict.min_similarity = 0.5;
+  const auto pairs = find_candidate_pairs(m, strict);
+  EXPECT_TRUE(has_pair(pairs, 0, 1));
+  EXPECT_FALSE(has_pair(pairs, 0, 2));
+  for (const auto& p : pairs) EXPECT_GE(p.similarity, 0.5);
+}
+
+TEST(Lsh, PairsCarryExactJaccard) {
+  const auto m = test::csr({
+      {1, 1, 1, 1, 0},
+      {1, 1, 1, 0, 1},  // J = 3/5
+  });
+  LshConfig cfg;
+  cfg.min_similarity = 0.0;
+  const auto pairs = find_candidate_pairs(m, cfg);
+  ASSERT_TRUE(has_pair(pairs, 0, 1));
+  for (const auto& p : pairs) {
+    if (p.a == 0 && p.b == 1) {
+      EXPECT_DOUBLE_EQ(p.similarity, 0.6);
+    }
+  }
+}
+
+TEST(Lsh, PairsAreDeduplicatedAndSorted) {
+  // Identical rows collide in all 64 bands; the pair must appear once.
+  const auto m = test::csr({
+      {1, 0, 1}, {1, 0, 1}, {1, 0, 1},
+  });
+  const auto pairs = find_candidate_pairs(m, LshConfig{});
+  EXPECT_EQ(pairs.size(), 3u);  // (0,1), (0,2), (1,2)
+  EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end(), [](const auto& x, const auto& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  }));
+  for (const auto& p : pairs) EXPECT_LT(p.a, p.b);
+}
+
+TEST(Lsh, EmptyRowsNeverPair) {
+  const auto m = test::csr({
+      {0, 0, 0},
+      {0, 0, 0},
+      {1, 1, 0},
+  });
+  const auto pairs = find_candidate_pairs(m, LshConfig{});
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(Lsh, BucketCapChainsInsteadOfExploding) {
+  // 64 identical rows: all-pairs would be 2016 pairs; with cap 8 the
+  // bucket is chained, keeping E linear while preserving connectivity.
+  std::vector<std::vector<value_t>> rows(64, {1, 0, 1, 1, 0, 1, 0, 1});
+  const auto m = test::csr(rows);
+  LshConfig capped;
+  capped.bucket_cap = 8;
+  const auto pairs = find_candidate_pairs(m, capped);
+  EXPECT_FALSE(pairs.empty());
+  EXPECT_LT(pairs.size(), 200u);  // far below all-pairs
+  // Chained pairs must connect all rows: union them and count components.
+  std::vector<index_t> parent(64);
+  for (index_t i = 0; i < 64; ++i) parent[static_cast<std::size_t>(i)] = i;
+  auto find = [&](index_t x) {
+    while (parent[static_cast<std::size_t>(x)] != x) x = parent[static_cast<std::size_t>(x)];
+    return x;
+  };
+  for (const auto& p : pairs) {
+    parent[static_cast<std::size_t>(find(p.a))] = find(p.b);
+  }
+  index_t components = 0;
+  for (index_t i = 0; i < 64; ++i) components += (find(i) == i);
+  EXPECT_EQ(components, 1);
+}
+
+TEST(Lsh, RejectsInvalidBandConfig) {
+  const auto m = test::csr({{1}});
+  LshConfig bad;
+  bad.siglen = 10;
+  bad.bsize = 3;  // not a divisor
+  EXPECT_THROW(find_candidate_pairs(m, bad), invalid_matrix);
+  bad.siglen = 0;
+  bad.bsize = 1;
+  EXPECT_THROW(find_candidate_pairs(m, bad), invalid_matrix);
+}
+
+TEST(Lsh, SmallerBandsFindMorePairs) {
+  // §3.2: "the smaller the bsize, the more likely two nodes will be
+  // hashed into the same bucket."
+  const auto m = synth::clustered_rows(
+      [] {
+        synth::ClusteredParams p;
+        p.rows = 128;
+        p.cols = 512;
+        p.num_groups = 8;
+        p.group_cols = 24;
+        p.row_nnz = 12;
+        p.noise_nnz = 2;
+        p.scatter = true;
+        return p;
+      }(),
+      3);
+  LshConfig narrow, wide;
+  narrow.bsize = 2;
+  wide.bsize = 16;
+  narrow.min_similarity = wide.min_similarity = 0.0;
+  const auto many = find_candidate_pairs(m, narrow);
+  const auto few = find_candidate_pairs(m, wide);
+  EXPECT_GT(many.size(), few.size());
+}
+
+TEST(Lsh, HighSimilarityPairsSurviveWideBands) {
+  // With bsize=16 only strongly similar rows collide; identical rows must
+  // still be found (probability 1).
+  std::vector<std::vector<value_t>> rows = {
+      {1, 1, 1, 1, 0, 0}, {1, 1, 1, 1, 0, 0}, {0, 0, 0, 0, 1, 1},
+  };
+  LshConfig wide;
+  wide.bsize = 16;
+  const auto pairs = find_candidate_pairs(test::csr(rows), wide);
+  EXPECT_TRUE(has_pair(pairs, 0, 1));
+}
+
+}  // namespace
+}  // namespace rrspmm

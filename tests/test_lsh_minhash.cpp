@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "lsh/minhash.hpp"
+#include "sparse/stats.hpp"
+#include "synth/generators.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using lsh::compute_signatures;
+using lsh::SignatureMatrix;
+
+TEST(MinHash, IdenticalRowsHaveIdenticalSignatures) {
+  const auto m = test::csr({
+      {1, 0, 1, 0, 1},
+      {1, 0, 1, 0, 1},
+      {0, 1, 0, 1, 0},
+  });
+  const SignatureMatrix sig = compute_signatures(m, 64, 1);
+  EXPECT_DOUBLE_EQ(sig.estimate_similarity(0, 1), 1.0);
+  EXPECT_LT(sig.estimate_similarity(0, 2), 0.2);  // disjoint sets
+}
+
+TEST(MinHash, EmptyRowGetsSentinel) {
+  const auto m = test::csr({{1, 1}, {0, 0}});
+  const SignatureMatrix sig = compute_signatures(m, 8, 1);
+  for (int k = 0; k < 8; ++k) EXPECT_EQ(sig.row(1)[k], UINT32_MAX);
+}
+
+TEST(MinHash, SignatureIsDeterministicInSeed) {
+  const auto m = synth::erdos_renyi(32, 64, 300, 2);
+  const SignatureMatrix a = compute_signatures(m, 32, 5);
+  const SignatureMatrix b = compute_signatures(m, 32, 5);
+  const SignatureMatrix c = compute_signatures(m, 32, 6);
+  int same_ab = 0, same_ac = 0;
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (int k = 0; k < 32; ++k) {
+      same_ab += (a.row(i)[k] == b.row(i)[k]);
+      same_ac += (a.row(i)[k] == c.row(i)[k]);
+    }
+  }
+  EXPECT_EQ(same_ab, 32 * m.rows());
+  EXPECT_LT(same_ac, 32 * m.rows() / 4);
+}
+
+TEST(MinHash, RejectsNonPositiveSiglen) {
+  const auto m = test::csr({{1}});
+  EXPECT_THROW(compute_signatures(m, 0, 1), invalid_matrix);
+  EXPECT_THROW(compute_signatures(m, -4, 1), invalid_matrix);
+}
+
+TEST(MinHash, HashIsStable) {
+  EXPECT_EQ(lsh::minhash_hash(5, 3, 42), lsh::minhash_hash(5, 3, 42));
+  EXPECT_NE(lsh::minhash_hash(5, 3, 42), lsh::minhash_hash(5, 4, 42));
+  EXPECT_NE(lsh::minhash_hash(5, 3, 42), lsh::minhash_hash(6, 3, 42));
+}
+
+// Property: Pr[sig_k(A) == sig_k(B)] == J(A, B), so with siglen = 256 the
+// estimate must track the exact Jaccard similarity. Sweep over overlap
+// levels: rows share `overlap` of their 32 columns.
+class MinHashAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinHashAccuracy, EstimateTracksExactJaccard) {
+  const int overlap = GetParam();
+  const index_t width = 64;
+  std::vector<std::vector<value_t>> rows(2, std::vector<value_t>(width, 0));
+  // Row 0: columns [0, 32). Row 1: columns [32-overlap, 64-overlap).
+  for (index_t c = 0; c < 32; ++c) rows[0][static_cast<std::size_t>(c)] = 1;
+  for (index_t c = 0; c < 32; ++c) {
+    rows[1][static_cast<std::size_t>(32 - overlap + c)] = 1;
+  }
+  const auto m = test::csr(rows);
+  const double exact = sparse::jaccard(m.row_cols(0), m.row_cols(1));
+  const SignatureMatrix sig = compute_signatures(m, 256, 7);
+  const double est = sig.estimate_similarity(0, 1);
+  // Standard error of a 256-sample Bernoulli estimate is <= 0.032;
+  // allow 4 sigma.
+  EXPECT_NEAR(est, exact, 0.13) << "overlap=" << overlap;
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, MinHashAccuracy, ::testing::Values(0, 4, 8, 16, 24, 28, 32));
+
+}  // namespace
+}  // namespace rrspmm

@@ -1,0 +1,133 @@
+// One-permutation MinHash (OPH) with optimal densification — accuracy
+// and determinism properties, plus end-to-end equivalence with the
+// classic scheme inside the candidate-pair pipeline.
+#include <gtest/gtest.h>
+
+#include "cluster/hierarchy.hpp"
+#include "lsh/candidates.hpp"
+#include "lsh/minhash.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/stats.hpp"
+#include "synth/generators.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using lsh::compute_signatures_oph;
+using lsh::LshConfig;
+using lsh::MinHashScheme;
+using lsh::SignatureMatrix;
+
+TEST(Oph, IdenticalRowsHaveIdenticalSignatures) {
+  const auto m = test::csr({
+      {1, 0, 1, 0, 1, 1, 0, 1},
+      {1, 0, 1, 0, 1, 1, 0, 1},
+      {0, 1, 0, 1, 0, 0, 1, 0},
+  });
+  const SignatureMatrix sig = compute_signatures_oph(m, 64, 3);
+  EXPECT_DOUBLE_EQ(sig.estimate_similarity(0, 1), 1.0);
+  EXPECT_LT(sig.estimate_similarity(0, 2), 0.25);
+}
+
+TEST(Oph, EmptyRowKeepsSentinel) {
+  const auto m = test::csr({{1, 1}, {0, 0}});
+  const SignatureMatrix sig = compute_signatures_oph(m, 16, 3);
+  for (int k = 0; k < 16; ++k) EXPECT_EQ(sig.row(1)[k], UINT32_MAX);
+}
+
+TEST(Oph, DensificationFillsEveryBucket) {
+  // A row with a single nonzero occupies one bucket; densification must
+  // replicate it into all siglen slots.
+  const auto m = test::csr({{0, 0, 1, 0}});
+  const SignatureMatrix sig = compute_signatures_oph(m, 32, 5);
+  for (int k = 0; k < 32; ++k) EXPECT_NE(sig.row(0)[k], UINT32_MAX);
+  // And all slots carry the single column's hash value.
+  for (int k = 1; k < 32; ++k) EXPECT_EQ(sig.row(0)[k], sig.row(0)[0]);
+}
+
+TEST(Oph, DeterministicInSeed) {
+  const auto m = synth::erdos_renyi(48, 96, 500, 4);
+  const SignatureMatrix a = compute_signatures_oph(m, 32, 9);
+  const SignatureMatrix b = compute_signatures_oph(m, 32, 9);
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (int k = 0; k < 32; ++k) EXPECT_EQ(a.row(i)[k], b.row(i)[k]);
+  }
+}
+
+TEST(Oph, RejectsNonPositiveSiglen) {
+  const auto m = test::csr({{1}});
+  EXPECT_THROW(compute_signatures_oph(m, 0, 1), invalid_matrix);
+}
+
+// Estimator accuracy sweep, mirroring the classic-MinHash accuracy test:
+// rows sharing `overlap` of their 32 columns. OPH is noisier for short
+// rows, so the tolerance is wider than the classic test's.
+class OphAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(OphAccuracy, EstimateTracksExactJaccard) {
+  const int overlap = GetParam();
+  const index_t width = 64;
+  std::vector<std::vector<value_t>> rows(2, std::vector<value_t>(width, 0));
+  for (index_t c = 0; c < 32; ++c) rows[0][static_cast<std::size_t>(c)] = 1;
+  for (index_t c = 0; c < 32; ++c) rows[1][static_cast<std::size_t>(32 - overlap + c)] = 1;
+  const auto m = test::csr(rows);
+  const double exact = sparse::jaccard(m.row_cols(0), m.row_cols(1));
+  const SignatureMatrix sig = compute_signatures_oph(m, 256, 7);
+  EXPECT_NEAR(sig.estimate_similarity(0, 1), exact, 0.22) << "overlap=" << overlap;
+}
+
+INSTANTIATE_TEST_SUITE_P(Overlaps, OphAccuracy, ::testing::Values(0, 8, 16, 24, 32));
+
+TEST(Oph, PipelineFindsTheSameStrongPairs) {
+  // On a clustered matrix both schemes must surface the latent groups;
+  // the OPH pair set may differ in the weak tail but must contain the
+  // high-similarity pairs.
+  synth::ClusteredParams p;
+  p.rows = 128;
+  p.cols = 512;
+  p.num_groups = 8;
+  p.group_cols = 20;
+  p.row_nnz = 12;
+  p.noise_nnz = 0;
+  p.scatter = true;
+  const auto m = synth::clustered_rows(p, 6);
+
+  LshConfig classic;
+  LshConfig oph = classic;
+  oph.scheme = MinHashScheme::kOnePermutation;
+  const auto pc = lsh::find_candidate_pairs(m, classic);
+  const auto po = lsh::find_candidate_pairs(m, oph);
+  ASSERT_FALSE(pc.empty());
+  ASSERT_FALSE(po.empty());
+
+  // Compare recall on strongly similar pairs (J >= 0.3).
+  auto strong = [](const std::vector<lsh::CandidatePair>& v) {
+    std::size_t n = 0;
+    for (const auto& q : v) n += (q.similarity >= 0.3);
+    return n;
+  };
+  EXPECT_GT(strong(po), strong(pc) / 2);  // at least half the strong recall
+}
+
+TEST(Oph, EndToEndReorderingStillRecoversClusters) {
+  synth::ClusteredParams p;
+  p.rows = 256;
+  p.cols = 1024;
+  p.num_groups = 16;
+  p.group_cols = 24;
+  p.row_nnz = 12;
+  p.noise_nnz = 0;
+  p.scatter = true;
+  const auto m = synth::clustered_rows(p, 8);
+  LshConfig oph;
+  oph.scheme = MinHashScheme::kOnePermutation;
+  const auto pairs = lsh::find_candidate_pairs(m, oph);
+  const auto result = cluster::cluster_reorder(m, pairs, cluster::ClusterConfig{});
+  const auto reordered = sparse::permute_rows(m, result.order);
+  EXPECT_GT(sparse::avg_consecutive_similarity(reordered),
+            5.0 * sparse::avg_consecutive_similarity(m));
+}
+
+}  // namespace
+}  // namespace rrspmm

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/io_mm.hpp"
+#include "synth/generators.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using sparse::CsrMatrix;
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const CsrMatrix m = synth::erdos_renyi(40, 30, 200, 5);
+  std::stringstream ss;
+  sparse::write_matrix_market(m, ss);
+  const CsrMatrix back = sparse::read_matrix_market(ss);
+  EXPECT_EQ(back.rows(), m.rows());
+  EXPECT_EQ(back.cols(), m.cols());
+  EXPECT_EQ(back.nnz(), m.nnz());
+  EXPECT_EQ(back.colidx(), m.colidx());
+  for (std::size_t i = 0; i < back.values().size(); ++i) {
+    EXPECT_NEAR(back.values()[i], m.values()[i], 1e-5);
+  }
+}
+
+TEST(MatrixMarket, ReadsPatternMatrices) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "3 4 2\n"
+      "1 1\n"
+      "3 4\n");
+  const CsrMatrix m = sparse::read_matrix_market(ss);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.row_vals(0)[0], 1.0f);  // pattern entries become 1.0
+  EXPECT_EQ(m.row_cols(2)[0], 3);
+}
+
+TEST(MatrixMarket, ExpandsSymmetricStorage) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 5.0\n"
+      "2 1 2.0\n"
+      "3 2 4.0\n");
+  const CsrMatrix m = sparse::read_matrix_market(ss);
+  EXPECT_EQ(m.nnz(), 5);  // diagonal stays single, off-diagonals mirror
+  EXPECT_FLOAT_EQ(m.to_dense()[0][1], 2.0f);
+  EXPECT_FLOAT_EQ(m.to_dense()[1][0], 2.0f);
+  EXPECT_FLOAT_EQ(m.to_dense()[1][2], 4.0f);
+}
+
+TEST(MatrixMarket, SkipsCommentLines) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment one\n"
+      "%comment two\n"
+      "2 2 1\n"
+      "2 2 7.5\n");
+  const CsrMatrix m = sparse::read_matrix_market(ss);
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_FLOAT_EQ(m.row_vals(1)[0], 7.5f);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::stringstream ss("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n");
+  EXPECT_THROW(sparse::read_matrix_market(ss), io_error);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedFormat) {
+  std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(sparse::read_matrix_market(ss), io_error);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedField) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n");
+  EXPECT_THROW(sparse::read_matrix_market(ss), io_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(sparse::read_matrix_market(ss), io_error);
+}
+
+TEST(MatrixMarket, RejectsEmptyStream) {
+  std::stringstream ss("");
+  EXPECT_THROW(sparse::read_matrix_market(ss), io_error);
+}
+
+TEST(MatrixMarket, RejectsMissingFile) {
+  EXPECT_THROW(sparse::read_matrix_market("/nonexistent/path.mtx"), io_error);
+}
+
+TEST(MatrixMarket, OneBasedIndicesOnDisk) {
+  const CsrMatrix m = test::csr({{0, 3}, {0, 0}});
+  std::stringstream ss;
+  sparse::write_matrix_market(m, ss);
+  std::string banner, sizes, entry;
+  std::getline(ss, banner);
+  std::getline(ss, sizes);
+  std::getline(ss, entry);
+  EXPECT_EQ(sizes, "2 2 1");
+  EXPECT_EQ(entry.substr(0, 4), "1 2 ");  // (0,1) written 1-based
+}
+
+}  // namespace
+}  // namespace rrspmm

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "sparse/permute.hpp"
+#include "synth/generators.hpp"
+#include "synth/rng.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::DenseMatrix;
+
+TEST(Permutation, IsPermutationDetectsValidity) {
+  EXPECT_TRUE(sparse::is_permutation({2, 0, 1}, 3));
+  EXPECT_FALSE(sparse::is_permutation({2, 0, 2}, 3));  // duplicate
+  EXPECT_FALSE(sparse::is_permutation({0, 1}, 3));     // wrong size
+  EXPECT_FALSE(sparse::is_permutation({0, 3, 1}, 3));  // out of range
+  EXPECT_TRUE(sparse::is_permutation({}, 0));
+}
+
+TEST(Permutation, InvertRoundTrips) {
+  const std::vector<index_t> perm = {3, 1, 0, 2};
+  const auto inv = sparse::invert_permutation(perm);
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])], i);
+  }
+}
+
+TEST(Permutation, IdentityIsIdentity) {
+  const auto id = sparse::identity_permutation(4);
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(id[static_cast<std::size_t>(i)], i);
+}
+
+TEST(PermuteRows, GatherSemantics) {
+  const CsrMatrix m = test::csr({{1, 0}, {0, 2}, {3, 3}});
+  const CsrMatrix p = sparse::permute_rows(m, {2, 0, 1});
+  // Row 0 of p is row 2 of m.
+  EXPECT_EQ(p.row_nnz(0), 2);
+  EXPECT_FLOAT_EQ(p.row_vals(0)[0], 3.0f);
+  EXPECT_EQ(p.row_cols(1)[0], 0);
+  EXPECT_EQ(p.nnz(), m.nnz());
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(PermuteRows, RejectsBadPermutation) {
+  const CsrMatrix m = test::csr({{1}, {1}});
+  EXPECT_THROW(sparse::permute_rows(m, {0, 0}), invalid_matrix);
+}
+
+TEST(PermuteRows, InversePermutationRestoresOriginal) {
+  const CsrMatrix m = synth::erdos_renyi(50, 40, 300, 1);
+  const std::vector<index_t> perm = {/*rotate by 7*/ [] {
+    std::vector<index_t> p(50);
+    for (index_t i = 0; i < 50; ++i) p[static_cast<std::size_t>(i)] = (i + 7) % 50;
+    return p;
+  }()};
+  const CsrMatrix forward = sparse::permute_rows(m, perm);
+  const CsrMatrix back = sparse::permute_rows(forward, sparse::invert_permutation(perm));
+  EXPECT_EQ(back, m);
+}
+
+TEST(PermuteCols, RelabelsAndKeepsSortedInvariant) {
+  const CsrMatrix m = test::csr({{1, 2, 0}, {0, 0, 3}});
+  // gather perm: new col 0 = old col 2, new col 1 = old col 0, new 2 = old 1
+  const CsrMatrix p = sparse::permute_cols(m, {2, 0, 1});
+  EXPECT_NO_THROW(p.validate());
+  // old col 0 -> new col 1, old col 1 -> new col 2, old col 2 -> new col 0
+  EXPECT_EQ(p.to_dense(), (std::vector<std::vector<value_t>>{{0, 1, 2}, {3, 0, 0}}));
+}
+
+TEST(PermuteSymmetric, RequiresSquare) {
+  const CsrMatrix m = test::csr({{1, 0, 0}, {0, 1, 0}});
+  EXPECT_THROW(sparse::permute_symmetric(m, {1, 0}), invalid_matrix);
+}
+
+TEST(PermuteSymmetric, PreservesDiagonal) {
+  const CsrMatrix m = synth::diagonal(8);
+  const CsrMatrix p = sparse::permute_symmetric(m, {7, 6, 5, 4, 3, 2, 1, 0});
+  EXPECT_EQ(p.to_dense(), m.to_dense());
+}
+
+TEST(PermuteDense, GatherAndScatterAreInverse) {
+  DenseMatrix m(4, 3);
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 3; ++j) m(i, j) = static_cast<value_t>(10 * i + j);
+  }
+  const std::vector<index_t> perm = {2, 3, 1, 0};
+  const DenseMatrix g = sparse::permute_dense_rows(m, perm);
+  EXPECT_FLOAT_EQ(g(0, 1), 21.0f);  // row 0 of g is row 2 of m
+  const DenseMatrix back = sparse::unpermute_dense_rows(g, perm);
+  EXPECT_DOUBLE_EQ(back.max_abs_diff(m), 0.0);
+}
+
+TEST(Transpose, SmallExample) {
+  const CsrMatrix m = test::csr({{1, 2, 0}, {0, 0, 3}});
+  const CsrMatrix t = sparse::transpose(m);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.to_dense(), (std::vector<std::vector<value_t>>{{1, 0}, {2, 0}, {0, 3}}));
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Transpose, TwiceIsIdentity) {
+  const CsrMatrix m = synth::erdos_renyi(60, 45, 400, 7);
+  EXPECT_EQ(sparse::transpose(sparse::transpose(m)), m);
+}
+
+TEST(Transpose, HandlesEmptyRowsAndCols) {
+  const CsrMatrix m = test::csr({{0, 0, 0}, {0, 5, 0}, {0, 0, 0}});
+  const CsrMatrix t = sparse::transpose(m);
+  EXPECT_EQ(t.nnz(), 1);
+  EXPECT_EQ(t.row_nnz(0), 0);
+  EXPECT_EQ(t.row_nnz(1), 1);
+  EXPECT_EQ(t.row_cols(1)[0], 1);
+}
+
+// Property sweep: permute_rows with a shuffled permutation preserves each
+// gathered row exactly, for a variety of matrix shapes.
+class PermutePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutePropertyTest, RowGatherPreservesRowContent) {
+  const std::uint64_t seed = GetParam();
+  const CsrMatrix m = synth::erdos_renyi(64 + static_cast<index_t>(seed % 64), 50, 500, seed);
+  synth::Rng rng(seed ^ 0xFFFF);
+  std::vector<index_t> perm = sparse::identity_permutation(m.rows());
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[static_cast<std::size_t>(rng.next_below(i))]);
+  }
+  const CsrMatrix p = sparse::permute_rows(m, perm);
+  p.validate();
+  for (index_t i = 0; i < p.rows(); ++i) {
+    const index_t src = perm[static_cast<std::size_t>(i)];
+    ASSERT_EQ(p.row_nnz(i), m.row_nnz(src));
+    const auto a = p.row_cols(i);
+    const auto b = m.row_cols(src);
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutePropertyTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rrspmm

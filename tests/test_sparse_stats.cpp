@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "sparse/stats.hpp"
+#include "synth/generators.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using sparse::CsrMatrix;
+
+std::vector<index_t> v(std::initializer_list<index_t> l) { return {l}; }
+
+TEST(Jaccard, PaperExamples) {
+  // §3.2: S0 = {0,4}, S4 = {0,3,4} -> J = 2/3.
+  const auto s0 = v({0, 4});
+  const auto s4 = v({0, 3, 4});
+  EXPECT_DOUBLE_EQ(sparse::jaccard(s0, s4), 2.0 / 3.0);
+}
+
+TEST(Jaccard, DisjointIsZero) {
+  const auto a = v({0, 1});
+  const auto b = v({2, 3});
+  EXPECT_DOUBLE_EQ(sparse::jaccard(a, b), 0.0);
+}
+
+TEST(Jaccard, IdenticalIsOne) {
+  const auto a = v({1, 5, 9});
+  EXPECT_DOUBLE_EQ(sparse::jaccard(a, a), 1.0);
+}
+
+TEST(Jaccard, EmptySets) {
+  const std::vector<index_t> e;
+  const auto a = v({1});
+  EXPECT_DOUBLE_EQ(sparse::jaccard(e, e), 1.0);  // identical empty sets
+  EXPECT_DOUBLE_EQ(sparse::jaccard(e, a), 0.0);
+  EXPECT_DOUBLE_EQ(sparse::jaccard(a, e), 0.0);
+}
+
+TEST(Jaccard, IsSymmetric) {
+  const auto a = v({0, 2, 4, 8});
+  const auto b = v({2, 3, 4});
+  EXPECT_DOUBLE_EQ(sparse::jaccard(a, b), sparse::jaccard(b, a));
+  EXPECT_DOUBLE_EQ(sparse::jaccard(a, b), 2.0 / 5.0);
+}
+
+TEST(AvgConsecutiveSimilarity, PaperFig7aExample) {
+  // §4: a matrix with three identical consecutive rows per group; the
+  // paper computes average consecutive similarity 0.8 for its 6-row
+  // example (J=1 within groups of 3, J=0.5 at the single group boundary:
+  // (1+1+0.5+1+1)/5 = 0.9 in general — we reproduce the exact structure:
+  // two groups of 3 identical rows whose patterns share half their
+  // columns would give 0.9; with disjoint groups: (1+1+0+1+1)/5 = 0.8).
+  const CsrMatrix m = test::csr({
+      {1, 1, 0, 0},
+      {1, 1, 0, 0},
+      {1, 1, 0, 0},
+      {0, 0, 1, 1},
+      {0, 0, 1, 1},
+      {0, 0, 1, 1},
+  });
+  EXPECT_DOUBLE_EQ(sparse::avg_consecutive_similarity(m), 0.8);
+}
+
+TEST(AvgConsecutiveSimilarity, DiagonalIsZero) {
+  // Fig 7b: no two rows share a column.
+  EXPECT_DOUBLE_EQ(sparse::avg_consecutive_similarity(synth::diagonal(16)), 0.0);
+}
+
+TEST(AvgConsecutiveSimilarity, FewerThanTwoRows) {
+  EXPECT_DOUBLE_EQ(sparse::avg_consecutive_similarity(test::csr({{1, 0}})), 0.0);
+  EXPECT_DOUBLE_EQ(sparse::avg_consecutive_similarity(CsrMatrix{}), 0.0);
+}
+
+TEST(Degrees, RowAndColCounts) {
+  const CsrMatrix m = test::csr({{1, 0, 1}, {0, 0, 0}, {1, 1, 1}});
+  const auto rd = sparse::row_degrees(m);
+  EXPECT_EQ(rd, (std::vector<index_t>{2, 0, 3}));
+  const auto cd = sparse::col_degrees(m);
+  EXPECT_EQ(cd, (std::vector<index_t>{2, 1, 2}));
+}
+
+TEST(ComputeStats, SummaryFields) {
+  const CsrMatrix m = test::csr({{1, 0, 1}, {0, 0, 0}, {1, 1, 1}});
+  const auto s = sparse::compute_stats(m);
+  EXPECT_EQ(s.rows, 3);
+  EXPECT_EQ(s.cols, 3);
+  EXPECT_EQ(s.nnz, 5);
+  EXPECT_DOUBLE_EQ(s.avg_row_nnz, 5.0 / 3.0);
+  EXPECT_EQ(s.max_row_nnz, 3);
+  EXPECT_EQ(s.empty_rows, 1);
+}
+
+// Property: avg similarity of a matrix with all rows identical is 1.
+class IdenticalRowsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdenticalRowsTest, AllIdenticalRowsGiveSimilarityOne) {
+  const int n = GetParam();
+  std::vector<std::vector<value_t>> rows(static_cast<std::size_t>(n),
+                                         {1, 0, 1, 0, 1, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(sparse::avg_consecutive_similarity(test::csr(rows)), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IdenticalRowsTest, ::testing::Values(2, 3, 5, 17));
+
+}  // namespace
+}  // namespace rrspmm

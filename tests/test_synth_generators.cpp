@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sparse/stats.hpp"
+#include "synth/generators.hpp"
+#include "synth/rng.hpp"
+
+namespace rrspmm {
+namespace {
+
+TEST(Rng, IsDeterministic) {
+  synth::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  synth::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  synth::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  synth::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  synth::Rng rng(11);
+  int buckets[10] = {};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) buckets[rng.next_below(10)]++;
+  for (int b : buckets) {
+    EXPECT_GT(b, draws / 10 * 0.9);
+    EXPECT_LT(b, draws / 10 * 1.1);
+  }
+}
+
+TEST(ErdosRenyi, ShapeAndDeterminism) {
+  const auto m = synth::erdos_renyi(200, 150, 1000, 3);
+  EXPECT_EQ(m.rows(), 200);
+  EXPECT_EQ(m.cols(), 150);
+  EXPECT_LE(m.nnz(), 1000);   // duplicates combined
+  EXPECT_GT(m.nnz(), 950);    // few collisions at this density
+  EXPECT_EQ(m, synth::erdos_renyi(200, 150, 1000, 3));
+  EXPECT_NE(m, synth::erdos_renyi(200, 150, 1000, 4));
+  m.validate();
+}
+
+TEST(Rmat, PowerLawSkew) {
+  const auto m = synth::rmat(10, 16384, 5);
+  EXPECT_EQ(m.rows(), 1024);
+  m.validate();
+  // RMAT with a=0.57 concentrates nonzeros in low-index rows: the top
+  // 10% of rows must hold far more than 10% of nonzeros.
+  offset_t head = 0;
+  for (index_t i = 0; i < m.rows() / 10; ++i) head += m.row_nnz(i);
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(m.nnz()), 0.2);
+}
+
+TEST(ChungLu, HubColumnsDominate) {
+  const auto m = synth::chung_lu(400, 400, 12.0, 2.2, 6);
+  m.validate();
+  const auto cd = sparse::col_degrees(m);
+  // Expected weights decay with column id; the first column must be a hub.
+  const auto max_deg = *std::max_element(cd.begin(), cd.end());
+  EXPECT_GE(cd[0], max_deg / 2);
+  EXPECT_GT(max_deg, 3 * m.nnz() / 400);  // far above the mean degree
+}
+
+TEST(Banded, RespectsBandwidth) {
+  const index_t bw = 4;
+  const auto m = synth::banded(100, bw, 0.8, 8);
+  m.validate();
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (index_t c : m.row_cols(i)) {
+      EXPECT_LE(std::abs(c - i), bw);
+    }
+  }
+  // Diagonal is always present.
+  for (index_t i = 0; i < m.rows(); ++i) {
+    const auto cols = m.row_cols(i);
+    EXPECT_TRUE(std::binary_search(cols.begin(), cols.end(), i));
+  }
+}
+
+TEST(Banded, ConsecutiveRowsAreSimilar) {
+  const auto m = synth::banded(128, 6, 0.9, 9);
+  EXPECT_GT(sparse::avg_consecutive_similarity(m), 0.4);
+}
+
+TEST(Diagonal, ExactStructure) {
+  const auto m = synth::diagonal(32);
+  EXPECT_EQ(m.nnz(), 32);
+  for (index_t i = 0; i < 32; ++i) {
+    ASSERT_EQ(m.row_nnz(i), 1);
+    EXPECT_EQ(m.row_cols(i)[0], i);
+  }
+}
+
+TEST(ClusteredRows, ContiguousGroupsAreConsecutivelySimilar) {
+  synth::ClusteredParams p;
+  p.rows = 256;
+  p.cols = 256;
+  p.num_groups = 8;
+  p.group_cols = 24;
+  p.row_nnz = 12;
+  p.noise_nnz = 0;
+  p.scatter = false;
+  const auto m = synth::clustered_rows(p, 10);
+  m.validate();
+  // Rows in the same 32-row block draw from a 24-column pool, so
+  // consecutive rows overlap heavily.
+  EXPECT_GT(sparse::avg_consecutive_similarity(m), 0.25);
+}
+
+TEST(ClusteredRows, ScatterDestroysConsecutiveSimilarity) {
+  synth::ClusteredParams p;
+  p.rows = 256;
+  p.cols = 1024;
+  p.num_groups = 16;
+  p.group_cols = 24;
+  p.row_nnz = 12;
+  p.noise_nnz = 0;
+  const auto contig = [&] {
+    auto q = p;
+    q.scatter = false;
+    return synth::clustered_rows(q, 10);
+  }();
+  const auto scattered = [&] {
+    auto q = p;
+    q.scatter = true;
+    return synth::clustered_rows(q, 10);
+  }();
+  EXPECT_LT(sparse::avg_consecutive_similarity(scattered),
+            0.3 * sparse::avg_consecutive_similarity(contig));
+}
+
+TEST(ClusteredRows, RowNnzHonoured) {
+  synth::ClusteredParams p;
+  p.rows = 64;
+  p.cols = 512;
+  p.num_groups = 4;
+  p.group_cols = 40;
+  p.row_nnz = 10;
+  p.noise_nnz = 0;
+  p.scatter = true;
+  const auto m = synth::clustered_rows(p, 12);
+  for (index_t i = 0; i < m.rows(); ++i) EXPECT_EQ(m.row_nnz(i), 10);
+}
+
+TEST(ShuffleRows, PreservesMultisetOfRows) {
+  const auto m = synth::banded(64, 3, 0.7, 13);
+  const auto s = synth::shuffle_rows(m, 14);
+  EXPECT_EQ(s.nnz(), m.nnz());
+  EXPECT_NE(s, m);  // overwhelmingly unlikely to be identical
+  // Sorted row-degree multiset is invariant under row permutation.
+  auto dm = sparse::row_degrees(m);
+  auto ds = sparse::row_degrees(s);
+  std::sort(dm.begin(), dm.end());
+  std::sort(ds.begin(), ds.end());
+  EXPECT_EQ(dm, ds);
+}
+
+TEST(Generators, RejectBadParameters) {
+  synth::ClusteredParams p;
+  p.num_groups = 0;
+  EXPECT_THROW(synth::clustered_rows(p, 1), invalid_matrix);
+}
+
+}  // namespace
+}  // namespace rrspmm

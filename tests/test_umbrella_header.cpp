@@ -1,0 +1,20 @@
+// The umbrella header must be self-contained and expose the public API.
+#include "rrspmm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rrspmm {
+namespace {
+
+TEST(Umbrella, ExposesThePublicApi) {
+  const sparse::CsrMatrix m = sparse::CsrMatrix::from_dense_rows({{1, 0}, {0, 1}});
+  const core::ExecutionPlan plan = core::build_plan(m);
+  sparse::DenseMatrix x(2, 4), y(2, 4);
+  sparse::fill_random(x, 1);
+  core::run_spmm(plan, x, y);
+  EXPECT_EQ(plan.tiled.stats().nnz_total, 2);
+  EXPECT_GT(core::simulate_spmm(plan, 4, gpusim::DeviceConfig::p100()).time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace rrspmm
