@@ -1,0 +1,135 @@
+// Serving-runtime throughput bench: requests/sec and tail latency of the
+// runtime::Server as a function of worker count, for a warm-cache mix
+// (every plan pre-built) and a cold-cache mix (plan cache smaller than
+// the working set, so builds and evictions happen on the request path).
+// Prints a fixed-width table and writes BENCH_serving.json next to the
+// binary's working directory.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/render.hpp"
+#include "runtime/runtime.hpp"
+#include "synth/corpus.hpp"
+
+namespace rrspmm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct MixResult {
+  unsigned threads = 0;
+  std::string mix;
+  std::size_t requests = 0;
+  double req_per_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  std::uint64_t plans_built = 0;
+  std::uint64_t coalesced = 0;
+};
+
+MixResult run_mix(unsigned threads, bool warm, const std::vector<synth::CorpusEntry>& corpus,
+                  std::size_t n_requests, index_t k) {
+  runtime::ServerConfig cfg;
+  cfg.threads = threads;
+  // Cold mix: capacity below the matrix count forces evictions and plan
+  // rebuilds on the request path; warm mix holds every plan resident.
+  cfg.plan_cache_capacity = warm ? 2 * corpus.size() : 2;
+  runtime::Server server(cfg);
+  for (const auto& entry : corpus) server.register_matrix(entry.name, entry.matrix);
+  if (warm) {
+    for (const auto& entry : corpus) server.warm(entry.name);
+  }
+
+  std::vector<sparse::DenseMatrix> xs;
+  xs.reserve(n_requests);
+  for (std::size_t r = 0; r < n_requests; ++r) {
+    const auto& m = corpus[r % corpus.size()].matrix;
+    sparse::DenseMatrix x(m.cols(), k);
+    sparse::fill_random(x, static_cast<std::uint64_t>(r) + 1);
+    xs.push_back(std::move(x));
+  }
+
+  const auto t0 = Clock::now();
+  std::vector<std::future<sparse::DenseMatrix>> futs;
+  futs.reserve(n_requests);
+  for (std::size_t r = 0; r < n_requests; ++r) {
+    futs.push_back(server.submit(corpus[r % corpus.size()].name, std::move(xs[r])));
+  }
+  for (auto& f : futs) f.get();
+  server.wait_idle();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  const auto& m = server.metrics();
+  MixResult res;
+  res.threads = threads;
+  res.mix = warm ? "warm" : "cold";
+  res.requests = n_requests;
+  res.req_per_s = static_cast<double>(n_requests) / elapsed;
+  res.p50_s = m.latency.quantile(0.50);
+  res.p95_s = m.latency.quantile(0.95);
+  res.plans_built = m.plans_built.load();
+  res.coalesced = m.requests_coalesced.load();
+  return res;
+}
+
+std::string to_json(const std::vector<MixResult>& results) {
+  std::ostringstream js;
+  js << "{\"bench\":\"serving_throughput\",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MixResult& r = results[i];
+    if (i) js << ',';
+    js << "{\"threads\":" << r.threads << ",\"mix\":\"" << r.mix << "\""
+       << ",\"requests\":" << r.requests << ",\"req_per_s\":" << r.req_per_s
+       << ",\"latency_p50_s\":" << r.p50_s << ",\"latency_p95_s\":" << r.p95_s
+       << ",\"plans_built\":" << r.plans_built << ",\"requests_coalesced\":" << r.coalesced
+       << "}";
+  }
+  js << "]}";
+  return js.str();
+}
+
+}  // namespace
+}  // namespace rrspmm
+
+int main() {
+  using namespace rrspmm;
+
+  const auto corpus = synth::build_test_corpus();
+  constexpr std::size_t kRequests = 64;
+  constexpr index_t kK = 16;
+
+  std::printf("== serving throughput: runtime::Server, %zu matrices, %zu requests, K=%d ==\n",
+              corpus.size(), kRequests, kK);
+
+  std::vector<MixResult> results;
+  for (const bool warm : {true, false}) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      results.push_back(run_mix(threads, warm, corpus, kRequests, kK));
+      const MixResult& r = results.back();
+      std::fprintf(stderr, "  %s x%u: %.0f req/s\n", r.mix.c_str(), r.threads, r.req_per_s);
+    }
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const MixResult& r : results) {
+    rows.push_back({r.mix, std::to_string(r.threads), std::to_string(r.requests),
+                    harness::fmt(r.req_per_s, 1), harness::fmt(r.p50_s * 1e3, 3),
+                    harness::fmt(r.p95_s * 1e3, 3), std::to_string(r.plans_built),
+                    std::to_string(r.coalesced)});
+  }
+  std::printf("%s\n",
+              harness::render_table({"mix", "threads", "requests", "req/s", "p50_ms", "p95_ms",
+                                     "plans_built", "coalesced"},
+                                    rows)
+                  .c_str());
+
+  const std::string json = to_json(results);
+  std::ofstream out("BENCH_serving.json", std::ios::trunc);
+  out << json << '\n';
+  std::printf("wrote BENCH_serving.json\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "core/fingerprint.hpp"
+
+#include <sstream>
+
+namespace rrspmm::core {
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t len, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(const std::string& s) { return fnv1a_bytes(s.data(), s.size()); }
+
+std::string matrix_fingerprint(const sparse::CsrMatrix& m) {
+  std::uint64_t h = kFnvBasis;
+  const index_t dims[2] = {m.rows(), m.cols()};
+  h = fnv1a_bytes(dims, sizeof(dims), h);
+  h = fnv1a_bytes(m.rowptr().data(), m.rowptr().size() * sizeof(offset_t), h);
+  h = fnv1a_bytes(m.colidx().data(), m.colidx().size() * sizeof(index_t), h);
+  h = fnv1a_bytes(m.values().data(), m.values().size() * sizeof(value_t), h);
+  std::ostringstream os;
+  os << m.rows() << 'x' << m.cols() << ':' << m.nnz() << ':' << std::hex << h;
+  return os.str();
+}
+
+std::string pipeline_fingerprint(const PipelineConfig& cfg) {
+  std::ostringstream os;
+  os << "lsh:" << cfg.reorder.lsh.siglen << ',' << cfg.reorder.lsh.bsize << ','
+     << cfg.reorder.lsh.bucket_cap << ',' << cfg.reorder.lsh.min_similarity << ','
+     << cfg.reorder.lsh.seed << ',' << static_cast<int>(cfg.reorder.lsh.scheme);
+  os << "|cluster:" << cfg.reorder.cluster.threshold_size;
+  os << "|aspt:" << cfg.aspt.panel_rows << ',' << cfg.aspt.dense_col_threshold << ','
+     << cfg.aspt.max_dense_cols;
+  os << "|skip:" << cfg.dense_ratio_skip << ',' << cfg.avg_sim_skip << ',' << cfg.force_round1
+     << ',' << cfg.force_round2 << ',' << cfg.disable_round1 << ',' << cfg.disable_round2;
+  return os.str();
+}
+
+std::string device_fingerprint(const gpusim::DeviceConfig& dev) {
+  std::ostringstream os;
+  os << "dev:" << dev.num_sms << ',' << dev.warp_size << ',' << dev.shared_mem_per_sm << ','
+     << dev.l2_bytes << ',' << dev.line_bytes << ',' << dev.dram_gbps << ',' << dev.l2_gbps << ','
+     << dev.shared_gbps << ',' << dev.peak_gflops << ',' << dev.blocks_per_sm << ','
+     << dev.warps_per_block << ',' << dev.launch_overhead_s;
+  return os.str();
+}
+
+}  // namespace rrspmm::core

@@ -1,0 +1,44 @@
+// Stable fingerprints of matrices and configurations.
+//
+// A fingerprint is a short string that changes whenever anything it
+// covers changes, and is stable across processes and runs. Two consumers
+// share this implementation: the bench-result cache in harness/ (whose
+// key covers the whole experiment setup) and the runtime plan cache
+// (whose key is matrix content + pipeline knobs). Hoisting the helpers
+// here keeps the two from diverging — a knob added to PipelineConfig is
+// added to pipeline_fingerprint once and both caches invalidate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "gpusim/device.hpp"
+#include "sparse/csr.hpp"
+
+namespace rrspmm::core {
+
+inline constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+
+/// FNV-1a over a byte range; pass the previous result as `h` to chain.
+std::uint64_t fnv1a_bytes(const void* data, std::size_t len, std::uint64_t h = kFnvBasis);
+
+/// FNV-1a of a string.
+std::uint64_t fnv1a(const std::string& s);
+
+/// Content fingerprint of a CSR matrix: dimensions plus every structural
+/// array and the values, so matrices that differ in any nonzero — pattern
+/// or numeric — fingerprint differently. O(nnz); callers that look up the
+/// same matrix repeatedly should compute it once (the runtime registry
+/// fingerprints at registration).
+std::string matrix_fingerprint(const sparse::CsrMatrix& m);
+
+/// Every knob of PipelineConfig (LSH, clustering, tiling, §4 skip
+/// thresholds, ablation switches), spelled out field by field.
+std::string pipeline_fingerprint(const PipelineConfig& cfg);
+
+/// Every field of the device model.
+std::string device_fingerprint(const gpusim::DeviceConfig& dev);
+
+}  // namespace rrspmm::core

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/fingerprint.hpp"
+
 namespace rrspmm::harness {
 
 namespace {
@@ -36,34 +38,14 @@ bool get_triple(std::istream& in, KernelTriple& t) {
          get_sim(in, t.aspt_rr);
 }
 
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 }  // namespace
 
 std::string experiment_fingerprint(const synth::CorpusConfig& corpus,
                                    const ExperimentConfig& cfg) {
   std::ostringstream os;
   os << "corpus:" << corpus.count << ',' << corpus.scale << ',' << corpus.seed;
-  const auto& p = cfg.pipeline;
-  os << "|lsh:" << p.reorder.lsh.siglen << ',' << p.reorder.lsh.bsize << ','
-     << p.reorder.lsh.bucket_cap << ',' << p.reorder.lsh.min_similarity << ','
-     << p.reorder.lsh.seed << ',' << static_cast<int>(p.reorder.lsh.scheme);
-  os << "|cluster:" << p.reorder.cluster.threshold_size;
-  os << "|aspt:" << p.aspt.panel_rows << ',' << p.aspt.dense_col_threshold << ','
-     << p.aspt.max_dense_cols;
-  os << "|skip:" << p.dense_ratio_skip << ',' << p.avg_sim_skip << ',' << p.force_round1 << ','
-     << p.force_round2 << ',' << p.disable_round1 << ',' << p.disable_round2;
-  const auto& d = cfg.device;
-  os << "|dev:" << d.num_sms << ',' << d.l2_bytes << ',' << d.line_bytes << ',' << d.dram_gbps
-     << ',' << d.peak_gflops << ',' << d.blocks_per_sm << ',' << d.warps_per_block << ','
-     << d.launch_overhead_s;
+  os << '|' << core::pipeline_fingerprint(cfg.pipeline);
+  os << '|' << core::device_fingerprint(cfg.device);
   os << "|ks:";
   for (index_t k : cfg.ks) os << k << ',';
   os << "|sddmm:" << cfg.run_sddmm << "|model:3";
@@ -136,7 +118,7 @@ std::vector<MatrixRecord> cached_default_experiment(const ExperimentConfig& cfg)
   const std::string fp = experiment_fingerprint(corpus, cfg);
   const char* tmp = std::getenv("TMPDIR");
   const std::string path = std::string(tmp ? tmp : "/tmp") + "/rrspmm_cache_" +
-                           std::to_string(fnv1a(fp)) + ".txt";
+                           std::to_string(core::fnv1a(fp)) + ".txt";
 
   const bool no_cache = std::getenv("RRSPMM_NO_CACHE") != nullptr;
   if (!no_cache) {

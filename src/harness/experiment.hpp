@@ -47,7 +47,11 @@ struct ExperimentConfig {
   bool verbose = true;  ///< progress lines on stderr
 };
 
-/// Runs the experiment over `corpus`.
+/// Runs the experiment over `corpus`, fanning matrices out across a
+/// runtime::WorkerPool (RRSPMM_THREADS workers, default hardware
+/// concurrency; set 1 to force sequential). Records are ordered by
+/// corpus index, not completion order, so the output is identical for
+/// any thread count.
 std::vector<MatrixRecord> run_experiment(const std::vector<synth::CorpusEntry>& corpus,
                                          const ExperimentConfig& cfg);
 

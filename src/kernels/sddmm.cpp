@@ -41,6 +41,27 @@ void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& 
   }
 }
 
+void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
+                   std::vector<value_t>& out, index_t row_begin, index_t row_end) {
+  check_sddmm_shapes(s.rows(), s.cols(), x, y);
+  if (row_begin < 0 || row_end > s.rows() || row_begin > row_end) {
+    throw sparse::invalid_matrix("SDDMM: row range out of bounds");
+  }
+  if (out.size() != static_cast<std::size_t>(s.nnz())) {
+    throw sparse::invalid_matrix("SDDMM: out must be pre-sized to nnz for row-range calls");
+  }
+  const index_t k = x.cols();
+  for (index_t i = row_begin; i < row_end; ++i) {
+    const value_t* yr = y.row(i).data();
+    const auto cols = s.row_cols(i);
+    const auto vals = s.row_vals(i);
+    const offset_t base = s.rowptr()[static_cast<std::size_t>(i)];
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      out[static_cast<std::size_t>(base) + j] = vals[j] * dot(yr, x.row(cols[j]).data(), k);
+    }
+  }
+}
+
 void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
                 std::vector<value_t>& out, const std::vector<index_t>* sparse_order) {
   check_sddmm_shapes(a.rows(), a.cols(), x, y);
@@ -89,6 +110,61 @@ void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
 #endif
   for (index_t pos = 0; pos < sp.rows(); ++pos) {
     const index_t i = sparse_order ? (*sparse_order)[static_cast<std::size_t>(pos)] : pos;
+    const auto cols = sp.row_cols(i);
+    if (cols.empty()) continue;
+    const auto vals = sp.row_vals(i);
+    const value_t* yr = y.row(i).data();
+    const offset_t base = sp.rowptr()[static_cast<std::size_t>(i)];
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      out[static_cast<std::size_t>(src[static_cast<std::size_t>(base) + j])] =
+          vals[j] * dot(yr, x.row(cols[j]).data(), k);
+    }
+  }
+}
+
+void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
+                          std::vector<value_t>& out, index_t row_begin, index_t row_end) {
+  check_sddmm_shapes(a.rows(), a.cols(), x, y);
+  if (row_begin < 0 || row_end > a.rows() || row_begin > row_end) {
+    throw sparse::invalid_matrix("SDDMM: row range out of bounds");
+  }
+  if (out.size() != static_cast<std::size_t>(a.stats().nnz_total)) {
+    throw sparse::invalid_matrix("SDDMM: out must be pre-sized to nnz for row-range calls");
+  }
+  const index_t k = x.cols();
+
+  // Dense tiles of the panels intersecting the range, clipped to it.
+  std::vector<value_t> staged;
+  for (const aspt::Panel& p : a.panels()) {
+    if (p.row_end <= row_begin || p.row_begin >= row_end) continue;
+    if (p.dense_cols.empty()) continue;
+    staged.resize(p.dense_cols.size() * static_cast<std::size_t>(k));
+    for (std::size_t d = 0; d < p.dense_cols.size(); ++d) {
+      const value_t* xr = x.row(p.dense_cols[d]).data();
+      std::copy(xr, xr + k, staged.data() + d * static_cast<std::size_t>(k));
+    }
+    const index_t lo_row = std::max(row_begin, p.row_begin);
+    const index_t hi_row = std::min(row_end, p.row_end);
+    for (index_t row = lo_row; row < hi_row; ++row) {
+      const index_t r = row - p.row_begin;
+      const value_t* yr = y.row(row).data();
+      const offset_t lo = p.dense_rowptr[static_cast<std::size_t>(r)];
+      const offset_t hi = p.dense_rowptr[static_cast<std::size_t>(r) + 1];
+      for (offset_t j = lo; j < hi; ++j) {
+        const value_t* xr =
+            staged.data() +
+            static_cast<std::size_t>(p.dense_slot[static_cast<std::size_t>(j)]) *
+                static_cast<std::size_t>(k);
+        out[static_cast<std::size_t>(p.dense_src_idx[static_cast<std::size_t>(j)])] =
+            p.dense_val[static_cast<std::size_t>(j)] * dot(yr, xr, k);
+      }
+    }
+  }
+
+  // Sparse remainder of the same rows.
+  const CsrMatrix& sp = a.sparse_part();
+  const auto& src = a.sparse_src_idx();
+  for (index_t i = row_begin; i < row_end; ++i) {
     const auto cols = sp.row_cols(i);
     if (cols.empty()) continue;
     const auto vals = sp.row_vals(i);

@@ -23,10 +23,24 @@ using sparse::DenseMatrix;
 void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
                    std::vector<value_t>& out);
 
+/// Row-range variant: fills only the output slots of rows
+/// [row_begin, row_end); `out` must already be sized to s.nnz(). Serial,
+/// race-free across disjoint ranges (each nonzero belongs to one row).
+void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
+                   std::vector<value_t>& out, index_t row_begin, index_t row_end);
+
 /// ASpT-structured SDDMM; `out` is aligned with the CSR that `a` was
 /// built from (via the tiling's source-index maps).
 void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
                 std::vector<value_t>& out,
                 const std::vector<index_t>* sparse_order = nullptr);
+
+/// Row-range ASpT SDDMM: dense tiles clipped to [row_begin, row_end) plus
+/// the sparse remainder of those rows, scattering through the source-
+/// index maps. `out` must already be sized to the tiling's nnz_total.
+/// Serial and race-free across disjoint ranges; ranges partitioning
+/// [0, rows) reproduce sddmm_aspt exactly.
+void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
+                          std::vector<value_t>& out, index_t row_begin, index_t row_end);
 
 }  // namespace rrspmm::kernels

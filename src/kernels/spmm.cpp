@@ -36,6 +36,26 @@ void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y) {
   }
 }
 
+void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, index_t row_begin,
+                  index_t row_end) {
+  check_spmm_shapes(s.rows(), s.cols(), x, y);
+  if (row_begin < 0 || row_end > s.rows() || row_begin > row_end) {
+    throw sparse::invalid_matrix("SpMM: row range out of bounds");
+  }
+  const index_t k = x.cols();
+  for (index_t i = row_begin; i < row_end; ++i) {
+    value_t* yr = y.row(i).data();
+    std::fill(yr, yr + k, value_t{0});
+    const auto cols = s.row_cols(i);
+    const auto vals = s.row_vals(i);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const value_t v = vals[j];
+      const value_t* xr = x.row(cols[j]).data();
+      for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
+    }
+  }
+}
+
 void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
                const std::vector<index_t>* sparse_order) {
   check_spmm_shapes(a.rows(), a.cols(), x, y);
@@ -86,6 +106,61 @@ void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
 #endif
   for (index_t pos = 0; pos < sp.rows(); ++pos) {
     const index_t i = sparse_order ? (*sparse_order)[static_cast<std::size_t>(pos)] : pos;
+    const auto cols = sp.row_cols(i);
+    if (cols.empty()) continue;
+    const auto vals = sp.row_vals(i);
+    value_t* yr = y.row(i).data();
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const value_t v = vals[j];
+      const value_t* xr = x.row(cols[j]).data();
+      for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
+    }
+  }
+}
+
+void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+                         index_t row_begin, index_t row_end) {
+  check_spmm_shapes(a.rows(), a.cols(), x, y);
+  if (row_begin < 0 || row_end > a.rows() || row_begin > row_end) {
+    throw sparse::invalid_matrix("SpMM: row range out of bounds");
+  }
+  const index_t k = x.cols();
+  for (index_t i = row_begin; i < row_end; ++i) {
+    value_t* yr = y.row(i).data();
+    std::fill(yr, yr + k, value_t{0});
+  }
+
+  // Dense tiles of the panels intersecting the range, clipped to it.
+  std::vector<value_t> staged;
+  for (const aspt::Panel& p : a.panels()) {
+    if (p.row_end <= row_begin || p.row_begin >= row_end) continue;
+    if (p.dense_cols.empty()) continue;
+    staged.resize(p.dense_cols.size() * static_cast<std::size_t>(k));
+    for (std::size_t d = 0; d < p.dense_cols.size(); ++d) {
+      const value_t* xr = x.row(p.dense_cols[d]).data();
+      std::copy(xr, xr + k, staged.data() + d * static_cast<std::size_t>(k));
+    }
+    const index_t lo_row = std::max(row_begin, p.row_begin);
+    const index_t hi_row = std::min(row_end, p.row_end);
+    for (index_t row = lo_row; row < hi_row; ++row) {
+      const index_t r = row - p.row_begin;
+      value_t* yr = y.row(row).data();
+      const offset_t lo = p.dense_rowptr[static_cast<std::size_t>(r)];
+      const offset_t hi = p.dense_rowptr[static_cast<std::size_t>(r) + 1];
+      for (offset_t j = lo; j < hi; ++j) {
+        const value_t v = p.dense_val[static_cast<std::size_t>(j)];
+        const value_t* xr =
+            staged.data() +
+            static_cast<std::size_t>(p.dense_slot[static_cast<std::size_t>(j)]) *
+                static_cast<std::size_t>(k);
+        for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
+      }
+    }
+  }
+
+  // Sparse remainder of the same rows.
+  const CsrMatrix& sp = a.sparse_part();
+  for (index_t i = row_begin; i < row_end; ++i) {
     const auto cols = sp.row_cols(i);
     if (cols.empty()) continue;
     const auto vals = sp.row_vals(i);

@@ -25,11 +25,31 @@ using sparse::DenseMatrix;
 /// S.rows() x X.cols(); X must be S.cols() x K.
 void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y);
 
+/// Row-range variant: computes (and zeroes) only Y rows
+/// [row_begin, row_end). Serial — no OpenMP inside — so an external
+/// scheduler (runtime::WorkerPool) can drive many disjoint ranges
+/// concurrently; disjoint ranges touch disjoint Y rows, and per-row
+/// accumulation order matches the full kernel, so a range-partitioned
+/// run is bitwise equal to it.
+void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, index_t row_begin,
+                  index_t row_end);
+
 /// Y = S * X over an ASpT tiling: dense-tile phase with a stack-local
 /// panel buffer standing in for shared memory, then the sparse remainder
 /// row-wise. `sparse_order`, if non-null, is the processing order of the
 /// sparse-part rows (affects performance only; the result is identical).
 void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
                const std::vector<index_t>* sparse_order = nullptr);
+
+/// Row-range ASpT SpMM: zeroes Y rows [row_begin, row_end), then runs the
+/// dense-tile phase clipped to those rows and the sparse remainder
+/// row-wise over them. Serial, race-free across disjoint ranges (each
+/// range writes only its own Y rows), and bitwise equal to spmm_aspt
+/// when the ranges partition [0, rows) — every row accumulates dense
+/// contributions first, then sparse, in the same nonzero order. The
+/// sparse processing order is irrelevant here because each row's sum is
+/// independent; panel-aligned ranges reproduce the staging locality.
+void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+                         index_t row_begin, index_t row_end);
 
 }  // namespace rrspmm::kernels

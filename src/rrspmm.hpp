@@ -9,6 +9,7 @@
 
 #include "aspt/aspt.hpp"
 #include "core/baseline_reorder.hpp"
+#include "core/fingerprint.hpp"
 #include "core/pipeline.hpp"
 #include "core/plan_io.hpp"
 #include "core/reorder_engine.hpp"
@@ -20,6 +21,7 @@
 #include "kernels/spmv.hpp"
 #include "lsh/candidates.hpp"
 #include "lsh/minhash.hpp"
+#include "runtime/runtime.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"

@@ -1,0 +1,85 @@
+#include "runtime/execute.hpp"
+
+#include "kernels/sddmm.hpp"
+#include "kernels/spmm.hpp"
+#include "sparse/permute.hpp"
+
+namespace rrspmm::runtime {
+
+namespace {
+
+bool is_identity(const std::vector<index_t>& perm) {
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] != static_cast<index_t>(i)) return false;
+  }
+  return true;
+}
+
+void spmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix& x,
+                 DenseMatrix& y, Metrics* metrics) {
+  const auto& panels = a.panels();
+  if (panels.empty()) {
+    kernels::spmm_aspt_row_range(a, x, y, 0, a.rows());
+    return;
+  }
+  pool.parallel_for(panels.size(), [&](std::size_t pi) {
+    kernels::spmm_aspt_row_range(a, x, y, panels[pi].row_begin, panels[pi].row_end);
+    if (metrics) metrics->panels_executed.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+void sddmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix& x,
+                  const DenseMatrix& y, std::vector<value_t>& out, Metrics* metrics) {
+  out.assign(static_cast<std::size_t>(a.stats().nnz_total), value_t{0});
+  const auto& panels = a.panels();
+  if (panels.empty()) {
+    kernels::sddmm_aspt_row_range(a, x, y, out, 0, a.rows());
+    return;
+  }
+  pool.parallel_for(panels.size(), [&](std::size_t pi) {
+    kernels::sddmm_aspt_row_range(a, x, y, out, panels[pi].row_begin, panels[pi].row_end);
+    if (metrics) metrics->panels_executed.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+}  // namespace
+
+void parallel_spmm(WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
+                   DenseMatrix& y, Metrics* metrics) {
+  if (is_identity(plan.row_perm)) {
+    spmm_panels(pool, plan.tiled, x, y, metrics);
+    return;
+  }
+  DenseMatrix yp(plan.tiled.rows(), x.cols());
+  spmm_panels(pool, plan.tiled, x, yp, metrics);
+  y = sparse::unpermute_dense_rows(yp, plan.row_perm);
+}
+
+void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
+                    const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
+                    Metrics* metrics) {
+  if (m.rows() != plan.tiled.rows() || m.nnz() != plan.tiled.stats().nnz_total) {
+    throw sparse::invalid_matrix("parallel_sddmm: matrix does not match the plan");
+  }
+  if (is_identity(plan.row_perm)) {
+    sddmm_panels(pool, plan.tiled, x, y, out, metrics);
+    return;
+  }
+  // Same permutation dance as core::run_sddmm: Y into permuted row space,
+  // then scatter per-row output segments back to the caller's layout.
+  const DenseMatrix yp = sparse::permute_dense_rows(y, plan.row_perm);
+  std::vector<value_t> outp;
+  sddmm_panels(pool, plan.tiled, x, yp, outp, metrics);
+
+  out.resize(static_cast<std::size_t>(m.nnz()));
+  offset_t ppos = 0;
+  for (index_t i = 0; i < m.rows(); ++i) {
+    const index_t orig = plan.row_perm[static_cast<std::size_t>(i)];
+    const offset_t base = m.rowptr()[static_cast<std::size_t>(orig)];
+    const index_t len = m.row_nnz(orig);
+    std::copy(outp.begin() + ppos, outp.begin() + ppos + len, out.begin() + base);
+    ppos += len;
+  }
+}
+
+}  // namespace rrspmm::runtime

@@ -1,0 +1,33 @@
+// Panel-parallel plan execution on a WorkerPool.
+//
+// One task per ASpT row panel: the panel's dense tile plus the sparse
+// remainder of its rows, via the kernels' row-range entry points. Each
+// task writes a disjoint set of output rows, and each row accumulates
+// dense-then-sparse contributions in the same nonzero order as the
+// sequential kernels, so results are bitwise equal to core::run_spmm /
+// run_sddmm — the runtime changes who computes, never what.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace rrspmm::runtime {
+
+using sparse::CsrMatrix;
+using sparse::DenseMatrix;
+
+/// Same contract as core::run_spmm (y in the caller's row order), executed
+/// panel-parallel on `pool`. `metrics`, when given, counts the panels.
+void parallel_spmm(WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
+                   DenseMatrix& y, Metrics* metrics = nullptr);
+
+/// Same contract as core::run_sddmm (out aligned with m's nonzero order),
+/// executed panel-parallel on `pool`.
+void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
+                    const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
+                    Metrics* metrics = nullptr);
+
+}  // namespace rrspmm::runtime

@@ -1,0 +1,71 @@
+// Serving-runtime observability: lock-free counters and a fixed-bucket
+// latency histogram, dumpable as JSON. Everything here is written on hot
+// paths from many threads at once, so all state is std::atomic with
+// relaxed ordering — the numbers are monotone counters whose exact
+// interleaving does not matter, only their eventual totals.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rrspmm::runtime {
+
+/// Power-of-two-microsecond latency histogram: bucket i counts requests
+/// whose latency is in (2^(i-1), 2^i] µs, bucket 0 everything ≤ 1 µs,
+/// the last bucket everything slower. 40 buckets cover ~1 µs to ~9 days.
+/// Quantiles are read as the upper edge of the bucket containing the
+/// requested rank — a ≤2x overestimate by construction, which is the
+/// usual fixed-bucket tradeoff (no allocation, no locks, mergeable).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void record(double seconds);
+
+  /// Upper bucket edge (seconds) at quantile q in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+
+  std::uint64_t count() const;
+  double total_seconds() const;
+
+  /// Per-bucket counts (index i -> count), for external aggregation.
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+/// Counters shared by PlanCache, WorkerPool executions, and Server.
+/// Aggregated, not per-matrix: the serving runtime is one process-wide
+/// engine and these are its health gauges.
+struct Metrics {
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> cache_evictions{0};
+  std::atomic<std::uint64_t> plans_built{0};
+
+  std::atomic<std::uint64_t> requests_submitted{0};
+  std::atomic<std::uint64_t> requests_completed{0};
+  std::atomic<std::uint64_t> requests_failed{0};
+  std::atomic<std::uint64_t> batches_executed{0};
+  /// Requests that shared a batch with at least one other request.
+  std::atomic<std::uint64_t> requests_coalesced{0};
+  /// Row-panel tasks executed by the panel-parallel kernels.
+  std::atomic<std::uint64_t> panels_executed{0};
+  /// Requests currently queued or executing (gauge, not a counter).
+  std::atomic<std::uint64_t> queue_depth{0};
+
+  LatencyHistogram latency;
+
+  /// One JSON object with every counter plus p50/p95/p99 latency in
+  /// seconds. Values are read individually (relaxed), so a dump taken
+  /// while traffic is in flight is approximate but well-formed.
+  std::string to_json() const;
+};
+
+}  // namespace rrspmm::runtime

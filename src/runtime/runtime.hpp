@@ -1,0 +1,9 @@
+// Umbrella header for the serving runtime: plan cache, worker pool,
+// panel-parallel execution, server, metrics.
+#pragma once
+
+#include "runtime/execute.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/server.hpp"
+#include "runtime/worker_pool.hpp"

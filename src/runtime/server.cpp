@@ -1,0 +1,239 @@
+#include "runtime/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/fingerprint.hpp"
+
+namespace rrspmm::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      plan_cache_(PlanCacheConfig{cfg_.plan_cache_capacity, cfg_.pipeline, cfg_.device,
+                                  cfg_.autotune_k},
+                  &metrics_),
+      pool_(cfg_.threads) {
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+}
+
+Server::~Server() { wait_idle(); }
+
+void Server::register_matrix(const std::string& name, sparse::CsrMatrix m) {
+  auto reg = std::make_unique<Registered>();
+  reg->fingerprint = core::matrix_fingerprint(m);
+  reg->matrix = std::move(m);
+  std::lock_guard<std::mutex> lk(reg_m_);
+  if (!registry_.emplace(name, std::move(reg)).second) {
+    throw sparse::invalid_matrix("Server: matrix name already registered: " + name);
+  }
+}
+
+bool Server::has_matrix(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(reg_m_);
+  return registry_.count(name) > 0;
+}
+
+std::vector<std::string> Server::matrix_names() const {
+  std::lock_guard<std::mutex> lk(reg_m_);
+  std::vector<std::string> names;
+  names.reserve(registry_.size());
+  for (const auto& [name, reg] : registry_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Server::Registered& Server::entry(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(reg_m_);
+  const auto it = registry_.find(name);
+  if (it == registry_.end()) {
+    throw sparse::invalid_matrix("Server: unknown matrix: " + name);
+  }
+  // Entries are never erased, so the reference stays valid unlocked.
+  return *it->second;
+}
+
+PlanPtr Server::warm(const std::string& name) {
+  Registered& e = entry(name);
+  return plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+}
+
+std::future<sparse::DenseMatrix> Server::submit(const std::string& name, sparse::DenseMatrix x) {
+  Registered& e = entry(name);
+  if (x.rows() != e.matrix.cols()) {
+    throw sparse::invalid_matrix("Server::submit: X rows must equal S cols");
+  }
+
+  SpmmRequest req;
+  req.x = std::move(x);
+  req.t0 = Clock::now();
+  std::future<sparse::DenseMatrix> fut = req.result.get_future();
+
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(idle_m_);
+    ++inflight_;
+  }
+
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lk(e.m);
+    e.queue.push_back(std::move(req));
+    if (!e.drain_scheduled) {
+      e.drain_scheduled = true;
+      schedule = true;
+    }
+  }
+  // One drain task per matrix at a time: it owns the queue until empty,
+  // so same-matrix requests queued while it runs coalesce into its next
+  // batch instead of spawning competing executions.
+  if (schedule) pool_.submit([this, &e] { drain(e); });
+  return fut;
+}
+
+void Server::drain(Registered& e) {
+  for (;;) {
+    std::vector<SpmmRequest> batch;
+    {
+      std::lock_guard<std::mutex> lk(e.m);
+      const std::size_t n = std::min(e.queue.size(), cfg_.max_batch);
+      if (n == 0) {
+        e.drain_scheduled = false;
+        return;
+      }
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(e.queue.front()));
+        e.queue.pop_front();
+      }
+    }
+
+    // Completion metrics are bumped BEFORE a promise is fulfilled so a
+    // client that observed its future ready always sees itself counted.
+    try {
+      const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+      if (batch.size() == 1) {
+        sparse::DenseMatrix y(e.matrix.rows(), batch[0].x.cols());
+        parallel_spmm(pool_, *plan, batch[0].x, y, &metrics_);
+        metrics_.batches_executed.fetch_add(1, std::memory_order_relaxed);
+        metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+        metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+        metrics_.latency.record(seconds_since(batch[0].t0));
+        batch[0].result.set_value(std::move(y));
+      } else {
+        // Coalesce: concatenate the X operands column-wise, run one
+        // multi-K SpMM, split the product back per request.
+        index_t k_total = 0;
+        for (const SpmmRequest& r : batch) k_total += r.x.cols();
+        sparse::DenseMatrix x_all(e.matrix.cols(), k_total);
+        index_t off = 0;
+        for (const SpmmRequest& r : batch) {
+          const index_t k = r.x.cols();
+          for (index_t c = 0; c < r.x.rows(); ++c) {
+            const auto src = r.x.row(c);
+            std::copy(src.begin(), src.end(), x_all.row(c).data() + off);
+          }
+          off += k;
+        }
+
+        sparse::DenseMatrix y_all(e.matrix.rows(), k_total);
+        parallel_spmm(pool_, *plan, x_all, y_all, &metrics_);
+        metrics_.requests_coalesced.fetch_add(batch.size(), std::memory_order_relaxed);
+        metrics_.batches_executed.fetch_add(1, std::memory_order_relaxed);
+        metrics_.requests_completed.fetch_add(batch.size(), std::memory_order_relaxed);
+        metrics_.queue_depth.fetch_sub(batch.size(), std::memory_order_relaxed);
+
+        off = 0;
+        for (SpmmRequest& r : batch) {
+          const index_t k = r.x.cols();
+          sparse::DenseMatrix y(e.matrix.rows(), k);
+          for (index_t i = 0; i < y.rows(); ++i) {
+            const value_t* src = y_all.row(i).data() + off;
+            std::copy(src, src + k, y.row(i).data());
+          }
+          metrics_.latency.record(seconds_since(r.t0));
+          r.result.set_value(std::move(y));
+          off += k;
+        }
+      }
+    } catch (...) {
+      metrics_.requests_failed.fetch_add(batch.size(), std::memory_order_relaxed);
+      metrics_.queue_depth.fetch_sub(batch.size(), std::memory_order_relaxed);
+      for (SpmmRequest& r : batch) {
+        metrics_.latency.record(seconds_since(r.t0));
+        r.result.set_exception(std::current_exception());
+      }
+    }
+
+    finish_requests(batch.size());
+  }
+}
+
+std::future<std::vector<value_t>> Server::submit_sddmm(const std::string& name,
+                                                       sparse::DenseMatrix x,
+                                                       sparse::DenseMatrix y) {
+  Registered& e = entry(name);
+  if (x.rows() != e.matrix.cols() || y.rows() != e.matrix.rows() || x.cols() != y.cols()) {
+    throw sparse::invalid_matrix("Server::submit_sddmm: operand shapes do not match the matrix");
+  }
+
+  struct SddmmRequest {
+    sparse::DenseMatrix x, y;
+    std::promise<std::vector<value_t>> result;
+    Clock::time_point t0;
+  };
+  auto req = std::make_shared<SddmmRequest>();
+  req->x = std::move(x);
+  req->y = std::move(y);
+  req->t0 = Clock::now();
+  std::future<std::vector<value_t>> fut = req->result.get_future();
+
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(idle_m_);
+    ++inflight_;
+  }
+
+  pool_.submit([this, &e, req] {
+    try {
+      const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+      std::vector<value_t> out;
+      parallel_sddmm(pool_, *plan, e.matrix, req->x, req->y, out, &metrics_);
+      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      metrics_.latency.record(seconds_since(req->t0));
+      req->result.set_value(std::move(out));
+    } catch (...) {
+      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      metrics_.latency.record(seconds_since(req->t0));
+      req->result.set_exception(std::current_exception());
+    }
+    finish_requests(1);
+  });
+  return fut;
+}
+
+void Server::finish_requests(std::size_t n) {
+  std::lock_guard<std::mutex> lk(idle_m_);
+  inflight_ -= n;
+  if (inflight_ == 0) idle_cv_.notify_all();
+}
+
+void Server::wait_idle() {
+  std::unique_lock<std::mutex> lk(idle_m_);
+  idle_cv_.wait(lk, [this] { return inflight_ == 0; });
+}
+
+}  // namespace rrspmm::runtime

@@ -1,0 +1,126 @@
+// Concurrent SpMM/SDDMM serving engine.
+//
+// A Server owns a registry of named sparse matrices, a PlanCache, and a
+// WorkerPool. Clients call submit() from any thread and get a future for
+// the product; the server amortises the paper's expensive preprocessing
+// through the plan cache and executes each request panel-parallel.
+//
+// Batching: requests against the same matrix that are queued together are
+// coalesced into one multi-K execution — their X operands are
+// concatenated column-wise, one SpMM runs at K = ΣK_i, and the result is
+// split back per request. The sparse matrix (and its plan) is then
+// traversed once per batch instead of once per request, which is exactly
+// the amortisation the paper's transformation needs. Column
+// concatenation leaves each output element's accumulation order intact,
+// so batched results are bitwise equal to individually-executed ones.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/execute.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace rrspmm::runtime {
+
+struct ServerConfig {
+  unsigned threads = 0;                  ///< worker count; 0 → default_threads()
+  std::size_t plan_cache_capacity = 32;
+  PlanMode mode = PlanMode::rr;          ///< how plans are built
+  std::size_t max_batch = 8;             ///< max requests coalesced per execution
+  core::PipelineConfig pipeline;
+  gpusim::DeviceConfig device = gpusim::DeviceConfig::p100();
+  index_t autotune_k = 512;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg = {});
+
+  /// Waits for all in-flight requests, then stops the pool.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers `m` under `name` (fingerprinted once, here). Throws
+  /// invalid_matrix if the name is taken.
+  void register_matrix(const std::string& name, sparse::CsrMatrix m);
+
+  bool has_matrix(const std::string& name) const;
+  std::vector<std::string> matrix_names() const;
+
+  /// Builds (or fetches) the plan for `name` synchronously — call after
+  /// register_matrix to pay the preprocessing cost before traffic
+  /// arrives.
+  PlanPtr warm(const std::string& name);
+
+  /// Enqueues an SpMM request: the future resolves to Y = S_name * x
+  /// (x is S.cols() x K, the result S.rows() x K). Thread-safe. Shape
+  /// mismatches throw here, synchronously (a misshapen operand must not
+  /// poison the batch it would join); plan-build failures arrive through
+  /// the future.
+  std::future<sparse::DenseMatrix> submit(const std::string& name, sparse::DenseMatrix x);
+
+  /// Enqueues an SDDMM request: out[j] = S.values()[j] * <y row i, x row c>
+  /// per nonzero, aligned with the registered matrix's CSR order. SDDMM
+  /// requests are executed singly (their two operands do not concatenate).
+  std::future<std::vector<value_t>> submit_sddmm(const std::string& name, sparse::DenseMatrix x,
+                                                 sparse::DenseMatrix y);
+
+  /// Blocks until every submitted request has completed.
+  void wait_idle();
+
+  const Metrics& metrics() const { return metrics_; }
+  std::string metrics_json() const { return metrics_.to_json(); }
+
+  WorkerPool& pool() { return pool_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+
+ private:
+  struct SpmmRequest {
+    sparse::DenseMatrix x;
+    std::promise<sparse::DenseMatrix> result;
+    std::chrono::steady_clock::time_point t0;
+  };
+
+  struct Registered {
+    sparse::CsrMatrix matrix;
+    std::string fingerprint;
+    std::mutex m;                       ///< guards queue + drain_scheduled
+    std::deque<SpmmRequest> queue;
+    bool drain_scheduled = false;
+  };
+
+  Registered& entry(const std::string& name) const;
+  void drain(Registered& e);
+  void finish_requests(std::size_t n);
+
+  ServerConfig cfg_;
+  Metrics metrics_;
+  PlanCache plan_cache_;
+
+  mutable std::mutex reg_m_;
+  std::unordered_map<std::string, std::unique_ptr<Registered>> registry_;
+
+  std::mutex idle_m_;
+  std::condition_variable idle_cv_;
+  std::uint64_t inflight_ = 0;  ///< submitted - completed, under idle_m_
+
+  // Last member on purpose: destroyed first, which joins the workers (a
+  // drain task touches the registry and idle state even after its final
+  // request completes, so everything it uses must outlive the pool).
+  WorkerPool pool_;
+};
+
+}  // namespace rrspmm::runtime

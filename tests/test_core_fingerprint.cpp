@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/fingerprint.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+TEST(Fingerprint, MatrixFingerprintIsStable) {
+  const auto m = test::alg3_matrix();
+  EXPECT_EQ(core::matrix_fingerprint(m), core::matrix_fingerprint(m));
+  const auto copy = m;
+  EXPECT_EQ(core::matrix_fingerprint(m), core::matrix_fingerprint(copy));
+}
+
+TEST(Fingerprint, MatrixFingerprintCoversValues) {
+  const auto a = test::csr({{1, 0}, {0, 2}});
+  auto b = a;
+  b.values()[0] = 3.0f;
+  EXPECT_NE(core::matrix_fingerprint(a), core::matrix_fingerprint(b));
+}
+
+TEST(Fingerprint, MatrixFingerprintCoversPattern) {
+  const auto a = test::csr({{1, 0}, {0, 1}});
+  const auto b = test::csr({{0, 1}, {1, 0}});
+  EXPECT_NE(core::matrix_fingerprint(a), core::matrix_fingerprint(b));
+}
+
+TEST(Fingerprint, MatrixFingerprintCoversShape) {
+  // Same nonzeros, one trailing empty row / column more.
+  const auto a = test::csr({{1, 1}});
+  const auto b = test::csr({{1, 1}, {0, 0}});
+  const auto c = test::csr({{1, 1, 0}});
+  EXPECT_NE(core::matrix_fingerprint(a), core::matrix_fingerprint(b));
+  EXPECT_NE(core::matrix_fingerprint(a), core::matrix_fingerprint(c));
+}
+
+TEST(Fingerprint, PipelineFingerprintCoversKnobs) {
+  const core::PipelineConfig base;
+  const std::string fp0 = core::pipeline_fingerprint(base);
+  EXPECT_EQ(core::pipeline_fingerprint(base), fp0);
+
+  core::PipelineConfig c1 = base;
+  c1.reorder.lsh.siglen = 64;
+  EXPECT_NE(core::pipeline_fingerprint(c1), fp0);
+
+  core::PipelineConfig c2 = base;
+  c2.reorder.cluster.threshold_size = 128;
+  EXPECT_NE(core::pipeline_fingerprint(c2), fp0);
+
+  core::PipelineConfig c3 = base;
+  c3.aspt.panel_rows = 32;
+  EXPECT_NE(core::pipeline_fingerprint(c3), fp0);
+
+  core::PipelineConfig c4 = base;
+  c4.avg_sim_skip = 0.42;
+  EXPECT_NE(core::pipeline_fingerprint(c4), fp0);
+
+  core::PipelineConfig c5 = base;
+  c5.disable_round2 = true;
+  EXPECT_NE(core::pipeline_fingerprint(c5), fp0);
+}
+
+TEST(Fingerprint, DeviceFingerprintCoversFields) {
+  const auto p100 = gpusim::DeviceConfig::p100();
+  const std::string fp0 = core::device_fingerprint(p100);
+  EXPECT_NE(core::device_fingerprint(gpusim::DeviceConfig::v100()), fp0);
+
+  auto tweaked = p100;
+  tweaked.l2_gbps += 1.0;
+  EXPECT_NE(core::device_fingerprint(tweaked), fp0);
+}
+
+TEST(Fingerprint, Fnv1aChainsOverRanges) {
+  const std::string s = "hello world";
+  const std::uint64_t whole = core::fnv1a(s);
+  std::uint64_t chained = core::fnv1a_bytes(s.data(), 5);
+  chained = core::fnv1a_bytes(s.data() + 5, s.size() - 5, chained);
+  EXPECT_EQ(whole, chained);
+}
+
+}  // namespace
+}  // namespace rrspmm

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/worker_pool.hpp"
+
+namespace rrspmm {
+namespace {
+
+using runtime::WorkerPool;
+
+TEST(WorkerPool, ParallelForCoversEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  constexpr std::size_t kN = 4096;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkerPool, ParallelForZeroAndOne) {
+  WorkerPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "body must not run for n=0"; });
+  std::atomic<int> runs{0};
+  pool.parallel_for(1, [&](std::size_t) { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(WorkerPool, SubmittedTasksAllRunAndSteal) {
+  // All tasks are pushed from one external thread, so round-robin places
+  // them on every deque; any worker that runs dry must steal to finish.
+  WorkerPool pool(4);
+  constexpr int kTasks = 200;
+  std::atomic<int> runs{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < kTasks; ++i) {
+    futs.push_back(pool.async([&runs] { runs.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(runs.load(), kTasks);
+}
+
+TEST(WorkerPool, AsyncReturnsValues) {
+  WorkerPool pool(2);
+  auto f1 = pool.async([] { return 41 + 1; });
+  auto f2 = pool.async([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(WorkerPool, NestedParallelForMakesProgress) {
+  // A parallel_for issued from inside a pool task must complete even when
+  // every worker is occupied by the outer loop — the inner caller claims
+  // chunks itself.
+  WorkerPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(WorkerPool, ParallelForPropagatesFirstException) {
+  WorkerPool pool(2);
+  std::atomic<int> runs{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          runs.fetch_add(1);
+                          if (i == 10) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Remaining indices still ran (the loop does not cancel).
+  EXPECT_EQ(runs.load(), 64);
+}
+
+TEST(WorkerPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> runs{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&runs] { runs.fetch_add(1); });
+  }
+  EXPECT_EQ(runs.load(), 50);
+}
+
+TEST(WorkerPool, DefaultThreadsHonoursEnvKnob) {
+  ASSERT_EQ(setenv("RRSPMM_THREADS", "3", 1), 0);
+  EXPECT_EQ(WorkerPool::default_threads(), 3u);
+  WorkerPool pool;  // threads == 0 -> env knob
+  EXPECT_EQ(pool.size(), 3u);
+  ASSERT_EQ(unsetenv("RRSPMM_THREADS"), 0);
+  EXPECT_GE(WorkerPool::default_threads(), 1u);
+}
+
+TEST(WorkerPool, ConcurrentExternalSubmitters) {
+  WorkerPool pool(4);
+  std::atomic<int> runs{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) pool.submit([&runs] { runs.fetch_add(1); });
+    });
+  }
+  for (auto& t : clients) t.join();
+  while (runs.load() < 400) std::this_thread::yield();
+  EXPECT_EQ(runs.load(), 400);
+}
+
+}  // namespace
+}  // namespace rrspmm
