@@ -1,0 +1,198 @@
+// Multi-device scaling bench: simulated makespan of sharded SpMM at
+// 1/2/4/8 devices under each partitioning strategy, over a family of
+// shuffled-clustered matrices (the paper's motivating structure, in the
+// multi-GPU setting). Prints a fixed-width table plus PASS/FAIL scaling
+// checks and writes BENCH_dist.json.
+//
+//   RRSPMM_CORPUS_N — number of matrices (default 4, capped at 8)
+//   RRSPMM_SCALE    — linear multiplier on matrix rows (default 1)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/dist.hpp"
+#include "harness/render.hpp"
+#include "synth/corpus.hpp"
+#include "synth/generators.hpp"
+
+namespace rrspmm {
+namespace {
+
+using core::ShardStrategy;
+
+constexpr int kDeviceCounts[] = {1, 2, 4, 8};
+constexpr ShardStrategy kStrategies[] = {ShardStrategy::contiguous, ShardStrategy::nnz_balanced,
+                                         ShardStrategy::reorder_aware};
+constexpr index_t kWidth = 128;  ///< dense-operand columns (K)
+
+struct Subject {
+  std::string name;
+  sparse::CsrMatrix matrix;
+};
+
+/// Shuffled-clustered family: an odd count C of 32-row clusters (half an
+/// ASpT panel), each owning its own disjoint 72-column pool. After the
+/// row shuffle is undone by round-1 reordering, every panel boundary is
+/// a cluster seam, while the odd cluster count guarantees every
+/// nnz-balanced ideal cut lands mid-panel — duplicating the split
+/// panel's dense-column staging on two devices. reorder_aware snaps to
+/// the nearest seam (at most 32 rows away) and avoids that duplication,
+/// which is exactly the effect this bench measures.
+std::vector<Subject> build_subjects() {
+  const synth::CorpusConfig cc = synth::corpus_config_from_env();
+  int count = cc.count;
+  if (const char* env = std::getenv("RRSPMM_CORPUS_N"); env == nullptr) count = 4;
+  if (count > 8) count = 8;
+  if (count < 1) count = 1;
+
+  std::vector<Subject> subjects;
+  for (int i = 0; i < count; ++i) {
+    index_t clusters = static_cast<index_t>(static_cast<double>(87 + 32 * i) * cc.scale);
+    clusters |= 1;  // odd: no n in {2,4,8} divides the cluster count
+    synth::ClusteredParams p;
+    p.rows = 32 * clusters;
+    p.cols = 72 * clusters;
+    p.num_groups = clusters;
+    p.group_cols = 72;
+    p.row_nnz = 60;
+    // No uniform noise: noise columns are shared by every shard whatever
+    // the cut, so they only dilute the signal this bench measures — the
+    // X-payload duplication caused by splitting a cluster or a panel.
+    p.noise_nnz = 0;
+    p.scatter = false;
+    p.disjoint_pools = true;
+    const auto seed = cc.seed + static_cast<std::uint64_t>(i);
+    Subject s;
+    s.name = "shuffled_clustered_" + std::to_string(i);
+    s.matrix = synth::shuffle_rows(synth::clustered_rows(p, seed), seed + 1000);
+    subjects.push_back(std::move(s));
+  }
+  return subjects;
+}
+
+struct Point {
+  std::string matrix;
+  ShardStrategy strategy = ShardStrategy::contiguous;
+  int devices = 1;
+  double makespan_s = 0.0;
+  double max_kernel_s = 0.0;
+  double scatter_s = 0.0;
+  double collect_s = 0.0;
+  double comm_bytes = 0.0;
+  double speedup = 1.0;  ///< vs the same strategy at 1 device
+};
+
+std::string to_json(const std::vector<Point>& points) {
+  std::ostringstream js;
+  js << "{\"bench\":\"dist_scaling\",\"k\":" << kWidth << ",\"results\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    if (i) js << ',';
+    js << "{\"matrix\":\"" << p.matrix << "\",\"strategy\":\"" << to_string(p.strategy)
+       << "\",\"devices\":" << p.devices << ",\"makespan_s\":" << p.makespan_s
+       << ",\"max_kernel_s\":" << p.max_kernel_s << ",\"scatter_s\":" << p.scatter_s
+       << ",\"collect_s\":" << p.collect_s << ",\"comm_bytes\":" << p.comm_bytes
+       << ",\"speedup\":" << p.speedup << "}";
+  }
+  js << "]}";
+  return js.str();
+}
+
+}  // namespace
+}  // namespace rrspmm
+
+int main() {
+  using namespace rrspmm;
+
+  const auto subjects = build_subjects();
+  const dist::MultiDeviceConfig cfg;
+  dist::ShardPlanner planner;
+
+  std::printf("== dist scaling: %zu shuffled-clustered matrices, K=%d, NVLink mesh ==\n",
+              subjects.size(), kWidth);
+
+  std::vector<Point> points;
+  for (const Subject& subject : subjects) {
+    const core::ExecutionPlan plan = core::build_plan(subject.matrix, {});
+    for (const ShardStrategy strategy : kStrategies) {
+      double base = 0.0;
+      for (const int n : kDeviceCounts) {
+        const auto sp = planner.plan_rows(plan, n, strategy);
+        const auto r = dist::simulate_spmm_sharded(plan, sp, kWidth, cfg);
+        Point p;
+        p.matrix = subject.name;
+        p.strategy = strategy;
+        p.devices = n;
+        p.makespan_s = r.makespan_s;
+        p.max_kernel_s = r.max_kernel_s;
+        p.scatter_s = r.scatter_s;
+        p.collect_s = r.collect_s;
+        p.comm_bytes = r.comm_bytes;
+        if (n == 1) base = r.makespan_s;
+        p.speedup = base > 0.0 && r.makespan_s > 0.0 ? base / r.makespan_s : 1.0;
+        points.push_back(p);
+      }
+    }
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Point& p : points) {
+    rows.push_back({p.matrix, to_string(p.strategy), std::to_string(p.devices),
+                    harness::fmt(p.makespan_s * 1e3, 4), harness::fmt(p.max_kernel_s * 1e3, 4),
+                    harness::fmt((p.scatter_s + p.collect_s) * 1e3, 4),
+                    harness::fmt(p.comm_bytes / 1e6, 2), harness::fmt(p.speedup, 2)});
+  }
+  std::printf("%s\n",
+              harness::render_table({"matrix", "strategy", "devices", "makespan_ms", "kernel_ms",
+                                     "comm_ms", "comm_MB", "speedup"},
+                                    rows)
+                  .c_str());
+
+  // Acceptance checks. (1) For the balanced strategies, makespan strictly
+  // decreases with each doubling of devices. (2) reorder_aware never
+  // loses to nnz_balanced on this matrix family.
+  int failures = 0;
+  std::map<std::string, std::map<int, double>> by_run;  // "matrix/strategy" -> devices -> makespan
+  for (const Point& p : points) {
+    by_run[p.matrix + "/" + to_string(p.strategy)][p.devices] = p.makespan_s;
+  }
+  for (const Subject& subject : subjects) {
+    for (const ShardStrategy strategy :
+         {ShardStrategy::nnz_balanced, ShardStrategy::reorder_aware}) {
+      const auto& run = by_run[subject.name + "/" + to_string(strategy)];
+      for (std::size_t i = 1; i < std::size(kDeviceCounts); ++i) {
+        const double prev = run.at(kDeviceCounts[i - 1]);
+        const double cur = run.at(kDeviceCounts[i]);
+        const bool ok = cur < prev;
+        if (!ok) ++failures;
+        std::printf("%s: %s %s makespan %d->%d devices: %.4f -> %.4f ms\n",
+                    ok ? "PASS" : "FAIL", subject.name.c_str(), to_string(strategy),
+                    kDeviceCounts[i - 1], kDeviceCounts[i], prev * 1e3, cur * 1e3);
+      }
+    }
+    for (const int n : {2, 4, 8}) {
+      const double nnz = by_run[subject.name + "/nnz_balanced"].at(n);
+      const double ra = by_run[subject.name + "/reorder_aware"].at(n);
+      const bool ok = ra <= nnz * 1.0001;
+      if (!ok) ++failures;
+      std::printf("%s: %s reorder_aware vs nnz_balanced at %d devices: %.4f vs %.4f ms\n",
+                  ok ? "PASS" : "FAIL", subject.name.c_str(), n, ra * 1e3, nnz * 1e3);
+    }
+  }
+
+  const std::string json = to_json(points);
+  std::ofstream out("BENCH_dist.json", std::ios::trunc);
+  out << json << '\n';
+  std::printf("wrote BENCH_dist.json\n");
+
+  if (failures > 0) {
+    std::printf("%d scaling check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("all scaling checks passed\n");
+  return 0;
+}

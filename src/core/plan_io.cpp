@@ -14,6 +14,9 @@ namespace {
 constexpr char kMagic[10] = {'R', 'R', 'S', 'P', 'M', 'M', 'P', 'L', 'A', 'N'};
 constexpr std::uint32_t kVersion = 1;
 
+constexpr char kShardMagic[10] = {'R', 'R', 'S', 'P', 'M', 'M', 'S', 'H', 'R', 'D'};
+constexpr std::uint32_t kShardVersion = 1;
+
 // POD write/read helpers. The format is defined as little-endian; this
 // library targets little-endian hosts (x86-64, AArch64 Linux), which the
 // writer asserts implicitly by writing native representations.
@@ -171,6 +174,89 @@ ExecutionPlan load_plan(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw io_error("cannot open " + path);
   return load_plan(f);
+}
+
+void save_shard_plan(const ShardPlan& plan, std::ostream& out) {
+  plan.validate();
+  out.write(kShardMagic, sizeof(kShardMagic));
+  put(out, kShardVersion);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(plan.mode));
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(plan.strategy));
+  put<std::int32_t>(out, plan.num_devices);
+  put(out, plan.rows);
+  put(out, plan.cols);
+  put<std::uint64_t>(out, plan.row_shards.size());
+  for (const RowShard& s : plan.row_shards) {
+    put(out, s.row_begin);
+    put(out, s.row_end);
+    put(out, s.nnz);
+  }
+  put<std::uint64_t>(out, plan.col_shards.size());
+  for (const ColShard& s : plan.col_shards) {
+    put(out, s.col_begin);
+    put(out, s.col_end);
+    put(out, s.nnz);
+  }
+  if (!out) throw io_error("failed writing shard plan");
+}
+
+void save_shard_plan(const ShardPlan& plan, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw io_error("cannot open " + path + " for writing");
+  save_shard_plan(plan, f);
+}
+
+ShardPlan load_shard_plan(std::istream& in) {
+  char magic[sizeof(kShardMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kShardMagic, sizeof(kShardMagic)) != 0) {
+    throw io_error("not an rrspmm shard-plan file");
+  }
+  const auto version = get<std::uint32_t>(in);
+  if (version != kShardVersion) {
+    throw io_error("unsupported shard-plan version " + std::to_string(version));
+  }
+
+  ShardPlan plan;
+  const auto mode = get<std::uint8_t>(in);
+  if (mode > static_cast<std::uint8_t>(ShardMode::column)) {
+    throw io_error("shard-plan file declares an unknown mode");
+  }
+  plan.mode = static_cast<ShardMode>(mode);
+  const auto strategy = get<std::uint8_t>(in);
+  if (strategy > static_cast<std::uint8_t>(ShardStrategy::reorder_aware)) {
+    throw io_error("shard-plan file declares an unknown strategy");
+  }
+  plan.strategy = static_cast<ShardStrategy>(strategy);
+  plan.num_devices = get<std::int32_t>(in);
+  plan.rows = get<index_t>(in);
+  plan.cols = get<index_t>(in);
+
+  const auto n_rows = get<std::uint64_t>(in);
+  if (n_rows > (1ULL << 24)) throw io_error("implausible row-shard count");
+  plan.row_shards.resize(static_cast<std::size_t>(n_rows));
+  for (RowShard& s : plan.row_shards) {
+    s.row_begin = get<index_t>(in);
+    s.row_end = get<index_t>(in);
+    s.nnz = get<offset_t>(in);
+  }
+  const auto n_cols = get<std::uint64_t>(in);
+  if (n_cols > (1ULL << 24)) throw io_error("implausible column-shard count");
+  plan.col_shards.resize(static_cast<std::size_t>(n_cols));
+  for (ColShard& s : plan.col_shards) {
+    s.col_begin = get<index_t>(in);
+    s.col_end = get<index_t>(in);
+    s.nnz = get<offset_t>(in);
+  }
+
+  plan.validate();
+  return plan;
+}
+
+ShardPlan load_shard_plan(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw io_error("cannot open " + path);
+  return load_shard_plan(f);
 }
 
 }  // namespace rrspmm::core

@@ -1,0 +1,73 @@
+#include "core/shard_plan.hpp"
+
+#include <string>
+
+namespace rrspmm::core {
+
+const char* to_string(ShardStrategy s) {
+  switch (s) {
+    case ShardStrategy::contiguous: return "contiguous";
+    case ShardStrategy::nnz_balanced: return "nnz_balanced";
+    case ShardStrategy::reorder_aware: return "reorder_aware";
+  }
+  return "?";
+}
+
+const char* to_string(ShardMode m) {
+  switch (m) {
+    case ShardMode::row: return "row";
+    case ShardMode::column: return "column";
+  }
+  return "?";
+}
+
+offset_t ShardPlan::total_nnz() const {
+  offset_t total = 0;
+  for (const RowShard& s : row_shards) total += s.nnz;
+  for (const ColShard& s : col_shards) total += s.nnz;
+  return total;
+}
+
+namespace {
+
+// Shared partition check for both dimensions: ranges [begin_i, end_i)
+// must be contiguous, in order, and tile [0, extent) exactly once.
+template <typename Shard, typename Begin, typename End>
+void check_partition(const std::vector<Shard>& shards, index_t extent, int num_devices,
+                     const char* what, Begin begin, End end) {
+  if (static_cast<int>(shards.size()) != num_devices) {
+    throw invalid_matrix(std::string("ShardPlan: ") + what + " shard count != num_devices");
+  }
+  index_t expect = 0;
+  for (const Shard& s : shards) {
+    if (begin(s) != expect || end(s) < begin(s) || end(s) > extent) {
+      throw invalid_matrix(std::string("ShardPlan: ") + what +
+                           " shards must partition the dimension exactly once");
+    }
+    if (s.nnz < 0) throw invalid_matrix("ShardPlan: negative shard nnz");
+    expect = end(s);
+  }
+  if (expect != extent) {
+    throw invalid_matrix(std::string("ShardPlan: ") + what + " shards do not cover the dimension");
+  }
+}
+
+}  // namespace
+
+void ShardPlan::validate() const {
+  if (num_devices < 1) throw invalid_matrix("ShardPlan: num_devices must be >= 1");
+  if (rows < 0 || cols < 0) throw invalid_matrix("ShardPlan: negative dimensions");
+  if (mode == ShardMode::row) {
+    if (!col_shards.empty()) throw invalid_matrix("ShardPlan: row mode carries column shards");
+    check_partition(
+        row_shards, rows, num_devices, "row", [](const RowShard& s) { return s.row_begin; },
+        [](const RowShard& s) { return s.row_end; });
+  } else {
+    if (!row_shards.empty()) throw invalid_matrix("ShardPlan: column mode carries row shards");
+    check_partition(
+        col_shards, cols, num_devices, "column", [](const ColShard& s) { return s.col_begin; },
+        [](const ColShard& s) { return s.col_end; });
+  }
+}
+
+}  // namespace rrspmm::core

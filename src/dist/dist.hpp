@@ -1,0 +1,8 @@
+// Umbrella header for multi-device sharded execution: shard planner,
+// interconnect model, multi-device simulator, sharded executor.
+#pragma once
+
+#include "dist/executor.hpp"
+#include "dist/interconnect.hpp"
+#include "dist/multi_device.hpp"
+#include "dist/shard_planner.hpp"

@@ -1,0 +1,111 @@
+#include "dist/executor.hpp"
+
+#include <algorithm>
+
+#include "kernels/spmm.hpp"
+#include "sparse/permute.hpp"
+
+namespace rrspmm::dist {
+
+namespace {
+
+bool is_identity(const std::vector<index_t>& perm) {
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] != static_cast<index_t>(i)) return false;
+  }
+  return true;
+}
+
+void spmm_shards(runtime::WorkerPool& pool, const aspt::AsptMatrix& a, const ShardPlan& sp,
+                 const DenseMatrix& x, DenseMatrix& y, runtime::Metrics* metrics) {
+  pool.parallel_for(sp.row_shards.size(), [&](std::size_t si) {
+    const core::RowShard& s = sp.row_shards[si];
+    kernels::spmm_aspt_row_range(a, x, y, s.row_begin, s.row_end);
+    if (metrics) metrics->shards_executed.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+}  // namespace
+
+void sharded_spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
+                  const ShardPlan& shard_plan, const DenseMatrix& x, DenseMatrix& y,
+                  runtime::Metrics* metrics) {
+  shard_plan.validate();
+  if (shard_plan.mode != ShardMode::row) {
+    throw sparse::invalid_matrix("sharded_spmm: shard plan is not row mode");
+  }
+  if (shard_plan.rows != plan.tiled.rows()) {
+    throw sparse::invalid_matrix("sharded_spmm: shard plan rows do not match the plan");
+  }
+  if (is_identity(plan.row_perm)) {
+    spmm_shards(pool, plan.tiled, shard_plan, x, y, metrics);
+    return;
+  }
+  DenseMatrix yp(plan.tiled.rows(), x.cols());
+  spmm_shards(pool, plan.tiled, shard_plan, x, yp, metrics);
+  y = sparse::unpermute_dense_rows(yp, plan.row_perm);
+}
+
+void sharded_spmm_cols(runtime::WorkerPool& pool, const CsrMatrix& m, const ShardPlan& shard_plan,
+                       const DenseMatrix& x, DenseMatrix& y, runtime::Metrics* metrics) {
+  shard_plan.validate();
+  if (shard_plan.mode != ShardMode::column) {
+    throw sparse::invalid_matrix("sharded_spmm_cols: shard plan is not column mode");
+  }
+  if (shard_plan.rows != m.rows() || shard_plan.cols != m.cols()) {
+    throw sparse::invalid_matrix("sharded_spmm_cols: shard plan does not match the matrix");
+  }
+  const index_t rows = m.rows();
+  const index_t k = x.cols();
+  for (index_t i = 0; i < rows; ++i) {
+    auto out = y.row(i);
+    std::fill(out.begin(), out.end(), value_t{0});
+  }
+
+  // Devices fold their partials in ascending column order, one device at
+  // a time; rows are pool-parallel inside a device. Each row therefore
+  // accumulates its nonzeros in exactly CSR storage order (columns are
+  // sorted within a row), which is spmm_rowwise's order — the split is
+  // invisible to the result bits.
+  constexpr index_t kRowBlock = 64;
+  const std::size_t blocks = static_cast<std::size_t>((rows + kRowBlock - 1) / kRowBlock);
+  for (const core::ColShard& s : shard_plan.col_shards) {
+    if (s.cols() == 0) continue;
+    pool.parallel_for(blocks, [&](std::size_t bi) {
+      const index_t rb = static_cast<index_t>(bi) * kRowBlock;
+      const index_t re = std::min<index_t>(rb + kRowBlock, rows);
+      for (index_t i = rb; i < re; ++i) {
+        const auto cols = m.row_cols(i);
+        const auto vals = m.row_vals(i);
+        // The shard's slice of this row, by binary search on the sorted
+        // column ids.
+        const auto lo = std::lower_bound(cols.begin(), cols.end(), s.col_begin);
+        const auto hi = std::lower_bound(lo, cols.end(), s.col_end);
+        auto out = y.row(i);
+        for (auto it = lo; it != hi; ++it) {
+          const std::size_t j = static_cast<std::size_t>(it - cols.begin());
+          const value_t v = vals[j];
+          const auto xr = x.row(*it);
+          for (index_t c = 0; c < k; ++c) out[static_cast<std::size_t>(c)] += v * xr[static_cast<std::size_t>(c)];
+        }
+      }
+    });
+    if (metrics) metrics->shards_executed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ShardedExecutor::ShardedExecutor(ShardedExecutorConfig cfg)
+    : cfg_(cfg), planner_(cfg.planner) {
+  if (cfg_.num_devices < 1) {
+    throw sparse::invalid_matrix("ShardedExecutor: num_devices must be >= 1");
+  }
+}
+
+void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
+                           const DenseMatrix& x, DenseMatrix& y, runtime::Metrics* metrics) {
+  const ShardPlan sp = planner_.plan_rows(plan, cfg_.num_devices, cfg_.strategy);
+  if (metrics) metrics->sharded_batches.fetch_add(1, std::memory_order_relaxed);
+  sharded_spmm(pool, plan, sp, x, y, metrics);
+}
+
+}  // namespace rrspmm::dist

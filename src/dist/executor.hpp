@@ -1,0 +1,65 @@
+// Sharded SpMM execution on a WorkerPool.
+//
+// One task per device shard instead of one per panel: each shard is a
+// contiguous (permuted) row range from a ShardPlan, run through the
+// row-range ASpT kernel on the FULL tiled matrix. The kernel guarantees
+// that any partition of [0, rows) into ranges is bitwise equal to the
+// unsharded execution, so the sharded result is identical to
+// core::run_spmm no matter how the planner cut — the shards only change
+// who computes which rows. Column mode computes partial products per
+// column range and folds them device-by-device in ascending column
+// order, which reproduces spmm_rowwise's per-row accumulation order
+// exactly (CSR columns are sorted within a row), keeping that path
+// bitwise-stable too.
+#pragma once
+
+#include <memory>
+
+#include "dist/shard_planner.hpp"
+#include "runtime/execute.hpp"
+
+namespace rrspmm::dist {
+
+using sparse::CsrMatrix;
+using sparse::DenseMatrix;
+
+/// Same contract as runtime::parallel_spmm (y in the caller's row order,
+/// bitwise equal to core::run_spmm), but parallelised over the row-mode
+/// `shard_plan`'s shards. `metrics`, when given, counts the shards.
+void sharded_spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
+                  const ShardPlan& shard_plan, const DenseMatrix& x, DenseMatrix& y,
+                  runtime::Metrics* metrics = nullptr);
+
+/// Column-mode sharded SpMM on the raw CSR matrix: device d computes the
+/// partial product of its column slice (rows split across the pool
+/// within the device), and partials are accumulated sequentially in
+/// ascending column order. Bitwise equal to kernels::spmm_rowwise.
+void sharded_spmm_cols(runtime::WorkerPool& pool, const CsrMatrix& m, const ShardPlan& shard_plan,
+                       const DenseMatrix& x, DenseMatrix& y,
+                       runtime::Metrics* metrics = nullptr);
+
+struct ShardedExecutorConfig {
+  int num_devices = 2;
+  ShardStrategy strategy = ShardStrategy::reorder_aware;
+  ShardPlannerConfig planner;
+};
+
+/// runtime::Executor that shards every batch across simulated devices.
+/// Plugs into runtime::ServerConfig::executor; SpMM requests are cut by
+/// the configured strategy, SDDMM falls back to the panel-parallel path
+/// (the base-class default).
+class ShardedExecutor final : public runtime::Executor {
+ public:
+  explicit ShardedExecutor(ShardedExecutorConfig cfg = {});
+
+  void spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
+            DenseMatrix& y, runtime::Metrics* metrics) override;
+
+  const ShardedExecutorConfig& config() const { return cfg_; }
+
+ private:
+  ShardedExecutorConfig cfg_;
+  ShardPlanner planner_;
+};
+
+}  // namespace rrspmm::dist

@@ -1,0 +1,56 @@
+#include "dist/interconnect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rrspmm::dist {
+
+double Interconnect::p2p_time(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  return cfg_.latency_s + bytes / (cfg_.link_gbps * 1e9);
+}
+
+// Shared shape of scatter/gather: with an unlimited-fanout root every
+// transfer rides its own link concurrently, so the collective finishes
+// with its largest payload; with fanout k the n transfers serialise into
+// ceil(n/k) rounds that pay one latency each and share k links' worth of
+// bandwidth for the total payload.
+double Interconnect::rounds_time(double total_bytes, double max_bytes, int n_transfers) const {
+  if (n_transfers <= 0 || total_bytes <= 0.0) return 0.0;
+  const double bw = cfg_.link_gbps * 1e9;
+  if (cfg_.root_fanout <= 0) {
+    return cfg_.latency_s + max_bytes / bw;
+  }
+  const int rounds = (n_transfers + cfg_.root_fanout - 1) / cfg_.root_fanout;
+  return rounds * cfg_.latency_s + total_bytes / (cfg_.root_fanout * bw);
+}
+
+double Interconnect::scatter_time(const std::vector<double>& per_device_bytes) const {
+  double total = 0.0;
+  double biggest = 0.0;
+  int transfers = 0;
+  for (double b : per_device_bytes) {
+    if (b <= 0.0) continue;
+    total += b;
+    biggest = std::max(biggest, b);
+    ++transfers;
+  }
+  return rounds_time(total, biggest, transfers);
+}
+
+double Interconnect::broadcast_time(double bytes, int n_devices) const {
+  if (bytes <= 0.0 || n_devices <= 0) return 0.0;
+  return rounds_time(bytes * n_devices, bytes, n_devices);
+}
+
+double Interconnect::gather_time(const std::vector<double>& per_device_bytes) const {
+  return scatter_time(per_device_bytes);  // symmetric: same links, reversed direction
+}
+
+double Interconnect::reduce_time(double bytes, int n_devices) const {
+  if (bytes <= 0.0 || n_devices <= 1) return 0.0;
+  const int rounds = static_cast<int>(std::ceil(std::log2(static_cast<double>(n_devices))));
+  return rounds * p2p_time(bytes);
+}
+
+}  // namespace rrspmm::dist

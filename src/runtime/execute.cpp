@@ -82,4 +82,10 @@ void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const Csr
   }
 }
 
+void Executor::sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
+                     const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
+                     Metrics* metrics) {
+  parallel_sddmm(pool, plan, m, x, y, out, metrics);
+}
+
 }  // namespace rrspmm::runtime

@@ -30,4 +30,23 @@ void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const Csr
                     const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
                     Metrics* metrics = nullptr);
 
+/// Pluggable execution strategy for the Server. The default (no executor
+/// configured) is the panel-parallel path above; dist::ShardedExecutor
+/// substitutes multi-device sharded execution without the runtime linking
+/// against dist. Implementations must keep the parallel_spmm contract:
+/// results bitwise equal to core::run_spmm, y in the caller's row order.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual void spmm(WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
+                    DenseMatrix& y, Metrics* metrics) = 0;
+
+  /// Default SDDMM: panel-parallel (shard-specific SDDMM layouts can
+  /// override).
+  virtual void sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
+                     const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
+                     Metrics* metrics);
+};
+
 }  // namespace rrspmm::runtime

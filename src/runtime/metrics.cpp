@@ -65,6 +65,8 @@ std::string Metrics::to_json() const {
   os << "\"batches_executed\":" << get(batches_executed) << ",";
   os << "\"requests_coalesced\":" << get(requests_coalesced) << ",";
   os << "\"panels_executed\":" << get(panels_executed) << ",";
+  os << "\"sharded_batches\":" << get(sharded_batches) << ",";
+  os << "\"shards_executed\":" << get(shards_executed) << ",";
   os << "\"queue_depth\":" << get(queue_depth) << ",";
   os << "\"latency_count\":" << latency.count() << ",";
   os << "\"latency_total_s\":" << latency.total_seconds() << ",";

@@ -57,6 +57,11 @@ struct Metrics {
   std::atomic<std::uint64_t> requests_coalesced{0};
   /// Row-panel tasks executed by the panel-parallel kernels.
   std::atomic<std::uint64_t> panels_executed{0};
+  /// Batches executed through a sharded (multi-device) executor.
+  std::atomic<std::uint64_t> sharded_batches{0};
+  /// Per-device shard tasks executed by dist::sharded_spmm (and the
+  /// column-mode variant); stays 0 under the default panel-parallel path.
+  std::atomic<std::uint64_t> shards_executed{0};
   /// Requests currently queued or executing (gauge, not a counter).
   std::atomic<std::uint64_t> queue_depth{0};
 

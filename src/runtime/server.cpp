@@ -26,7 +26,53 @@ Server::Server(ServerConfig cfg)
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
 }
 
-Server::~Server() { wait_idle(); }
+Server::~Server() {
+  // Drain before the member destructors run: the pool must not start
+  // joining while admitted batches are still queued behind a drain task.
+  stop();
+}
+
+void Server::admit() {
+  std::lock_guard<std::mutex> lk(idle_m_);
+  if (!accepting_) throw server_stopped("Server: stopped, no longer accepting requests");
+  ++inflight_;
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lk(idle_m_);
+    accepting_ = false;
+  }
+  // Every request admitted before the flag flipped is counted in
+  // inflight_ (admit() holds the same lock), so this wait returns only
+  // once all of them — including coalesced batches a drain task has yet
+  // to pick up — have resolved their futures.
+  wait_idle();
+}
+
+bool Server::stopped() const {
+  std::lock_guard<std::mutex> lk(idle_m_);
+  return !accepting_;
+}
+
+void Server::exec_spmm(const core::ExecutionPlan& plan, const sparse::DenseMatrix& x,
+                       sparse::DenseMatrix& y) {
+  if (cfg_.executor) {
+    cfg_.executor->spmm(pool_, plan, x, y, &metrics_);
+  } else {
+    parallel_spmm(pool_, plan, x, y, &metrics_);
+  }
+}
+
+void Server::exec_sddmm(const core::ExecutionPlan& plan, const sparse::CsrMatrix& m,
+                        const sparse::DenseMatrix& x, const sparse::DenseMatrix& y,
+                        std::vector<value_t>& out) {
+  if (cfg_.executor) {
+    cfg_.executor->sddmm(pool_, plan, m, x, y, out, &metrics_);
+  } else {
+    parallel_sddmm(pool_, plan, m, x, y, out, &metrics_);
+  }
+}
 
 void Server::register_matrix(const std::string& name, sparse::CsrMatrix m) {
   auto reg = std::make_unique<Registered>();
@@ -78,12 +124,9 @@ std::future<sparse::DenseMatrix> Server::submit(const std::string& name, sparse:
   req.t0 = Clock::now();
   std::future<sparse::DenseMatrix> fut = req.result.get_future();
 
+  admit();
   metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
   metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lk(idle_m_);
-    ++inflight_;
-  }
 
   bool schedule = false;
   {
@@ -124,7 +167,7 @@ void Server::drain(Registered& e) {
       const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
       if (batch.size() == 1) {
         sparse::DenseMatrix y(e.matrix.rows(), batch[0].x.cols());
-        parallel_spmm(pool_, *plan, batch[0].x, y, &metrics_);
+        exec_spmm(*plan, batch[0].x, y);
         metrics_.batches_executed.fetch_add(1, std::memory_order_relaxed);
         metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
         metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
@@ -147,7 +190,7 @@ void Server::drain(Registered& e) {
         }
 
         sparse::DenseMatrix y_all(e.matrix.rows(), k_total);
-        parallel_spmm(pool_, *plan, x_all, y_all, &metrics_);
+        exec_spmm(*plan, x_all, y_all);
         metrics_.requests_coalesced.fetch_add(batch.size(), std::memory_order_relaxed);
         metrics_.batches_executed.fetch_add(1, std::memory_order_relaxed);
         metrics_.requests_completed.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -198,18 +241,15 @@ std::future<std::vector<value_t>> Server::submit_sddmm(const std::string& name,
   req->t0 = Clock::now();
   std::future<std::vector<value_t>> fut = req->result.get_future();
 
+  admit();
   metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
   metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lk(idle_m_);
-    ++inflight_;
-  }
 
   pool_.submit([this, &e, req] {
     try {
       const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
       std::vector<value_t> out;
-      parallel_sddmm(pool_, *plan, e.matrix, req->x, req->y, out, &metrics_);
+      exec_sddmm(*plan, e.matrix, req->x, req->y, out);
       metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
       metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
       metrics_.latency.record(seconds_since(req->t0));

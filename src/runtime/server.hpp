@@ -33,6 +33,14 @@
 
 namespace rrspmm::runtime {
 
+/// Thrown by submit()/submit_sddmm() once stop() has begun: the server no
+/// longer accepts work, but everything admitted before the stop still
+/// completes.
+class server_stopped : public std::runtime_error {
+ public:
+  explicit server_stopped(const std::string& what) : std::runtime_error(what) {}
+};
+
 struct ServerConfig {
   unsigned threads = 0;                  ///< worker count; 0 → default_threads()
   std::size_t plan_cache_capacity = 32;
@@ -41,6 +49,9 @@ struct ServerConfig {
   core::PipelineConfig pipeline;
   gpusim::DeviceConfig device = gpusim::DeviceConfig::p100();
   index_t autotune_k = 512;
+  /// Execution strategy for accepted requests; null selects the built-in
+  /// panel-parallel path. dist::ShardedExecutor plugs in here.
+  std::shared_ptr<Executor> executor;
 };
 
 class Server {
@@ -81,6 +92,17 @@ class Server {
   /// Blocks until every submitted request has completed.
   void wait_idle();
 
+  /// Stops accepting new requests and drains everything already
+  /// admitted — including coalesced batches still queued per matrix —
+  /// before returning. A submit() racing with stop() either gets its
+  /// future (and the request completes) or throws server_stopped;
+  /// nothing is dropped half-way. Idempotent; called by the destructor
+  /// before the worker pool joins.
+  void stop();
+
+  /// True once stop() has begun.
+  bool stopped() const;
+
   const Metrics& metrics() const { return metrics_; }
   std::string metrics_json() const { return metrics_.to_json(); }
 
@@ -105,6 +127,18 @@ class Server {
   Registered& entry(const std::string& name) const;
   void drain(Registered& e);
   void finish_requests(std::size_t n);
+  /// Gate every admission through: throws server_stopped after stop()
+  /// has begun, otherwise counts the request as in flight. The check and
+  /// the increment are one critical section, so stop() can never observe
+  /// an idle server while an admitted request is still untracked.
+  void admit();
+  /// Dispatch through cfg_.executor when set, else the built-in
+  /// panel-parallel path. Both sides keep the bitwise-equality contract.
+  void exec_spmm(const core::ExecutionPlan& plan, const sparse::DenseMatrix& x,
+                 sparse::DenseMatrix& y);
+  void exec_sddmm(const core::ExecutionPlan& plan, const sparse::CsrMatrix& m,
+                  const sparse::DenseMatrix& x, const sparse::DenseMatrix& y,
+                  std::vector<value_t>& out);
 
   ServerConfig cfg_;
   Metrics metrics_;
@@ -113,9 +147,10 @@ class Server {
   mutable std::mutex reg_m_;
   std::unordered_map<std::string, std::unique_ptr<Registered>> registry_;
 
-  std::mutex idle_m_;
+  mutable std::mutex idle_m_;
   std::condition_variable idle_cv_;
-  std::uint64_t inflight_ = 0;  ///< submitted - completed, under idle_m_
+  std::uint64_t inflight_ = 0;   ///< submitted - completed, under idle_m_
+  bool accepting_ = true;        ///< cleared by stop(), under idle_m_
 
   // Last member on purpose: destroyed first, which joins the workers (a
   // drain task touches the registry and idle state even after its final

@@ -111,16 +111,28 @@ CsrMatrix clustered_rows(const ClusteredParams& p, std::uint64_t seed) {
   Rng rng(seed);
   if (p.num_groups <= 0 || p.rows <= 0) throw sparse::invalid_matrix("bad clustered params");
 
-  // Column pool per group: `group_cols` columns sampled without
-  // replacement from the full column range.
+  // Column pool per group: either `group_cols` columns sampled without
+  // replacement from the full column range (pools may overlap), or the
+  // group's own contiguous column block.
   std::vector<std::vector<index_t>> pools(static_cast<std::size_t>(p.num_groups));
-  std::unordered_set<index_t> taken;
-  for (auto& pool : pools) {
-    taken.clear();
-    pool.reserve(static_cast<std::size_t>(p.group_cols));
-    while (static_cast<index_t>(pool.size()) < p.group_cols) {
-      const auto c = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(p.cols)));
-      if (taken.insert(c).second) pool.push_back(c);
+  if (p.disjoint_pools) {
+    if (p.num_groups * p.group_cols > p.cols) {
+      throw sparse::invalid_matrix("disjoint_pools needs num_groups*group_cols <= cols");
+    }
+    for (index_t g = 0; g < p.num_groups; ++g) {
+      auto& pool = pools[static_cast<std::size_t>(g)];
+      pool.reserve(static_cast<std::size_t>(p.group_cols));
+      for (index_t k = 0; k < p.group_cols; ++k) pool.push_back(g * p.group_cols + k);
+    }
+  } else {
+    std::unordered_set<index_t> taken;
+    for (auto& pool : pools) {
+      taken.clear();
+      pool.reserve(static_cast<std::size_t>(p.group_cols));
+      while (static_cast<index_t>(pool.size()) < p.group_cols) {
+        const auto c = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(p.cols)));
+        if (taken.insert(c).second) pool.push_back(c);
+      }
     }
   }
 

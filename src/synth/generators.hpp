@@ -73,6 +73,13 @@ struct ClusteredParams {
   index_t row_nnz = 24;
   index_t noise_nnz = 2;
   bool scatter = true;
+  /// With `disjoint_pools` group g owns exactly the contiguous columns
+  /// [g*group_cols, (g+1)*group_cols) instead of a random sample of the
+  /// full range (requires num_groups*group_cols <= cols). Random pools
+  /// overlap pairwise, which blurs the per-group column working set;
+  /// disjoint pools make it exact — the configuration multi-device
+  /// partitioning experiments cut on.
+  bool disjoint_pools = false;
 };
 CsrMatrix clustered_rows(const ClusteredParams& p, std::uint64_t seed);
 

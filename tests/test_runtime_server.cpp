@@ -4,7 +4,10 @@
 // every synth-corpus matrix.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -244,6 +247,98 @@ TEST(Server, WarmBuildsOnceAndMetricsJsonIsWellFormed) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in " << json;
   }
   EXPECT_NE(json.find("\"requests_completed\":1"), std::string::npos) << json;
+}
+
+TEST(Server, SubmitAfterStopThrowsAndNothingIsDropped) {
+  Server server(test_server_cfg(2));
+  const auto entry = synth::build_test_corpus().front();
+  server.register_matrix("m", entry.matrix);
+
+  DenseMatrix x(entry.matrix.cols(), 4);
+  sparse::fill_random(x, 1);
+  auto fut = server.submit("m", x);
+
+  EXPECT_FALSE(server.stopped());
+  server.stop();
+  EXPECT_TRUE(server.stopped());
+  // Admitted before stop -> completed by stop.
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_NO_THROW(fut.get());
+
+  EXPECT_THROW(server.submit("m", std::move(x)), runtime::server_stopped);
+  EXPECT_THROW(server.submit_sddmm("m", DenseMatrix(entry.matrix.cols(), 2),
+                                   DenseMatrix(entry.matrix.rows(), 2)),
+               runtime::server_stopped);
+  // A rejected request leaves no trace in the throughput counters.
+  EXPECT_EQ(server.metrics().requests_submitted.load(), 1u);
+  EXPECT_EQ(server.metrics().queue_depth.load(), 0u);
+  server.stop();  // idempotent
+}
+
+// Regression for the shutdown race: requests submitted while the server
+// is being stopped either complete (future ready, correct result) or are
+// rejected with server_stopped — never dropped, never a crash from a
+// drain task outliving the pool. A gated single worker guarantees the
+// stop begins while a coalesced batch is still queued.
+TEST(Server, StopDrainsInFlightBatchesWhileClientsKeepSubmitting) {
+  for (int round = 0; round < 10; ++round) {
+    auto server = std::make_unique<Server>(test_server_cfg(1, 4));
+    const auto entry = synth::build_test_corpus().front();
+    server->register_matrix("m", entry.matrix);
+    server->warm("m");
+
+    std::promise<void> gate;
+    std::shared_future<void> gate_f = gate.get_future().share();
+    server->pool().submit([gate_f] { gate_f.wait(); });
+
+    std::atomic<int> completed{0}, rejected{0};
+    constexpr int kClients = 4, kPerClient = 8;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int r = 0; r < kPerClient; ++r) {
+          DenseMatrix x(entry.matrix.cols(), 4);
+          sparse::fill_random(x, static_cast<std::uint64_t>(c * 64 + r));
+          try {
+            auto fut = server->submit("m", std::move(x));
+            fut.get();  // admitted -> must complete
+            completed.fetch_add(1);
+          } catch (const runtime::server_stopped&) {
+            rejected.fetch_add(1);
+          }
+        }
+      });
+    }
+
+    gate.set_value();
+    server->stop();
+    for (auto& t : clients) t.join();
+
+    EXPECT_EQ(completed.load() + rejected.load(), kClients * kPerClient);
+    EXPECT_EQ(server->metrics().requests_completed.load(),
+              static_cast<std::uint64_t>(completed.load()));
+    EXPECT_EQ(server->metrics().queue_depth.load(), 0u);
+    server.reset();  // destructor after stop(): no deadlock, no crash
+  }
+}
+
+TEST(Server, DestructorDrainsAdmittedWork) {
+  const auto entry = synth::build_test_corpus().front();
+  std::future<DenseMatrix> fut;
+  {
+    Server server(test_server_cfg(1, 4));
+    server.register_matrix("m", entry.matrix);
+    server.warm("m");
+    std::promise<void> gate;
+    std::shared_future<void> gate_f = gate.get_future().share();
+    server.pool().submit([gate_f] { gate_f.wait(); });
+    DenseMatrix x(entry.matrix.cols(), 4);
+    sparse::fill_random(x, 5);
+    fut = server.submit("m", std::move(x));
+    gate.set_value();
+  }  // ~Server: stop() + drain before the pool joins
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_NO_THROW(fut.get());
 }
 
 }  // namespace

@@ -174,10 +174,38 @@ TEST(ShuffleRows, PreservesMultisetOfRows) {
   EXPECT_EQ(dm, ds);
 }
 
+TEST(ClusteredRows, DisjointPoolsStayInTheirColumnBlock) {
+  synth::ClusteredParams p;
+  p.rows = 256;
+  p.cols = 8 * 48;
+  p.num_groups = 8;
+  p.group_cols = 48;
+  p.row_nnz = 24;
+  p.noise_nnz = 0;
+  p.scatter = false;
+  p.disjoint_pools = true;
+  const auto m = synth::clustered_rows(p, 5);
+  // Group g occupies rows [32g, 32(g+1)) and only columns [48g, 48(g+1)).
+  for (index_t r = 0; r < m.rows(); ++r) {
+    const index_t g = r / 32;
+    for (const index_t c : m.row_cols(r)) {
+      EXPECT_GE(c, 48 * g);
+      EXPECT_LT(c, 48 * (g + 1));
+    }
+  }
+}
+
 TEST(Generators, RejectBadParameters) {
   synth::ClusteredParams p;
   p.num_groups = 0;
   EXPECT_THROW(synth::clustered_rows(p, 1), invalid_matrix);
+  // Disjoint pools that cannot fit in the column range.
+  synth::ClusteredParams q;
+  q.cols = 100;
+  q.num_groups = 4;
+  q.group_cols = 48;
+  q.disjoint_pools = true;
+  EXPECT_THROW(synth::clustered_rows(q, 1), invalid_matrix);
 }
 
 }  // namespace
