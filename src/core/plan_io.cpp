@@ -15,7 +15,9 @@ constexpr char kMagic[10] = {'R', 'R', 'S', 'P', 'M', 'M', 'P', 'L', 'A', 'N'};
 constexpr std::uint32_t kVersion = 1;
 
 constexpr char kShardMagic[10] = {'R', 'R', 'S', 'P', 'M', 'M', 'S', 'H', 'R', 'D'};
-constexpr std::uint32_t kShardVersion = 1;
+// Version 2 appends the partitioned span [span_begin, span_end); version 1
+// files load with the full-extent defaults.
+constexpr std::uint32_t kShardVersion = 2;
 
 // POD write/read helpers. The format is defined as little-endian; this
 // library targets little-endian hosts (x86-64, AArch64 Linux), which the
@@ -185,6 +187,8 @@ void save_shard_plan(const ShardPlan& plan, std::ostream& out) {
   put<std::int32_t>(out, plan.num_devices);
   put(out, plan.rows);
   put(out, plan.cols);
+  put(out, plan.span_begin);
+  put(out, plan.span_end);
   put<std::uint64_t>(out, plan.row_shards.size());
   for (const RowShard& s : plan.row_shards) {
     put(out, s.row_begin);
@@ -213,7 +217,7 @@ ShardPlan load_shard_plan(std::istream& in) {
     throw io_error("not an rrspmm shard-plan file");
   }
   const auto version = get<std::uint32_t>(in);
-  if (version != kShardVersion) {
+  if (version < 1 || version > kShardVersion) {
     throw io_error("unsupported shard-plan version " + std::to_string(version));
   }
 
@@ -231,6 +235,10 @@ ShardPlan load_shard_plan(std::istream& in) {
   plan.num_devices = get<std::int32_t>(in);
   plan.rows = get<index_t>(in);
   plan.cols = get<index_t>(in);
+  if (version >= 2) {
+    plan.span_begin = get<index_t>(in);
+    plan.span_end = get<index_t>(in);
+  }
 
   const auto n_rows = get<std::uint64_t>(in);
   if (n_rows > (1ULL << 24)) throw io_error("implausible row-shard count");

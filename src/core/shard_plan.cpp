@@ -31,24 +31,24 @@ offset_t ShardPlan::total_nnz() const {
 namespace {
 
 // Shared partition check for both dimensions: ranges [begin_i, end_i)
-// must be contiguous, in order, and tile [0, extent) exactly once.
+// must be contiguous, in order, and tile [lo, hi) exactly once.
 template <typename Shard, typename Begin, typename End>
-void check_partition(const std::vector<Shard>& shards, index_t extent, int num_devices,
+void check_partition(const std::vector<Shard>& shards, index_t lo, index_t hi, int num_devices,
                      const char* what, Begin begin, End end) {
   if (static_cast<int>(shards.size()) != num_devices) {
     throw invalid_matrix(std::string("ShardPlan: ") + what + " shard count != num_devices");
   }
-  index_t expect = 0;
+  index_t expect = lo;
   for (const Shard& s : shards) {
-    if (begin(s) != expect || end(s) < begin(s) || end(s) > extent) {
+    if (begin(s) != expect || end(s) < begin(s) || end(s) > hi) {
       throw invalid_matrix(std::string("ShardPlan: ") + what +
-                           " shards must partition the dimension exactly once");
+                           " shards must partition the span exactly once");
     }
     if (s.nnz < 0) throw invalid_matrix("ShardPlan: negative shard nnz");
     expect = end(s);
   }
-  if (expect != extent) {
-    throw invalid_matrix(std::string("ShardPlan: ") + what + " shards do not cover the dimension");
+  if (expect != hi) {
+    throw invalid_matrix(std::string("ShardPlan: ") + what + " shards do not cover the span");
   }
 }
 
@@ -57,15 +57,21 @@ void check_partition(const std::vector<Shard>& shards, index_t extent, int num_d
 void ShardPlan::validate() const {
   if (num_devices < 1) throw invalid_matrix("ShardPlan: num_devices must be >= 1");
   if (rows < 0 || cols < 0) throw invalid_matrix("ShardPlan: negative dimensions");
+  const index_t extent = mode == ShardMode::row ? rows : cols;
+  const index_t lo = span_lo();
+  const index_t hi = span_hi();
+  if (lo < 0 || lo > hi || hi > extent) {
+    throw invalid_matrix("ShardPlan: span must lie inside the partitioned dimension");
+  }
   if (mode == ShardMode::row) {
     if (!col_shards.empty()) throw invalid_matrix("ShardPlan: row mode carries column shards");
     check_partition(
-        row_shards, rows, num_devices, "row", [](const RowShard& s) { return s.row_begin; },
+        row_shards, lo, hi, num_devices, "row", [](const RowShard& s) { return s.row_begin; },
         [](const RowShard& s) { return s.row_end; });
   } else {
     if (!row_shards.empty()) throw invalid_matrix("ShardPlan: column mode carries row shards");
     check_partition(
-        col_shards, cols, num_devices, "column", [](const ColShard& s) { return s.col_begin; },
+        col_shards, lo, hi, num_devices, "column", [](const ColShard& s) { return s.col_begin; },
         [](const ColShard& s) { return s.col_end; });
   }
 }

@@ -1,7 +1,10 @@
 #include "dist/executor.hpp"
 
 #include <algorithm>
+#include <mutex>
+#include <vector>
 
+#include "fault/fault.hpp"
 #include "kernels/spmm.hpp"
 #include "sparse/permute.hpp"
 
@@ -105,7 +108,85 @@ void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan&
                            const DenseMatrix& x, DenseMatrix& y, runtime::Metrics* metrics) {
   const ShardPlan sp = planner_.plan_rows(plan, cfg_.num_devices, cfg_.strategy);
   if (metrics) metrics->sharded_batches.fetch_add(1, std::memory_order_relaxed);
-  sharded_spmm(pool, plan, sp, x, y, metrics);
+
+  // Execute in permuted row space; unpermute once at the end, after all
+  // failover rounds, so recovery never perturbs the output ordering.
+  const bool identity = is_identity(plan.row_perm);
+  DenseMatrix yp_store;
+  if (!identity) yp_store = DenseMatrix(plan.tiled.rows(), x.cols());
+  DenseMatrix& yp = identity ? y : yp_store;
+
+  // One work item per (row range, owning device). Device ids index the
+  // original shard assignment; a device that throws is dead for the rest
+  // of this call and its ranges migrate to the survivors.
+  struct Work {
+    core::RowShard shard;
+    int device = 0;
+  };
+  std::vector<Work> work;
+  work.reserve(sp.row_shards.size());
+  for (std::size_t d = 0; d < sp.row_shards.size(); ++d) {
+    work.push_back({sp.row_shards[d], static_cast<int>(d)});
+  }
+  std::vector<char> dead(static_cast<std::size_t>(cfg_.num_devices), 0);
+
+  int rounds = 0;
+  while (!work.empty()) {
+    std::vector<Work> failed;
+    std::mutex failed_m;
+    pool.parallel_for(work.size(), [&](std::size_t wi) {
+      const Work& w = work[wi];
+      try {
+        fault::hit(fault::points::kShardExec);
+        fault::hit_nothrow(fault::points::kShardStraggler);
+        kernels::spmm_aspt_row_range(plan.tiled, x, yp, w.shard.row_begin, w.shard.row_end);
+        fault::hit(fault::points::kShardInterconnect);
+        if (metrics) metrics->shards_executed.fetch_add(1, std::memory_order_relaxed);
+      } catch (const fault::injected_fault&) {
+        if (metrics) {
+          metrics->faults_injected.fetch_add(1, std::memory_order_relaxed);
+          metrics->shard_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::lock_guard<std::mutex> lk(failed_m);
+        failed.push_back(w);
+      } catch (...) {
+        if (metrics) metrics->shard_failures.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(failed_m);
+        failed.push_back(w);
+      }
+    });
+    if (failed.empty()) break;
+
+    for (const Work& w : failed) dead[static_cast<std::size_t>(w.device)] = 1;
+    std::vector<int> survivors;
+    for (int d = 0; d < cfg_.num_devices; ++d) {
+      if (!dead[static_cast<std::size_t>(d)]) survivors.push_back(d);
+    }
+    if (survivors.empty() || rounds >= cfg_.max_failover_rounds) {
+      throw shards_exhausted(survivors.empty()
+                                 ? "ShardedExecutor: all devices failed"
+                                 : "ShardedExecutor: failover rounds exhausted");
+    }
+    ++rounds;
+
+    // Deterministic migration order regardless of which worker recorded
+    // which failure first: re-plan ranges in ascending row order.
+    std::sort(failed.begin(), failed.end(),
+              [](const Work& a, const Work& b) { return a.shard.row_begin < b.shard.row_begin; });
+    std::vector<Work> next;
+    for (const Work& w : failed) {
+      if (metrics) metrics->failovers.fetch_add(1, std::memory_order_relaxed);
+      const ShardPlan rp =
+          planner_.plan_row_range(plan, w.shard.row_begin, w.shard.row_end,
+                                  static_cast<int>(survivors.size()), cfg_.strategy);
+      for (std::size_t i = 0; i < rp.row_shards.size(); ++i) {
+        next.push_back({rp.row_shards[i], survivors[i % survivors.size()]});
+      }
+    }
+    work = std::move(next);
+  }
+
+  if (!identity) y = sparse::unpermute_dense_rows(yp, plan.row_perm);
 }
 
 }  // namespace rrspmm::dist

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "dist/shard_planner.hpp"
 #include "runtime/execute.hpp"
@@ -22,6 +24,14 @@ namespace rrspmm::dist {
 
 using sparse::CsrMatrix;
 using sparse::DenseMatrix;
+
+/// Thrown by ShardedExecutor::spmm when a batch cannot complete even with
+/// failover: every device has failed, or re-planning exceeded
+/// max_failover_rounds. The server's retry/degradation layer catches it.
+class shards_exhausted : public std::runtime_error {
+ public:
+  explicit shards_exhausted(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Same contract as runtime::parallel_spmm (y in the caller's row order,
 /// bitwise equal to core::run_spmm), but parallelised over the row-mode
@@ -42,12 +52,23 @@ struct ShardedExecutorConfig {
   int num_devices = 2;
   ShardStrategy strategy = ShardStrategy::reorder_aware;
   ShardPlannerConfig planner;
+  /// Failover budget per spmm() call: how many times failed shards may be
+  /// re-planned onto surviving devices before the batch gives up with
+  /// shards_exhausted. 0 disables failover entirely.
+  int max_failover_rounds = 3;
 };
 
 /// runtime::Executor that shards every batch across simulated devices.
 /// Plugs into runtime::ServerConfig::executor; SpMM requests are cut by
 /// the configured strategy, SDDMM falls back to the panel-parallel path
 /// (the base-class default).
+///
+/// Failure handling: a shard that throws marks its device dead for the
+/// rest of the call, and the shard's row range is re-planned across the
+/// surviving devices with the same seam-aware cuts (plan_row_range). The
+/// row-range kernel zero-fills its target rows before accumulating, so a
+/// re-run of a failed shard is idempotent and the recovered result stays
+/// bitwise-equal to the fault-free one.
 class ShardedExecutor final : public runtime::Executor {
  public:
   explicit ShardedExecutor(ShardedExecutorConfig cfg = {});

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
+
 namespace rrspmm::dist {
 
 namespace {
@@ -109,6 +111,8 @@ MultiDeviceResult simulate_spmm_sharded(const core::ExecutionPlan& plan,
     ShardSim ss;
     ss.device = d;
     if (s.rows() > 0) {
+      fault::hit_nothrow(fault::points::kShardStraggler);
+      fault::hit(fault::points::kShardInterconnect);
       const aspt::AsptMatrix shard = extract_row_range(plan.tiled, s.row_begin, s.row_end);
 
       std::vector<index_t> order;
@@ -178,6 +182,8 @@ MultiDeviceResult simulate_spmm_sharded_cols(const sparse::CsrMatrix& m,
     ShardSim ss;
     ss.device = d;
     if (s.nnz > 0) {
+      fault::hit_nothrow(fault::points::kShardStraggler);
+      fault::hit(fault::points::kShardInterconnect);
       // Column slice of m: same dimensions, only nonzeros with
       // col in [col_begin, col_end).
       std::vector<offset_t> rowptr(static_cast<std::size_t>(m.rows()) + 1, 0);

@@ -1,0 +1,167 @@
+#include "fault/fail_point.hpp"
+
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace rrspmm::fault {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Pure trigger verdict for hit `index` of `point` under `probability`:
+/// the schedule a seed encodes, independent of thread interleaving.
+bool decide(std::uint64_t seed, std::string_view point, std::uint64_t index, double probability) {
+  if (probability >= 1.0) return true;
+  if (probability <= 0.0) return false;
+  const std::uint64_t r = splitmix64(seed ^ fnv1a(point) ^ (index * 0x9E3779B97F4A7C15ULL));
+  return static_cast<double>(r >> 11) * 0x1.0p-53 < probability;
+}
+
+}  // namespace
+
+struct FaultRegistry::State {
+  struct CompiledRule {
+    FaultRule rule;
+    std::atomic<std::uint64_t> hit_idx{0};
+    std::atomic<std::uint64_t> triggered{0};
+  };
+  struct Point {
+    std::atomic<std::uint64_t> hits{0};
+    std::vector<CompiledRule*> rules;
+  };
+
+  FaultPlan plan;
+  std::deque<CompiledRule> rules;  ///< stable addresses for the point table
+  std::unordered_map<std::string, Point> by_point;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> faults{0};
+  std::atomic<std::uint64_t> stalls{0};
+};
+
+FaultRegistry& FaultRegistry::instance() {
+  static FaultRegistry registry;
+  return registry;
+}
+
+void FaultRegistry::arm(FaultPlan plan) {
+  auto st = std::make_shared<State>();
+  st->plan = std::move(plan);
+  for (const FaultRule& r : st->plan.rules) {
+    st->rules.emplace_back();
+    st->rules.back().rule = r;
+    st->by_point[r.point].rules.push_back(&st->rules.back());
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    state_ = std::move(st);
+  }
+  detail::g_armed.store(true, std::memory_order_release);
+}
+
+void FaultRegistry::disarm() {
+  detail::g_armed.store(false, std::memory_order_release);
+  // state_ stays: its counters remain readable until the next arm().
+}
+
+bool FaultRegistry::armed() const { return detail::g_armed.load(std::memory_order_acquire); }
+
+FaultPlan FaultRegistry::plan() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return state_ ? state_->plan : FaultPlan{};
+}
+
+std::uint64_t FaultRegistry::hits() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return state_ ? state_->hits.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t FaultRegistry::faults_injected() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return state_ ? state_->faults.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t FaultRegistry::stalls_injected() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return state_ ? state_->stalls.load(std::memory_order_relaxed) : 0;
+}
+
+PointStats FaultRegistry::point_stats(std::string_view point) const {
+  std::shared_ptr<State> st;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    st = state_;
+  }
+  PointStats ps;
+  if (!st) return ps;
+  const auto it = st->by_point.find(std::string(point));
+  if (it == st->by_point.end()) return ps;
+  ps.hits = it->second.hits.load(std::memory_order_relaxed);
+  for (const State::CompiledRule* r : it->second.rules) {
+    ps.triggered += r->triggered.load(std::memory_order_relaxed);
+  }
+  return ps;
+}
+
+void FaultRegistry::on_hit(const char* point, bool allow_throw) {
+  // Grab the state snapshot under the lock, then work lock-free: the
+  // compiled table is immutable after arm(), only its atomics move.
+  std::shared_ptr<State> st;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    st = state_;
+  }
+  if (!st || !detail::g_armed.load(std::memory_order_acquire)) return;
+  st->hits.fetch_add(1, std::memory_order_relaxed);
+
+  const auto it = st->by_point.find(point);
+  if (it == st->by_point.end()) return;
+  it->second.hits.fetch_add(1, std::memory_order_relaxed);
+
+  for (State::CompiledRule* r : it->second.rules) {
+    // The hit index advances for every armed hit, triggering or not, so
+    // the verdict sequence is a fixed function of the seed.
+    const std::uint64_t h = r->hit_idx.fetch_add(1, std::memory_order_relaxed);
+    if (h < r->rule.after_hits) continue;
+    if (r->rule.kind == FaultKind::throw_error && !allow_throw) continue;
+    if (!decide(st->plan.seed, r->rule.point, h, r->rule.probability)) continue;
+    if (r->rule.max_triggers > 0) {
+      // Claim a firing slot; give it back if the cap was already reached
+      // (the cap is exact even under concurrent hits).
+      const std::uint64_t t = r->triggered.fetch_add(1, std::memory_order_relaxed);
+      if (t >= r->rule.max_triggers) {
+        r->triggered.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+    } else {
+      r->triggered.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (r->rule.kind == FaultKind::stall) {
+      st->stalls.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(r->rule.stall_us));
+      continue;  // a stall does not shadow later rules on the point
+    }
+    st->faults.fetch_add(1, std::memory_order_relaxed);
+    throw injected_fault(r->rule.point);
+  }
+}
+
+}  // namespace rrspmm::fault

@@ -1,0 +1,123 @@
+// FailPoint registry: compiled in always, zero-cost when disarmed.
+//
+// Hot subsystems mark their interesting failure sites with
+// fault::hit("name") (or hit_nothrow at sites that cannot unwind). When
+// no FaultPlan is armed the call is a single relaxed atomic load of one
+// process-wide flag — no lookup, no branch into the registry, nothing to
+// contend on. Arming a plan flips the flag and installs a compiled rule
+// table; hits then consult the plan and may throw injected_fault or
+// stall the calling thread.
+//
+// Trigger decisions are deterministic: rule hit indices are allocated
+// from per-rule atomic counters and each index's verdict is a pure
+// function of (plan seed, point, index), so a seed replays the same
+// fault schedule run after run (see fault_plan.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "fault/fault_plan.hpp"
+
+namespace rrspmm::fault {
+
+/// Thrown by an armed fail point when a throw rule fires. Recovery
+/// layers catch this type specifically to count injected (as opposed to
+/// organic) failures.
+class injected_fault : public std::runtime_error {
+ public:
+  explicit injected_fault(std::string point)
+      : std::runtime_error("injected fault at fail point: " + point), point_(std::move(point)) {}
+
+  const std::string& point() const noexcept { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// Per-point observation counters (only points named by an armed plan's
+/// rules are tracked; everything else folds into the global hit count).
+struct PointStats {
+  std::uint64_t hits = 0;       ///< armed hits of the point
+  std::uint64_t triggered = 0;  ///< rule firings (throws + stalls)
+};
+
+class FaultRegistry {
+ public:
+  static FaultRegistry& instance();
+
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  /// Installs `plan` and starts injecting. Counters reset. Replaces any
+  /// previously armed plan.
+  void arm(FaultPlan plan);
+
+  /// Stops injecting. The last plan's counters stay readable until the
+  /// next arm().
+  void disarm();
+
+  bool armed() const;
+
+  /// Copy of the armed (or most recently armed) plan; empty if none.
+  FaultPlan plan() const;
+
+  /// Hits observed while armed (all points, with or without rules).
+  std::uint64_t hits() const;
+  /// Throw rules fired.
+  std::uint64_t faults_injected() const;
+  /// Stall rules fired.
+  std::uint64_t stalls_injected() const;
+  PointStats point_stats(std::string_view point) const;
+
+  /// Slow path behind fault::hit — call through the inline wrappers.
+  void on_hit(const char* point, bool allow_throw);
+
+ private:
+  FaultRegistry() = default;
+  struct State;
+
+  mutable std::mutex m_;
+  std::shared_ptr<State> state_;  ///< last armed state; kept after disarm for stats
+};
+
+namespace detail {
+/// The one thing a disarmed fail point touches.
+inline std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+/// Marks a fail point. May throw injected_fault or stall when a plan is
+/// armed; a single relaxed load when not.
+inline void hit(const char* point) {
+  if (detail::g_armed.load(std::memory_order_relaxed)) {
+    FaultRegistry::instance().on_hit(point, /*allow_throw=*/true);
+  }
+}
+
+/// Marks a fail point at a site that cannot unwind (lock held, or the
+/// exception would escape a worker thread). Throw rules are skipped;
+/// stall rules still apply.
+inline void hit_nothrow(const char* point) {
+  if (detail::g_armed.load(std::memory_order_relaxed)) {
+    FaultRegistry::instance().on_hit(point, /*allow_throw=*/false);
+  }
+}
+
+/// RAII arm/disarm for tests: arms on construction, disarms on scope
+/// exit.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) { FaultRegistry::instance().arm(std::move(plan)); }
+  ~ScopedFaultPlan() { FaultRegistry::instance().disarm(); }
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace rrspmm::fault

@@ -1,0 +1,7 @@
+// Umbrella header for the fault-injection layer: fail-point registry,
+// deterministic fault plans, canonical point names.
+#pragma once
+
+#include "fault/fail_point.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/points.hpp"

@@ -1,0 +1,55 @@
+// Canonical fail-point names.
+//
+// Every FailPoint compiled into the hot subsystems is listed here, so a
+// FaultPlan can be written against stable identifiers and the docs have
+// one place to enumerate what can be broken. A point marked "stall-only"
+// sits at a call site that cannot unwind (a lock is held, or the throw
+// would escape into a worker thread and terminate); those sites use
+// fault::hit_nothrow, which silently ignores throw rules.
+#pragma once
+
+namespace rrspmm::fault::points {
+
+/// WorkerPool: before a dequeued task runs. Stall-only (a throw would
+/// escape the worker loop).
+inline constexpr const char* kWorkerTask = "worker.task";
+
+/// WorkerPool::parallel_for: before each loop chunk. A throw is captured
+/// by the loop and rethrown in the caller, like any body exception.
+inline constexpr const char* kWorkerChunk = "worker.chunk";
+
+/// PlanCache: at the start of a plan build. A throw propagates through
+/// the single-flight future to every waiter; the failed entry is dropped
+/// so a retry rebuilds.
+inline constexpr const char* kPlanCacheBuild = "plan_cache.build";
+
+/// PlanCache: inside the eviction scan, under the cache lock. Stall-only
+/// (widens eviction-storm races; a throw here would strand an in-flight
+/// entry).
+inline constexpr const char* kPlanCacheEvict = "plan_cache.evict";
+
+/// Server::submit / submit_sddmm: between admission and the queue push —
+/// the widest submit/stop race window. Stall-only (the request is
+/// already counted in flight).
+inline constexpr const char* kServerSubmit = "server.submit";
+
+/// Server drain task: between popping a batch and executing it — the
+/// stop-during-drain window. Stall-only.
+inline constexpr const char* kServerDrain = "server.drain";
+
+/// dist::ShardedExecutor: before a shard's kernel runs. A throw is a
+/// shard kernel failure; the shard's device is marked dead and the row
+/// range fails over to survivors.
+inline constexpr const char* kShardExec = "shard.exec";
+
+/// dist::ShardedExecutor / multi-device simulator: inside a shard's
+/// execution. A stall is a slow straggler device; a throw is treated
+/// like a kernel failure.
+inline constexpr const char* kShardStraggler = "shard.straggler";
+
+/// dist::ShardedExecutor: after a shard's kernel, before its result is
+/// considered delivered. A throw models an interconnect timeout on the
+/// result gather and triggers the same failover as a kernel failure.
+inline constexpr const char* kShardInterconnect = "shard.interconnect";
+
+}  // namespace rrspmm::fault::points

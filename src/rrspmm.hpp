@@ -14,6 +14,7 @@
 #include "core/plan_io.hpp"
 #include "core/reorder_engine.hpp"
 #include "core/vertex_reorder.hpp"
+#include "fault/fault.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/traffic.hpp"
 #include "kernels/sddmm.hpp"

@@ -68,6 +68,11 @@ std::string Metrics::to_json() const {
   os << "\"sharded_batches\":" << get(sharded_batches) << ",";
   os << "\"shards_executed\":" << get(shards_executed) << ",";
   os << "\"queue_depth\":" << get(queue_depth) << ",";
+  os << "\"faults_injected\":" << get(faults_injected) << ",";
+  os << "\"shard_failures\":" << get(shard_failures) << ",";
+  os << "\"retries\":" << get(retries) << ",";
+  os << "\"failovers\":" << get(failovers) << ",";
+  os << "\"degradations\":" << get(degradations) << ",";
   os << "\"latency_count\":" << latency.count() << ",";
   os << "\"latency_total_s\":" << latency.total_seconds() << ",";
   os << "\"latency_p50_s\":" << latency.quantile(0.50) << ",";

@@ -65,6 +65,21 @@ struct Metrics {
   /// Requests currently queued or executing (gauge, not a counter).
   std::atomic<std::uint64_t> queue_depth{0};
 
+  /// fault::injected_fault exceptions observed by the recovery layers
+  /// (shard failover, batch retry). Stall injections and faults that
+  /// never reach a recovery site are counted by the FaultRegistry, not
+  /// here.
+  std::atomic<std::uint64_t> faults_injected{0};
+  /// Shard executions that failed and were handed to failover.
+  std::atomic<std::uint64_t> shard_failures{0};
+  /// Batch execution attempts repeated after a failure (with backoff).
+  std::atomic<std::uint64_t> retries{0};
+  /// Failed shard row ranges re-planned onto surviving devices.
+  std::atomic<std::uint64_t> failovers{0};
+  /// Batches that fell back to single-device sequential execution after
+  /// retries and failover were exhausted.
+  std::atomic<std::uint64_t> degradations{0};
+
   LatencyHistogram latency;
 
   /// One JSON object with every counter plus p50/p95/p99 latency in

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/fingerprint.hpp"
+#include "fault/fault.hpp"
 
 namespace rrspmm::runtime {
 
@@ -89,6 +90,7 @@ PlanPtr PlanCache::get(const std::string& matrix_fingerprint, const sparse::CsrM
 }
 
 PlanPtr PlanCache::build(const sparse::CsrMatrix& m, PlanMode mode) const {
+  fault::hit(fault::points::kPlanCacheBuild);
   switch (mode) {
     case PlanMode::nr:
       return std::make_shared<const core::ExecutionPlan>(core::build_plan_nr(m, cfg_.pipeline));
@@ -102,6 +104,9 @@ PlanPtr PlanCache::build(const sparse::CsrMatrix& m, PlanMode mode) const {
 }
 
 void PlanCache::evict_excess_locked() {
+  // Stall-only: we hold the cache lock, a throw would strand an in-flight
+  // entry that concurrent get() calls are waiting on.
+  fault::hit_nothrow(fault::points::kPlanCacheEvict);
   // Walk from the cold end, evicting ready entries until within capacity.
   // In-flight entries are pinned (evicting one would let a concurrent
   // request start a duplicate build); the cache may transiently exceed

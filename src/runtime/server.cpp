@@ -1,9 +1,12 @@
 #include "runtime/server.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "core/fingerprint.hpp"
+#include "core/pipeline.hpp"
+#include "fault/fault.hpp"
 
 namespace rrspmm::runtime {
 
@@ -13,6 +16,16 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Backoff before retry attempt n (n >= 1): base * multiplier^(n-1), capped.
+std::chrono::microseconds retry_delay(const RetryPolicy& rp, int attempt) {
+  double us = static_cast<double>(rp.backoff_base.count());
+  for (int i = 1; i < attempt; ++i) us *= rp.backoff_multiplier;
+  const double cap = static_cast<double>(rp.backoff_cap.count());
+  if (us > cap) us = cap;
+  if (us < 0) us = 0;
+  return std::chrono::microseconds(static_cast<long long>(us));
 }
 
 }  // namespace
@@ -125,6 +138,10 @@ std::future<sparse::DenseMatrix> Server::submit(const std::string& name, sparse:
   std::future<sparse::DenseMatrix> fut = req.result.get_future();
 
   admit();
+  // Stall-only: widens the window between admission and queueing so the
+  // stop()-race tests can pin a request inside it. A throw here would
+  // leak the inflight_ count admit() just took.
+  fault::hit_nothrow(fault::points::kServerSubmit);
   metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
   metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
 
@@ -161,53 +178,23 @@ void Server::drain(Registered& e) {
       }
     }
 
+    // Stall-only: pins the drain between batch pickup and execution,
+    // widening the stop()-during-drain race window for the chaos tests.
+    fault::hit_nothrow(fault::points::kServerDrain);
+
     // Completion metrics are bumped BEFORE a promise is fulfilled so a
     // client that observed its future ready always sees itself counted.
     try {
-      const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
-      if (batch.size() == 1) {
-        sparse::DenseMatrix y(e.matrix.rows(), batch[0].x.cols());
-        exec_spmm(*plan, batch[0].x, y);
-        metrics_.batches_executed.fetch_add(1, std::memory_order_relaxed);
-        metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-        metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
-        metrics_.latency.record(seconds_since(batch[0].t0));
-        batch[0].result.set_value(std::move(y));
-      } else {
-        // Coalesce: concatenate the X operands column-wise, run one
-        // multi-K SpMM, split the product back per request.
-        index_t k_total = 0;
-        for (const SpmmRequest& r : batch) k_total += r.x.cols();
-        sparse::DenseMatrix x_all(e.matrix.cols(), k_total);
-        index_t off = 0;
-        for (const SpmmRequest& r : batch) {
-          const index_t k = r.x.cols();
-          for (index_t c = 0; c < r.x.rows(); ++c) {
-            const auto src = r.x.row(c);
-            std::copy(src.begin(), src.end(), x_all.row(c).data() + off);
-          }
-          off += k;
-        }
-
-        sparse::DenseMatrix y_all(e.matrix.rows(), k_total);
-        exec_spmm(*plan, x_all, y_all);
+      std::vector<sparse::DenseMatrix> ys = run_spmm_batch(e, batch);
+      metrics_.batches_executed.fetch_add(1, std::memory_order_relaxed);
+      if (batch.size() > 1) {
         metrics_.requests_coalesced.fetch_add(batch.size(), std::memory_order_relaxed);
-        metrics_.batches_executed.fetch_add(1, std::memory_order_relaxed);
-        metrics_.requests_completed.fetch_add(batch.size(), std::memory_order_relaxed);
-        metrics_.queue_depth.fetch_sub(batch.size(), std::memory_order_relaxed);
-
-        off = 0;
-        for (SpmmRequest& r : batch) {
-          const index_t k = r.x.cols();
-          sparse::DenseMatrix y(e.matrix.rows(), k);
-          for (index_t i = 0; i < y.rows(); ++i) {
-            const value_t* src = y_all.row(i).data() + off;
-            std::copy(src, src + k, y.row(i).data());
-          }
-          metrics_.latency.record(seconds_since(r.t0));
-          r.result.set_value(std::move(y));
-          off += k;
-        }
+      }
+      metrics_.requests_completed.fetch_add(batch.size(), std::memory_order_relaxed);
+      metrics_.queue_depth.fetch_sub(batch.size(), std::memory_order_relaxed);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        metrics_.latency.record(seconds_since(batch[i].t0));
+        batch[i].result.set_value(std::move(ys[i]));
       }
     } catch (...) {
       metrics_.requests_failed.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -220,6 +207,130 @@ void Server::drain(Registered& e) {
 
     finish_requests(batch.size());
   }
+}
+
+std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
+                                                            std::vector<SpmmRequest>& batch) {
+  // The plan fetch is part of the attempt: a failed build drops its cache
+  // entry, so a retry rebuilds instead of re-fetching the exception.
+  const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+  std::vector<sparse::DenseMatrix> ys;
+  ys.reserve(batch.size());
+
+  if (batch.size() == 1) {
+    sparse::DenseMatrix y(e.matrix.rows(), batch[0].x.cols());
+    exec_spmm(*plan, batch[0].x, y);
+    ys.push_back(std::move(y));
+    return ys;
+  }
+
+  // Coalesce: concatenate the X operands column-wise, run one multi-K
+  // SpMM, split the product back per request.
+  index_t k_total = 0;
+  for (const SpmmRequest& r : batch) k_total += r.x.cols();
+  sparse::DenseMatrix x_all(e.matrix.cols(), k_total);
+  index_t off = 0;
+  for (const SpmmRequest& r : batch) {
+    const index_t k = r.x.cols();
+    for (index_t c = 0; c < r.x.rows(); ++c) {
+      const auto src = r.x.row(c);
+      std::copy(src.begin(), src.end(), x_all.row(c).data() + off);
+    }
+    off += k;
+  }
+
+  sparse::DenseMatrix y_all(e.matrix.rows(), k_total);
+  exec_spmm(*plan, x_all, y_all);
+
+  off = 0;
+  for (const SpmmRequest& r : batch) {
+    const index_t k = r.x.cols();
+    sparse::DenseMatrix y(e.matrix.rows(), k);
+    for (index_t i = 0; i < y.rows(); ++i) {
+      const value_t* src = y_all.row(i).data() + off;
+      std::copy(src, src + k, y.row(i).data());
+    }
+    ys.push_back(std::move(y));
+    off += k;
+  }
+  return ys;
+}
+
+std::vector<sparse::DenseMatrix> Server::run_spmm_batch(Registered& e,
+                                                        std::vector<SpmmRequest>& batch) {
+  const int max_attempts = std::max(1, cfg_.retry.max_attempts);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (attempt > 0) {
+        metrics_.retries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(retry_delay(cfg_.retry, attempt));
+      }
+      return execute_spmm_batch(e, batch);
+    } catch (const fault::injected_fault&) {
+      metrics_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      if (attempt + 1 >= max_attempts) {
+        if (!cfg_.retry.degrade_to_single_device) throw;
+        break;
+      }
+    } catch (const sparse::invalid_matrix&) {
+      throw;  // deterministic input error: retrying cannot change it
+    } catch (...) {
+      if (attempt + 1 >= max_attempts) {
+        if (!cfg_.retry.degrade_to_single_device) throw;
+        break;
+      }
+    }
+  }
+
+  // Graceful degradation: retries exhausted, run each request
+  // sequentially through the core pipeline. Same plan, same accumulation
+  // order, so the results stay bitwise-equal to the fault-free path.
+  metrics_.degradations.fetch_add(1, std::memory_order_relaxed);
+  const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+  std::vector<sparse::DenseMatrix> ys;
+  ys.reserve(batch.size());
+  for (const SpmmRequest& r : batch) {
+    sparse::DenseMatrix y(e.matrix.rows(), r.x.cols());
+    core::run_spmm(*plan, r.x, y);
+    ys.push_back(std::move(y));
+  }
+  return ys;
+}
+
+std::vector<value_t> Server::run_sddmm_request(Registered& e, const sparse::DenseMatrix& x,
+                                               const sparse::DenseMatrix& y) {
+  const int max_attempts = std::max(1, cfg_.retry.max_attempts);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (attempt > 0) {
+        metrics_.retries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(retry_delay(cfg_.retry, attempt));
+      }
+      const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+      std::vector<value_t> out;
+      exec_sddmm(*plan, e.matrix, x, y, out);
+      return out;
+    } catch (const fault::injected_fault&) {
+      metrics_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      if (attempt + 1 >= max_attempts) {
+        if (!cfg_.retry.degrade_to_single_device) throw;
+        break;
+      }
+    } catch (const sparse::invalid_matrix&) {
+      throw;
+    } catch (...) {
+      if (attempt + 1 >= max_attempts) {
+        if (!cfg_.retry.degrade_to_single_device) throw;
+        break;
+      }
+    }
+  }
+
+  metrics_.degradations.fetch_add(1, std::memory_order_relaxed);
+  const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+  std::vector<value_t> out;
+  core::run_sddmm(*plan, e.matrix, x, y, out);
+  return out;
 }
 
 std::future<std::vector<value_t>> Server::submit_sddmm(const std::string& name,
@@ -242,14 +353,13 @@ std::future<std::vector<value_t>> Server::submit_sddmm(const std::string& name,
   std::future<std::vector<value_t>> fut = req->result.get_future();
 
   admit();
+  fault::hit_nothrow(fault::points::kServerSubmit);
   metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
   metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
 
   pool_.submit([this, &e, req] {
     try {
-      const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
-      std::vector<value_t> out;
-      exec_sddmm(*plan, e.matrix, req->x, req->y, out);
+      std::vector<value_t> out = run_sddmm_request(e, req->x, req->y);
       metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
       metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
       metrics_.latency.record(seconds_since(req->t0));

@@ -41,6 +41,22 @@ class server_stopped : public std::runtime_error {
   explicit server_stopped(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Recovery policy for batch execution failures. Defaults are a single
+/// attempt and no degradation — identical behavior to a server without a
+/// recovery layer. Every recovery path re-executes through the same plan,
+/// so recovered results stay bitwise-equal to a fault-free run.
+struct RetryPolicy {
+  /// Total execution attempts per batch (>= 1). Attempt n > 1 sleeps
+  /// min(backoff_base * backoff_multiplier^(n-2), backoff_cap) first.
+  int max_attempts = 1;
+  std::chrono::microseconds backoff_base{500};
+  double backoff_multiplier = 2.0;
+  std::chrono::microseconds backoff_cap{50000};
+  /// After the last failed attempt, run the batch sequentially through
+  /// core::run_spmm / core::run_sddmm instead of failing the requests.
+  bool degrade_to_single_device = false;
+};
+
 struct ServerConfig {
   unsigned threads = 0;                  ///< worker count; 0 → default_threads()
   std::size_t plan_cache_capacity = 32;
@@ -52,6 +68,7 @@ struct ServerConfig {
   /// Execution strategy for accepted requests; null selects the built-in
   /// panel-parallel path. dist::ShardedExecutor plugs in here.
   std::shared_ptr<Executor> executor;
+  RetryPolicy retry;
 };
 
 class Server {
@@ -126,6 +143,19 @@ class Server {
 
   Registered& entry(const std::string& name) const;
   void drain(Registered& e);
+  /// One execution attempt: fetch the plan, run the batch (single or
+  /// coalesced), return one Y per request. No promises or completion
+  /// metrics are touched, so a failed attempt is fully retryable.
+  std::vector<sparse::DenseMatrix> execute_spmm_batch(Registered& e,
+                                                      std::vector<SpmmRequest>& batch);
+  /// execute_spmm_batch wrapped in the cfg_.retry recovery loop:
+  /// retry with capped exponential backoff, then (optionally) degrade to
+  /// sequential core::run_spmm. Throws only when every avenue fails.
+  std::vector<sparse::DenseMatrix> run_spmm_batch(Registered& e,
+                                                  std::vector<SpmmRequest>& batch);
+  /// SDDMM counterpart of run_spmm_batch (single request, no coalescing).
+  std::vector<value_t> run_sddmm_request(Registered& e, const sparse::DenseMatrix& x,
+                                         const sparse::DenseMatrix& y);
   void finish_requests(std::size_t n);
   /// Gate every admission through: throws server_stopped after stop()
   /// has begun, otherwise counts the request as in flight. The check and

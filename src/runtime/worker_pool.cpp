@@ -5,6 +5,8 @@
 #include <exception>
 #include <utility>
 
+#include "fault/fault.hpp"
+
 namespace rrspmm::runtime {
 
 unsigned WorkerPool::default_threads() {
@@ -73,6 +75,8 @@ bool WorkerPool::try_run_one(unsigned self) {
   }
   if (!task) return false;
   queued_.fetch_sub(1, std::memory_order_acq_rel);
+  // Stall-only: a throw here would escape the worker loop and terminate.
+  fault::hit_nothrow(fault::points::kWorkerTask);
   task();
   return true;
 }
@@ -122,6 +126,7 @@ void WorkerPool::parallel_for(std::size_t n, const std::function<void(std::size_
     std::size_t i;
     while ((i = s->next.fetch_add(1, std::memory_order_relaxed)) < s->n) {
       try {
+        fault::hit(fault::points::kWorkerChunk);
         (*s->body)(i);
       } catch (...) {
         std::lock_guard<std::mutex> lk(s->m);

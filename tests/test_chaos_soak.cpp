@@ -1,0 +1,216 @@
+// Chaos soak: seeded random fault plans against the full serving stack
+// (Server + PlanCache + WorkerPool + ShardedExecutor with failover).
+//
+// The contract under test is the acceptance criterion of the fault
+// framework: with any chaos plan that leaves at least one device alive,
+// every served request completes and its result is bitwise equal to the
+// fault-free single-device reference — injection changes scheduling and
+// recovery paths, never result bits. Seeds come from RRSPMM_CHAOS_SEED
+// when set (the CI chaos job passes a run-derived seed) and default to a
+// fixed trio; each run prints its seed and plan spec for replay.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "dist/executor.hpp"
+#include "fault/fault.hpp"
+#include "runtime/runtime.hpp"
+#include "synth/corpus.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using sparse::DenseMatrix;
+
+std::vector<std::uint64_t> chaos_seeds() {
+  if (const char* env = std::getenv("RRSPMM_CHAOS_SEED")) {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return {11, 23, 47};
+}
+
+void expect_bitwise_equal(const DenseMatrix& a, const DenseMatrix& b, const std::string& what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      ASSERT_EQ(a(i, j), b(i, j)) << what << " differs at (" << i << "," << j << ")";
+    }
+  }
+}
+
+runtime::ServerConfig soak_server_cfg() {
+  runtime::ServerConfig cfg;
+  cfg.threads = 3;
+  cfg.max_batch = 3;
+  cfg.retry.max_attempts = 4;
+  cfg.retry.backoff_base = std::chrono::microseconds(200);
+  cfg.retry.backoff_multiplier = 2.0;
+  cfg.retry.backoff_cap = std::chrono::microseconds(5000);
+  cfg.retry.degrade_to_single_device = true;
+  dist::ShardedExecutorConfig ex;
+  ex.num_devices = 3;
+  ex.strategy = dist::ShardStrategy::reorder_aware;
+  ex.max_failover_rounds = 3;
+  cfg.executor = std::make_shared<dist::ShardedExecutor>(ex);
+  return cfg;
+}
+
+TEST(ChaosSoak, EveryServedRequestIsBitwiseEqualToTheFaultFreeReference) {
+  const auto corpus = synth::build_test_corpus();
+  ASSERT_GE(corpus.size(), 2u);
+  const auto& m0 = corpus[0];
+  const auto& m1 = corpus[1];
+
+  for (const std::uint64_t seed : chaos_seeds()) {
+    const fault::FaultPlan chaos = fault::FaultPlan::chaos(seed);
+    std::cout << "[chaos] seed=" << seed << " plan=" << chaos.to_string() << std::endl;
+
+    // Fault-free references first, through the same plan construction
+    // the server uses (default PipelineConfig, rr mode).
+    struct SpmmCase {
+      const synth::CorpusEntry* entry;
+      DenseMatrix x;
+      DenseMatrix y_ref;
+    };
+    struct SddmmCase {
+      const synth::CorpusEntry* entry;
+      DenseMatrix x, y;
+      std::vector<value_t> ref;
+    };
+    const core::ExecutionPlan plan0 = core::build_plan(m0.matrix, {});
+    const core::ExecutionPlan plan1 = core::build_plan(m1.matrix, {});
+
+    std::vector<SpmmCase> spmm_cases;
+    for (int i = 0; i < 30; ++i) {
+      const bool first = i % 2 == 0;
+      const auto& e = first ? m0 : m1;
+      const core::ExecutionPlan& plan = first ? plan0 : plan1;
+      const index_t k = 3 + static_cast<index_t>(i % 3) * 4;
+      SpmmCase c{&e, DenseMatrix(e.matrix.cols(), k), DenseMatrix(e.matrix.rows(), k)};
+      sparse::fill_random(c.x, seed * 100 + static_cast<std::uint64_t>(i));
+      core::run_spmm(plan, c.x, c.y_ref);
+      spmm_cases.push_back(std::move(c));
+    }
+    std::vector<SddmmCase> sddmm_cases;
+    for (int i = 0; i < 6; ++i) {
+      const bool first = i % 2 == 0;
+      const auto& e = first ? m0 : m1;
+      const core::ExecutionPlan& plan = first ? plan0 : plan1;
+      SddmmCase c{&e, DenseMatrix(e.matrix.cols(), 8), DenseMatrix(e.matrix.rows(), 8), {}};
+      sparse::fill_random(c.x, seed * 200 + static_cast<std::uint64_t>(i));
+      sparse::fill_random(c.y, seed * 300 + static_cast<std::uint64_t>(i));
+      core::run_sddmm(plan, e.matrix, c.x, c.y, c.ref);
+      sddmm_cases.push_back(std::move(c));
+    }
+
+    runtime::Server server(soak_server_cfg());
+    server.register_matrix(m0.name, m0.matrix);
+    server.register_matrix(m1.name, m1.matrix);
+    // Deliberately NOT warmed: plan builds happen under fire, so the
+    // plan_cache.build fail point is in-path.
+
+    std::uint64_t faults = 0, retries = 0, failovers = 0, degradations = 0;
+    {
+      fault::ScopedFaultPlan armed(chaos);
+      std::vector<std::future<DenseMatrix>> spmm_futs;
+      for (const SpmmCase& c : spmm_cases) spmm_futs.push_back(server.submit(c.entry->name, c.x));
+      std::vector<std::future<std::vector<value_t>>> sddmm_futs;
+      for (const SddmmCase& c : sddmm_cases) {
+        sddmm_futs.push_back(server.submit_sddmm(c.entry->name, c.x, c.y));
+      }
+
+      for (std::size_t i = 0; i < spmm_futs.size(); ++i) {
+        DenseMatrix y;
+        ASSERT_NO_THROW(y = spmm_futs[i].get())
+            << "spmm request " << i << " failed under chaos seed " << seed;
+        expect_bitwise_equal(spmm_cases[i].y_ref, y,
+                             "chaos seed " + std::to_string(seed) + " spmm " + std::to_string(i));
+      }
+      for (std::size_t i = 0; i < sddmm_futs.size(); ++i) {
+        std::vector<value_t> out;
+        ASSERT_NO_THROW(out = sddmm_futs[i].get())
+            << "sddmm request " << i << " failed under chaos seed " << seed;
+        ASSERT_EQ(out.size(), sddmm_cases[i].ref.size());
+        for (std::size_t j = 0; j < out.size(); ++j) {
+          ASSERT_EQ(out[j], sddmm_cases[i].ref[j])
+              << "chaos seed " << seed << " sddmm " << i << " nnz " << j;
+        }
+      }
+      server.stop();
+
+      const runtime::Metrics& m = server.metrics();
+      faults = m.faults_injected.load();
+      retries = m.retries.load();
+      failovers = m.failovers.load();
+      degradations = m.degradations.load();
+      EXPECT_EQ(m.requests_failed.load(), 0u) << "seed " << seed;
+      EXPECT_EQ(m.requests_completed.load(), spmm_cases.size() + sddmm_cases.size())
+          << "seed " << seed;
+    }
+
+    // The chaos generator guarantees at least one shard.exec throw, so
+    // recovery must have actually run — and every retry/failover is
+    // rooted in at least one counted injected fault.
+    std::cout << "[chaos] seed=" << seed << " faults=" << faults << " retries=" << retries
+              << " failovers=" << failovers << " degradations=" << degradations << std::endl;
+    EXPECT_GT(retries + failovers, 0u) << "seed " << seed << " exercised no recovery path";
+    EXPECT_GE(faults, retries + failovers) << "seed " << seed;
+  }
+}
+
+// Eviction storm: a capacity-1 cache serving two matrices rebuilds plans
+// constantly while the plan_cache.evict point stalls inside the cache
+// lock. Results must stay bitwise-correct and no request may fail.
+TEST(ChaosSoak, EvictionStormWithStallsStaysCorrect) {
+  const auto corpus = synth::build_test_corpus();
+  ASSERT_GE(corpus.size(), 2u);
+  const auto& m0 = corpus[0];
+  const auto& m1 = corpus[1];
+  const core::ExecutionPlan plan0 = core::build_plan(m0.matrix, {});
+  const core::ExecutionPlan plan1 = core::build_plan(m1.matrix, {});
+
+  runtime::ServerConfig cfg = soak_server_cfg();
+  cfg.plan_cache_capacity = 1;
+  runtime::Server server(cfg);
+  server.register_matrix(m0.name, m0.matrix);
+  server.register_matrix(m1.name, m1.matrix);
+
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  fault::FaultRule stall;
+  stall.point = fault::points::kPlanCacheEvict;
+  stall.kind = fault::FaultKind::stall;
+  stall.probability = 0.5;
+  stall.stall_us = 300;
+  plan.rules.push_back(stall);
+  fault::ScopedFaultPlan armed(std::move(plan));
+
+  std::vector<std::future<DenseMatrix>> futs;
+  std::vector<DenseMatrix> refs;
+  for (int i = 0; i < 16; ++i) {
+    const bool first = i % 2 == 0;
+    const auto& e = first ? m0 : m1;
+    DenseMatrix x(e.matrix.cols(), 6);
+    sparse::fill_random(x, 1000 + static_cast<std::uint64_t>(i));
+    DenseMatrix y_ref(e.matrix.rows(), 6);
+    core::run_spmm(first ? plan0 : plan1, x, y_ref);
+    refs.push_back(std::move(y_ref));
+    futs.push_back(server.submit(e.name, x));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    expect_bitwise_equal(refs[i], futs[i].get(), "eviction storm req " + std::to_string(i));
+  }
+  server.stop();
+  EXPECT_EQ(server.metrics().requests_failed.load(), 0u);
+  EXPECT_GT(server.metrics().cache_evictions.load(), 0u);
+}
+
+}  // namespace
+}  // namespace rrspmm

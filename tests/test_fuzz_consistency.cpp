@@ -15,8 +15,11 @@
 
 #include "core/pipeline.hpp"
 #include "core/plan_io.hpp"
+#include "dist/executor.hpp"
+#include "fault/fault.hpp"
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm.hpp"
+#include "runtime/runtime.hpp"
 #include "simt/kernels.hpp"
 #include "sparse/permute.hpp"
 #include "synth/generators.hpp"
@@ -188,6 +191,104 @@ TEST_P(FuzzSimt, ExecutorAgreesWithModelAndKernels) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSimt, ::testing::Range<std::uint64_t>(1, 13));
+
+// Failover dimension: the same random draw, but executed through the
+// sharded executor with a shard failure injected mid-plan. Recovery
+// re-plans the dead device's rows onto survivors; the contract is the
+// same as everywhere else — fault handling changes data movement, never
+// results. Bitwise, not tolerance: the row-range kernel makes recovered
+// rows identical, not merely close.
+class FuzzFailover : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzFailover, ShardFailureMidPlanReproducesResultsExactly) {
+  const Drawn d = draw(GetParam() + 2000);
+  const CsrMatrix& m = d.m;
+  SCOPED_TRACE("rows=" + std::to_string(m.rows()) + " nnz=" + std::to_string(m.nnz()) +
+               " k=" + std::to_string(d.k));
+
+  const ExecutionPlan plan = core::build_plan(m, d.cfg);
+  DenseMatrix x(m.cols(), d.k);
+  sparse::fill_random(x, GetParam() ^ 0xF41L);
+  DenseMatrix y_ref(m.rows(), d.k);
+  core::run_spmm(plan, x, y_ref);
+
+  runtime::WorkerPool pool(3);
+  runtime::Metrics metrics;
+  dist::ShardedExecutorConfig ex;
+  ex.num_devices = 2 + static_cast<int>(GetParam() % 3);
+  ex.strategy = dist::ShardStrategy::reorder_aware;
+  dist::ShardedExecutor executor(ex);
+
+  fault::FaultPlan fp;
+  fp.seed = GetParam();
+  fault::FaultRule r;
+  r.point = fault::points::kShardExec;
+  r.kind = fault::FaultKind::throw_error;
+  r.probability = 1.0;
+  r.after_hits = GetParam() % 2;
+  r.max_triggers = 1;
+  fp.rules.push_back(r);
+  fault::ScopedFaultPlan armed(std::move(fp));
+
+  DenseMatrix y_failover(m.rows(), d.k);
+  executor.spmm(pool, plan, x, y_failover, &metrics);
+  EXPECT_DOUBLE_EQ(y_failover.max_abs_diff(y_ref), 0.0);
+  EXPECT_GE(metrics.faults_injected.load(), 1u);
+  EXPECT_GE(metrics.failovers.load(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFailover, ::testing::Range<std::uint64_t>(1, 11));
+
+// End-to-end flavour: SpMM and SDDMM served through a Server whose
+// executor loses a device mid-batch, with retry + degradation armed.
+class FuzzServedFailover : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzServedFailover, ServedResultsSurviveShardFailureBitwise) {
+  const Drawn d = draw(GetParam() + 3000);
+  const CsrMatrix& m = d.m;
+
+  const ExecutionPlan ref_plan = core::build_plan(m, {});
+  DenseMatrix x(m.cols(), d.k), yd(m.rows(), d.k);
+  sparse::fill_random(x, GetParam() ^ 0xBEE);
+  sparse::fill_random(yd, GetParam() ^ 0xFEED);
+  DenseMatrix y_ref(m.rows(), d.k);
+  core::run_spmm(ref_plan, x, y_ref);
+  std::vector<value_t> o_ref;
+  core::run_sddmm(ref_plan, m, x, yd, o_ref);
+
+  runtime::ServerConfig cfg;
+  cfg.threads = 3;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.backoff_base = std::chrono::microseconds(100);
+  cfg.retry.degrade_to_single_device = true;
+  dist::ShardedExecutorConfig ex;
+  ex.num_devices = 3;
+  cfg.executor = std::make_shared<dist::ShardedExecutor>(ex);
+  runtime::Server server(cfg);
+  server.register_matrix("m", m);
+
+  fault::FaultPlan fp;
+  fp.seed = GetParam() * 7 + 1;
+  fault::FaultRule r;
+  r.point = fault::points::kShardExec;
+  r.kind = fault::FaultKind::throw_error;
+  r.probability = 1.0;
+  r.max_triggers = 1 + GetParam() % 3;
+  fp.rules.push_back(r);
+  fault::ScopedFaultPlan armed(std::move(fp));
+
+  const DenseMatrix y_served = server.submit("m", x).get();
+  const std::vector<value_t> o_served = server.submit_sddmm("m", x, yd).get();
+  server.stop();
+
+  EXPECT_DOUBLE_EQ(y_served.max_abs_diff(y_ref), 0.0);
+  ASSERT_EQ(o_served.size(), o_ref.size());
+  for (std::size_t j = 0; j < o_ref.size(); ++j) ASSERT_EQ(o_served[j], o_ref[j]);
+  EXPECT_EQ(server.metrics().requests_failed.load(), 0u);
+  EXPECT_GE(server.metrics().faults_injected.load(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzServedFailover, ::testing::Range<std::uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace rrspmm

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "fault/fault.hpp"
 #include "runtime/runtime.hpp"
 #include "synth/corpus.hpp"
 #include "test_util.hpp"
@@ -319,6 +320,71 @@ TEST(Server, StopDrainsInFlightBatchesWhileClientsKeepSubmitting) {
               static_cast<std::uint64_t>(completed.load()));
     EXPECT_EQ(server->metrics().queue_depth.load(), 0u);
     server.reset();  // destructor after stop(): no deadlock, no crash
+  }
+}
+
+// The same shutdown race with the windows forced open: stall fail
+// points inside submit (between admit and enqueue) and drain (between
+// batch pop and execution) stretch exactly the intervals where a racing
+// stop() could strand a request. Under those stalls the accounting
+// invariant must still hold on every round: admitted implies completed,
+// rejected implies server_stopped, nothing vanishes.
+TEST(Server, StopDuringDrainWithInjectedStallsDropsNothing) {
+  const auto entry = synth::build_test_corpus().front();
+  const core::ExecutionPlan ref_plan = core::build_plan(entry.matrix, {});
+
+  fault::FaultPlan stalls;
+  stalls.seed = 31;
+  for (const char* point : {fault::points::kServerSubmit, fault::points::kServerDrain}) {
+    fault::FaultRule r;
+    r.point = point;
+    r.kind = fault::FaultKind::stall;
+    r.probability = 1.0;
+    r.stall_us = 400;
+    stalls.rules.push_back(r);
+  }
+
+  for (int round = 0; round < 6; ++round) {
+    auto server = std::make_unique<Server>(test_server_cfg(2, 3));
+    server->register_matrix("m", entry.matrix);
+    server->warm("m");
+    fault::ScopedFaultPlan armed(stalls);
+
+    std::atomic<int> completed{0}, rejected{0};
+    constexpr int kClients = 4, kPerClient = 6;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c, round] {
+        for (int r = 0; r < kPerClient; ++r) {
+          DenseMatrix x(entry.matrix.cols(), 4);
+          sparse::fill_random(x, static_cast<std::uint64_t>(round * 1024 + c * 64 + r));
+          DenseMatrix y_ref(entry.matrix.rows(), 4);
+          core::run_spmm(ref_plan, x, y_ref);
+          try {
+            auto fut = server->submit("m", std::move(x));
+            expect_bitwise_equal(y_ref, fut.get(),
+                                 "stalled stop round " + std::to_string(round));
+            completed.fetch_add(1);
+          } catch (const runtime::server_stopped&) {
+            rejected.fetch_add(1);
+          }
+        }
+      });
+    }
+
+    // Let some requests land inside the widened windows, then stop.
+    std::this_thread::sleep_for(std::chrono::microseconds(300 + round * 200));
+    server->stop();
+    for (auto& t : clients) t.join();
+
+    EXPECT_EQ(completed.load() + rejected.load(), kClients * kPerClient)
+        << "round " << round << " dropped a request";
+    EXPECT_EQ(server->metrics().requests_completed.load(),
+              static_cast<std::uint64_t>(completed.load()))
+        << "round " << round;
+    EXPECT_EQ(server->metrics().requests_failed.load(), 0u) << "round " << round;
+    EXPECT_EQ(server->metrics().queue_depth.load(), 0u) << "round " << round;
+    server.reset();
   }
 }
 
