@@ -13,6 +13,7 @@
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm.hpp"
 #include "lsh/candidates.hpp"
+#include "runtime/worker_pool.hpp"
 #include "synth/generators.hpp"
 
 namespace {
@@ -106,6 +107,27 @@ void BM_CandidatePairs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CandidatePairs);
+
+void BM_BandPairs(benchmark::State& state) {
+  const auto m = bench_matrix(true);
+  const lsh::LshConfig cfg;
+  const auto sig = lsh::compute_signatures(m, cfg.siglen, cfg.seed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh::band_pairs(sig, m, cfg));
+  }
+}
+BENCHMARK(BM_BandPairs);
+
+// Parallel preprocessing at a given worker count; the output is bitwise
+// identical to BM_CandidatePairs, only the wall-clock changes.
+void BM_CandidatePairsParallel(benchmark::State& state) {
+  const auto m = bench_matrix(true);
+  runtime::WorkerPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh::find_candidate_pairs(m, lsh::LshConfig{}, &pool));
+  }
+}
+BENCHMARK(BM_CandidatePairsParallel)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_ClusterReorder(benchmark::State& state) {
   const auto m = bench_matrix(true);

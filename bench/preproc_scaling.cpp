@@ -1,0 +1,223 @@
+// Preprocessing scaling bench: wall-clock of one full reordering round
+// (MinHash signatures -> banding -> Jaccard scoring -> clustering) at
+// 1/2/4/8 preprocessing threads over a clustered synth corpus, with the
+// per-phase breakdown from lsh::PhaseTimings. Prints a fixed-width table
+// plus PASS/FAIL checks and writes BENCH_preproc.json.
+//
+// Checks:
+//   * bitwise identity — at every thread count the ReorderResult (order,
+//     candidate pairs, clusters, merges) must equal the sequential run;
+//     enforced unconditionally, whatever the host core count.
+//   * scaling — aggregate speedup vs 1 thread, gated on
+//     std::thread::hardware_concurrency() so a small CI box skips the
+//     thresholds it cannot physically meet.
+//
+//   RRSPMM_CORPUS_N — number of matrices (default 3, capped at 6)
+//   RRSPMM_SCALE    — linear multiplier on matrix rows (default 1)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/reorder_engine.hpp"
+#include "harness/render.hpp"
+#include "runtime/worker_pool.hpp"
+#include "synth/corpus.hpp"
+#include "synth/generators.hpp"
+
+namespace rrspmm {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kReps = 2;  ///< best-of, to shave scheduler noise
+
+struct Subject {
+  std::string name;
+  sparse::CsrMatrix matrix;
+};
+
+/// Scattered-clustered family (the paper's Fig 7a structure): row groups
+/// sharing disjoint column pools, scattered so round-1 reordering has
+/// real work to do. Classic MinHash keeps the signature phase dominant,
+/// which is the phase the paper's Fig 12 attributes most preprocessing
+/// time to — exactly the stage the worker pool shards.
+std::vector<Subject> build_subjects() {
+  const synth::CorpusConfig cc = synth::corpus_config_from_env();
+  int count = cc.count;
+  if (const char* env = std::getenv("RRSPMM_CORPUS_N"); env == nullptr) count = 3;
+  if (count > 6) count = 6;
+  if (count < 1) count = 1;
+
+  std::vector<Subject> subjects;
+  for (int i = 0; i < count; ++i) {
+    synth::ClusteredParams p;
+    p.rows = static_cast<index_t>(static_cast<double>(2048 + 1024 * i) * cc.scale);
+    p.num_groups = 48 + 16 * i;
+    p.group_cols = 32;
+    p.cols = p.num_groups * p.group_cols;
+    p.row_nnz = 16;
+    p.noise_nnz = 4;
+    p.scatter = true;
+    Subject s;
+    s.name = "scattered_clustered_" + std::to_string(i);
+    s.matrix = synth::clustered_rows(p, cc.seed + static_cast<std::uint64_t>(i));
+    subjects.push_back(std::move(s));
+  }
+  return subjects;
+}
+
+struct Point {
+  std::string matrix;
+  int threads = 1;
+  double wall_ms = 0.0;
+  double sig_ms = 0.0;
+  double band_ms = 0.0;
+  double score_ms = 0.0;
+  double merge_ms = 0.0;
+  double speedup = 1.0;  ///< vs the same matrix at 1 thread
+  bool identical = true;
+};
+
+bool same_result(const core::ReorderResult& a, const core::ReorderResult& b) {
+  return a.order == b.order && a.candidate_pairs == b.candidate_pairs &&
+         a.clusters == b.clusters && a.merges == b.merges;
+}
+
+std::string to_json(const std::vector<Point>& points) {
+  std::ostringstream js;
+  js << "{\"bench\":\"preproc_scaling\",\"hardware_concurrency\":"
+     << std::thread::hardware_concurrency() << ",\"results\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    if (i) js << ',';
+    js << "{\"matrix\":\"" << p.matrix << "\",\"threads\":" << p.threads
+       << ",\"wall_ms\":" << p.wall_ms << ",\"sig_ms\":" << p.sig_ms
+       << ",\"band_ms\":" << p.band_ms << ",\"score_ms\":" << p.score_ms
+       << ",\"merge_ms\":" << p.merge_ms << ",\"speedup\":" << p.speedup
+       << ",\"identical\":" << (p.identical ? "true" : "false") << "}";
+  }
+  js << "]}";
+  return js.str();
+}
+
+}  // namespace
+}  // namespace rrspmm
+
+int main() {
+  using namespace rrspmm;
+  using Clock = std::chrono::steady_clock;
+
+  const auto subjects = build_subjects();
+  const unsigned hc = std::thread::hardware_concurrency();
+  std::printf("== preproc scaling: %zu scattered-clustered matrices, %u hardware threads ==\n",
+              subjects.size(), hc);
+
+  const core::ReorderConfig rcfg;  // paper defaults, classic MinHash
+  int failures = 0;
+  std::vector<Point> points;
+  // per-matrix sequential reference results and wall times
+  std::vector<core::ReorderResult> refs(subjects.size());
+  std::vector<double> ref_ms(subjects.size(), 0.0);
+
+  for (const int threads : kThreadCounts) {
+    // One pool per thread count, shared across subjects and reps — the
+    // same sharing the pipeline does across its two rounds.
+    std::unique_ptr<runtime::WorkerPool> pool;
+    if (threads > 1) pool = std::make_unique<runtime::WorkerPool>(static_cast<std::size_t>(threads));
+
+    for (std::size_t si = 0; si < subjects.size(); ++si) {
+      const Subject& subject = subjects[si];
+      core::ReorderResult best;
+      double best_ms = 0.0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const auto t0 = Clock::now();
+        core::ReorderResult r = core::reorder_rows(subject.matrix, rcfg, pool.get());
+        const double ms =
+            std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(Clock::now() - t0)
+                .count();
+        if (rep == 0 || ms < best_ms) {
+          best_ms = ms;
+          best = std::move(r);
+        }
+      }
+
+      Point p;
+      p.matrix = subject.name;
+      p.threads = threads;
+      p.wall_ms = best_ms;
+      p.sig_ms = best.timings.sig_ms;
+      p.band_ms = best.timings.band_ms;
+      p.score_ms = best.timings.score_ms;
+      p.merge_ms = best.timings.merge_ms;
+      if (threads == 1) {
+        ref_ms[si] = best_ms;
+        refs[si] = std::move(best);
+      } else {
+        p.speedup = p.wall_ms > 0.0 ? ref_ms[si] / p.wall_ms : 1.0;
+        p.identical = same_result(refs[si], best) && !best.degraded_to_sequential;
+        if (!p.identical) ++failures;
+        std::printf("%s: %s threads=%d result identical to sequential\n",
+                    p.identical ? "PASS" : "FAIL", subject.name.c_str(), threads);
+      }
+      points.push_back(std::move(p));
+    }
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Point& p : points) {
+    rows.push_back({p.matrix, std::to_string(p.threads), harness::fmt(p.wall_ms, 2),
+                    harness::fmt(p.sig_ms, 2), harness::fmt(p.band_ms, 2),
+                    harness::fmt(p.score_ms, 2), harness::fmt(p.merge_ms, 2),
+                    harness::fmt(p.speedup, 2), p.identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", harness::render_table({"matrix", "threads", "wall_ms", "sig_ms", "band_ms",
+                                             "score_ms", "merge_ms", "speedup", "identical"},
+                                            rows)
+                          .c_str());
+
+  // Aggregate scaling check, gated on physical cores: a 1-core CI box
+  // cannot speed anything up, so only the thread counts the host can
+  // actually run concurrently carry a threshold.
+  double total_seq = 0.0;
+  for (const double ms : ref_ms) total_seq += ms;
+  struct Gate {
+    int threads;
+    unsigned min_cores;
+    double min_speedup;
+  };
+  constexpr Gate kGates[] = {{2, 2, 1.25}, {4, 4, 1.8}, {8, 8, 3.0}};
+  for (const Gate& g : kGates) {
+    double total = 0.0;
+    for (const Point& p : points) {
+      if (p.threads == g.threads) total += p.wall_ms;
+    }
+    const double speedup = total > 0.0 ? total_seq / total : 0.0;
+    if (hc < g.min_cores) {
+      std::printf("SKIP: aggregate speedup at %d threads: %.2fx (host has %u cores, need >= %u)\n",
+                  g.threads, speedup, hc, g.min_cores);
+      continue;
+    }
+    const bool ok = speedup >= g.min_speedup;
+    if (!ok) ++failures;
+    std::printf("%s: aggregate speedup at %d threads: %.2fx (need >= %.2fx)\n",
+                ok ? "PASS" : "FAIL", g.threads, speedup, g.min_speedup);
+  }
+
+  const std::string json = to_json(points);
+  std::ofstream out("BENCH_preproc.json", std::ios::trunc);
+  out << json << '\n';
+  std::printf("wrote BENCH_preproc.json\n");
+
+  if (failures > 0) {
+    std::printf("%d preproc scaling check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("all preproc scaling checks passed\n");
+  return 0;
+}

@@ -57,13 +57,21 @@ ClusterResult cluster_reorder(const CsrMatrix& m, const std::vector<CandidatePai
     return i;
   };
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> sim_queue;
+  // Bulk-heapify: materialise every candidate as a heap entry, then let
+  // the priority_queue constructor make_heap in O(E), instead of E pushes
+  // at O(E log E). The pop sequence is unchanged: the candidate list is
+  // deduplicated, so HeapLess is a strict total order over the entries
+  // and the heap's extraction order is unique whatever the build path.
+  std::vector<HeapEntry> seed_entries;
+  seed_entries.reserve(pairs.size());
   std::unordered_set<std::uint64_t> candidate_keys;
   candidate_keys.reserve(pairs.size() * 2);
   for (const CandidatePair& p : pairs) {
-    sim_queue.push(HeapEntry{p.similarity, p.a, p.b});
+    seed_entries.push_back(HeapEntry{p.similarity, p.a, p.b});
     candidate_keys.insert(pair_key(p.a, p.b));
   }
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> sim_queue(
+      HeapLess{}, std::move(seed_entries));
 
   while (!sim_queue.empty() && nclusters > 0) {
     const HeapEntry top = sim_queue.top();

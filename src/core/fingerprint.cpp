@@ -28,6 +28,9 @@ std::string matrix_fingerprint(const sparse::CsrMatrix& m) {
 }
 
 std::string pipeline_fingerprint(const PipelineConfig& cfg) {
+  // cfg.threads is deliberately not part of the fingerprint: every
+  // thread count produces bitwise-identical plans, so cached plans and
+  // harness records stay valid when the knob changes.
   std::ostringstream os;
   os << "lsh:" << cfg.reorder.lsh.siglen << ',' << cfg.reorder.lsh.bsize << ','
      << cfg.reorder.lsh.bucket_cap << ',' << cfg.reorder.lsh.min_similarity << ','

@@ -4,8 +4,11 @@
 #include <chrono>
 #include <numeric>
 
+#include <memory>
+
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm.hpp"
+#include "runtime/worker_pool.hpp"
 #include "sparse/permute.hpp"
 #include "sparse/stats.hpp"
 
@@ -46,6 +49,14 @@ double avg_sim_nonempty(const CsrMatrix& m, const std::vector<index_t>& order) {
   return pairs > 0 ? sum / static_cast<double>(pairs) : 0.0;
 }
 
+void add_round_stats(PipelineStats& stats, const ReorderResult& r) {
+  stats.sig_ms += r.timings.sig_ms;
+  stats.band_ms += r.timings.band_ms;
+  stats.score_ms += r.timings.score_ms;
+  stats.merge_ms += r.timings.merge_ms;
+  stats.preproc_degraded = stats.preproc_degraded || r.degraded_to_sequential;
+}
+
 }  // namespace
 
 ExecutionPlan build_plan_nr(const CsrMatrix& m, const PipelineConfig& cfg) {
@@ -66,6 +77,14 @@ ExecutionPlan build_plan(const CsrMatrix& m, const PipelineConfig& cfg) {
   const auto t0 = Clock::now();
   ExecutionPlan plan;
 
+  // One pool for both reordering rounds (threads resolved once; 1 means
+  // the exact legacy sequential path with no pool at all).
+  const int threads = cfg.threads > 0
+                          ? cfg.threads
+                          : static_cast<int>(runtime::WorkerPool::default_threads());
+  std::unique_ptr<runtime::WorkerPool> pool;
+  if (threads > 1) pool = std::make_unique<runtime::WorkerPool>(static_cast<unsigned>(threads));
+
   // Round-1 decision (§4): reorder only when the matrix does not already
   // tile densely.
   plan.stats.dense_ratio_before = aspt::dense_ratio(m, cfg.aspt);
@@ -74,11 +93,12 @@ ExecutionPlan build_plan(const CsrMatrix& m, const PipelineConfig& cfg) {
       (cfg.force_round1 || plan.stats.dense_ratio_before <= cfg.dense_ratio_skip);
 
   if (do_round1) {
-    const ReorderResult r1 = reorder_rows(m, cfg.reorder);
+    const ReorderResult r1 = reorder_rows(m, cfg.reorder, pool.get());
     plan.row_perm = r1.order;
     plan.stats.round1_applied = true;
     plan.stats.round1_candidates = r1.candidate_pairs;
     plan.stats.round1_clusters = r1.clusters;
+    add_round_stats(plan.stats, r1);
   } else {
     plan.row_perm = sparse::identity_permutation(m.rows());
   }
@@ -99,11 +119,12 @@ ExecutionPlan build_plan(const CsrMatrix& m, const PipelineConfig& cfg) {
       (cfg.force_round2 || plan.stats.avg_sim_before <= cfg.avg_sim_skip);
 
   if (do_round2) {
-    const ReorderResult r2 = reorder_rows(plan.tiled.sparse_part(), cfg.reorder);
+    const ReorderResult r2 = reorder_rows(plan.tiled.sparse_part(), cfg.reorder, pool.get());
     plan.sparse_order = r2.order;
     plan.stats.round2_applied = true;
     plan.stats.round2_candidates = r2.candidate_pairs;
     plan.stats.round2_clusters = r2.clusters;
+    add_round_stats(plan.stats, r2);
     plan.stats.avg_sim_after = avg_sim_nonempty(plan.tiled.sparse_part(), plan.sparse_order);
   } else {
     plan.sparse_order = ident;

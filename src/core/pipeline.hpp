@@ -46,6 +46,14 @@ struct PipelineConfig {
   bool force_round2 = false;
   bool disable_round1 = false;
   bool disable_round2 = false;
+
+  /// Preprocessing worker count: 0 means WorkerPool::default_threads()
+  /// (the RRSPMM_THREADS knob), 1 the exact legacy sequential path. One
+  /// pool is shared by both reordering rounds. Outputs are bitwise
+  /// identical at every thread count, so this knob is deliberately
+  /// excluded from pipeline_fingerprint (plan caches stay valid across
+  /// thread-count changes).
+  int threads = 0;
 };
 
 /// Per-plan statistics. Before/after pairs are the axes of the paper's
@@ -62,6 +70,17 @@ struct PipelineStats {
   index_t round1_clusters = 0;
   index_t round2_clusters = 0;
   double preprocess_seconds = 0.0;  ///< wall time of reordering + tiling
+
+  /// Per-phase preprocessing breakdown, summed over the rounds that ran
+  /// (ms): signatures, banding group-by, Jaccard scoring, clustering.
+  /// The measured decomposition of the Fig 12 lump figure.
+  double sig_ms = 0.0;
+  double band_ms = 0.0;
+  double score_ms = 0.0;
+  double merge_ms = 0.0;
+  /// True when at least one round's parallel preprocessing threw and was
+  /// recomputed sequentially (see ReorderResult::degraded_to_sequential).
+  bool preproc_degraded = false;
 
   double delta_dense_ratio() const { return dense_ratio_after - dense_ratio_before; }
   double delta_avg_sim() const { return avg_sim_after - avg_sim_before; }

@@ -12,7 +12,10 @@ namespace rrspmm::core {
 namespace {
 
 constexpr char kMagic[10] = {'R', 'R', 'S', 'P', 'M', 'M', 'P', 'L', 'A', 'N'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 appends the per-phase preprocessing timings and the
+// degradation flag to the stats block; version 1 files load with zeroed
+// timings (the same back-compat idiom as kShardVersion).
+constexpr std::uint32_t kVersion = 2;
 
 constexpr char kShardMagic[10] = {'R', 'R', 'S', 'P', 'M', 'M', 'S', 'H', 'R', 'D'};
 // Version 2 appends the partitioned span [span_begin, span_end); version 1
@@ -71,9 +74,14 @@ void put_stats(std::ostream& out, const PipelineStats& s) {
   put(out, s.round1_clusters);
   put(out, s.round2_clusters);
   put(out, s.preprocess_seconds);
+  put(out, s.sig_ms);
+  put(out, s.band_ms);
+  put(out, s.score_ms);
+  put(out, s.merge_ms);
+  put<std::uint8_t>(out, s.preproc_degraded ? 1 : 0);
 }
 
-PipelineStats get_stats(std::istream& in) {
+PipelineStats get_stats(std::istream& in, std::uint32_t version) {
   PipelineStats s;
   s.dense_ratio_before = get<double>(in);
   s.dense_ratio_after = get<double>(in);
@@ -86,6 +94,13 @@ PipelineStats get_stats(std::istream& in) {
   s.round1_clusters = get<index_t>(in);
   s.round2_clusters = get<index_t>(in);
   s.preprocess_seconds = get<double>(in);
+  if (version >= 2) {
+    s.sig_ms = get<double>(in);
+    s.band_ms = get<double>(in);
+    s.score_ms = get<double>(in);
+    s.merge_ms = get<double>(in);
+    s.preproc_degraded = get<std::uint8_t>(in) != 0;
+  }
   return s;
 }
 
@@ -133,14 +148,14 @@ ExecutionPlan load_plan(std::istream& in) {
     throw io_error("not an rrspmm plan file");
   }
   const auto version = get<std::uint32_t>(in);
-  if (version != kVersion) {
+  if (version < 1 || version > kVersion) {
     throw io_error("unsupported plan version " + std::to_string(version));
   }
 
   ExecutionPlan plan;
   plan.row_perm = get_vec<index_t>(in);
   plan.sparse_order = get_vec<index_t>(in);
-  plan.stats = get_stats(in);
+  plan.stats = get_stats(in, version);
 
   const auto rows = get<index_t>(in);
   const auto cols = get<index_t>(in);

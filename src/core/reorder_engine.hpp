@@ -10,6 +10,10 @@
 #include "lsh/candidates.hpp"
 #include "sparse/csr.hpp"
 
+namespace rrspmm::runtime {
+class WorkerPool;
+}
+
 namespace rrspmm::core {
 
 using sparse::CsrMatrix;
@@ -17,6 +21,12 @@ using sparse::CsrMatrix;
 struct ReorderConfig {
   lsh::LshConfig lsh;               ///< siglen=128, bsize=2 (paper §5.4)
   cluster::ClusterConfig cluster;   ///< threshold_size=256 (paper §5.4)
+  /// Preprocessing worker count for the two-argument reorder_rows
+  /// overload: 0 means runtime::WorkerPool::default_threads() (the
+  /// RRSPMM_THREADS knob), 1 runs the exact legacy sequential path with
+  /// no pool. Every thread count produces a bitwise-identical result, so
+  /// the knob is deliberately absent from pipeline_fingerprint.
+  int threads = 0;
 };
 
 struct ReorderResult {
@@ -25,11 +35,24 @@ struct ReorderResult {
   std::size_t candidate_pairs = 0;  ///< E, after similarity filtering
   index_t clusters = 0;
   index_t merges = 0;
+  /// Per-phase wall clock of this round (sig/band/score from the LSH
+  /// stage, merge from clustering).
+  lsh::PhaseTimings timings;
+  /// True when the parallel preprocessing threw (an injected fault, a
+  /// worker failure) and the round was recomputed on the sequential
+  /// path. The result is bitwise identical either way.
+  bool degraded_to_sequential = false;
 };
 
 /// Runs LSH + Alg 3 on `m` and returns the reordering. When LSH finds no
 /// candidate pairs (the paper's "too scattered" case, Fig 7b) the order
 /// comes back as identity — detection is automatic, as §4 describes.
+/// Resolves cfg.threads and runs on an internal pool when it is > 1.
 ReorderResult reorder_rows(const CsrMatrix& m, const ReorderConfig& cfg);
+
+/// Same, on a caller-owned pool (nullptr = sequential); cfg.threads is
+/// ignored. Used by the pipeline to share one pool across both rounds.
+ReorderResult reorder_rows(const CsrMatrix& m, const ReorderConfig& cfg,
+                           runtime::WorkerPool* pool);
 
 }  // namespace rrspmm::core

@@ -143,6 +143,26 @@ FaultPlan FaultPlan::chaos(std::uint64_t seed) {
     r.max_triggers = 1 + mix.below(2);
     plan.rules.push_back(std::move(r));
   }
+  // Mid-preprocessing throws: the parallel signature/scoring stages
+  // degrade to the sequential path (bitwise-equal), so these are capped
+  // like every other throw and can never wedge a plan build — the
+  // sequential fallback carries no probes.
+  if (mix.below(2) == 0) {
+    FaultRule r;
+    r.point = points::kPreprocSignature;
+    r.kind = FaultKind::throw_error;
+    r.probability = 0.4 + 0.4 * mix.unit();
+    r.max_triggers = 1 + mix.below(3);
+    plan.rules.push_back(std::move(r));
+  }
+  if (mix.below(3) == 0) {
+    FaultRule r;
+    r.point = points::kPreprocScore;
+    r.kind = FaultKind::throw_error;
+    r.probability = 0.5;
+    r.max_triggers = 1 + mix.below(2);
+    plan.rules.push_back(std::move(r));
+  }
   for (const char* p : {points::kServerDrain, points::kServerSubmit, points::kShardStraggler,
                         points::kPlanCacheEvict, points::kWorkerTask}) {
     if (mix.below(3) != 0) continue;

@@ -37,6 +37,16 @@ inline constexpr const char* kServerSubmit = "server.submit";
 /// stop-during-drain window. Stall-only.
 inline constexpr const char* kServerDrain = "server.drain";
 
+/// lsh signature stage: before each parallel signature chunk (classic
+/// and one-permutation). A throw propagates out of compute_signatures;
+/// core::reorder_rows catches it and degrades to the sequential path,
+/// which carries no probes and produces the identical result.
+inline constexpr const char* kPreprocSignature = "preproc.signature";
+
+/// lsh scoring stage: before each parallel Jaccard-verification chunk.
+/// Same degradation contract as preproc.signature.
+inline constexpr const char* kPreprocScore = "preproc.score";
+
 /// dist::ShardedExecutor: before a shard's kernel runs. A throw is a
 /// shard kernel failure; the shard's device is marked dead and the row
 /// range fails over to survivors.

@@ -11,7 +11,9 @@ namespace rrspmm::harness {
 
 namespace {
 
-constexpr const char* kMagic = "RRSPMM_CACHE v2";
+// v3: the stats line grew the per-phase preprocessing timings and the
+// degradation flag. Older caches miss the magic and are recomputed.
+constexpr const char* kMagic = "RRSPMM_CACHE v3";
 
 void put_sim(std::ostream& out, const gpusim::SimResult& r) {
   out << r.dram_bytes << ' ' << r.flops << ' ' << r.time_s << ' ' << r.x_accesses << ' '
@@ -67,8 +69,9 @@ void save_records(const std::string& path, const std::string& fingerprint,
     f << s.dense_ratio_before << ' ' << s.dense_ratio_after << ' ' << s.avg_sim_before << ' '
       << s.avg_sim_after << ' ' << s.round1_applied << ' ' << s.round2_applied << ' '
       << s.round1_candidates << ' ' << s.round2_candidates << ' ' << s.round1_clusters << ' '
-      << s.round2_clusters << ' ' << s.preprocess_seconds << ' ' << r.nr_preprocess_seconds
-      << '\n';
+      << s.round2_clusters << ' ' << s.preprocess_seconds << ' ' << r.nr_preprocess_seconds << ' '
+      << s.sig_ms << ' ' << s.band_ms << ' ' << s.score_ms << ' ' << s.merge_ms << ' '
+      << s.preproc_degraded << '\n';
     f << r.spmm.size() << ' ' << r.sddmm.size() << '\n';
     for (const auto& t : r.spmm) put_triple(f, t);
     for (const auto& t : r.sddmm) put_triple(f, t);
@@ -96,7 +99,8 @@ std::optional<std::vector<MatrixRecord>> load_records(const std::string& path,
     if (!(f >> s.dense_ratio_before >> s.dense_ratio_after >> s.avg_sim_before >>
           s.avg_sim_after >> s.round1_applied >> s.round2_applied >> s.round1_candidates >>
           s.round2_candidates >> s.round1_clusters >> s.round2_clusters >>
-          s.preprocess_seconds >> r.nr_preprocess_seconds)) {
+          s.preprocess_seconds >> r.nr_preprocess_seconds >> s.sig_ms >> s.band_ms >>
+          s.score_ms >> s.merge_ms >> s.preproc_degraded)) {
       return std::nullopt;
     }
     std::size_t nspmm = 0, nsddmm = 0;

@@ -41,6 +41,10 @@ struct MatrixRecord {
 
 struct ExperimentConfig {
   std::vector<index_t> ks = {512, 1024};   ///< paper §5.2/§5.3
+  /// pipeline.threads is the preprocessing worker count per plan build
+  /// (0 = RRSPMM_THREADS); records are bitwise-identical at any value,
+  /// and the per-phase timings land in MatrixRecord::rr (sig/band/
+  /// score/merge_ms).
   core::PipelineConfig pipeline;
   gpusim::DeviceConfig device = gpusim::DeviceConfig::p100();
   bool run_sddmm = true;

@@ -5,6 +5,14 @@
 // of that band and become a candidate pair. Exact Jaccard similarity is
 // then computed for every candidate (deduplicated) pair, and pairs below
 // `min_similarity` are discarded — those are LSH false positives.
+//
+// Buckets are found by a sort-based group-by: one (band, band-hash, row)
+// entry per live row per band, sorted (in parallel when a pool is
+// supplied), then scanned for equal-(band, hash) runs. Each run is a
+// bucket with members in ascending row order — the same member order the
+// old per-band hash-map build produced — and the emitted pair set is
+// deduplicated by a final sort+unique, so the output is identical to the
+// legacy hash-map path while being deterministic under any thread count.
 #pragma once
 
 #include <cstdint>
@@ -40,13 +48,31 @@ struct CandidatePair {
   double similarity;  ///< exact Jaccard of the two rows
 };
 
+/// Wall-clock breakdown of one reordering round's preprocessing phases,
+/// the measured counterpart of the paper's Fig 12 lump figure. merge_ms
+/// (the clustering stage) is filled by core::reorder_rows.
+struct PhaseTimings {
+  double sig_ms = 0.0;    ///< MinHash signature computation
+  double band_ms = 0.0;   ///< banding group-by + pair dedup
+  double score_ms = 0.0;  ///< exact Jaccard verification + filter
+  double merge_ms = 0.0;  ///< hierarchical clustering (Alg 3)
+};
+
 /// Runs the full LSH pipeline: signatures -> banding -> dedup -> exact
 /// similarity filter. The result is sorted by (a, b) for determinism.
-std::vector<CandidatePair> find_candidate_pairs(const CsrMatrix& m, const LshConfig& cfg);
+/// With a pool, every phase fans out over the workers and the result is
+/// bitwise identical to the sequential run (pool == nullptr); the
+/// parallel signature/scoring chunks carry the preproc.signature /
+/// preproc.score fault probes. Timings (sans merge_ms) are written to
+/// `timings` when non-null.
+std::vector<CandidatePair> find_candidate_pairs(const CsrMatrix& m, const LshConfig& cfg,
+                                                runtime::WorkerPool* pool = nullptr,
+                                                PhaseTimings* timings = nullptr);
 
 /// Banding only: emits deduplicated row-id pairs without similarity
 /// scoring (exposed for tests and for the ablation benches).
 std::vector<std::pair<index_t, index_t>> band_pairs(const SignatureMatrix& sig,
-                                                    const CsrMatrix& m, const LshConfig& cfg);
+                                                    const CsrMatrix& m, const LshConfig& cfg,
+                                                    runtime::WorkerPool* pool = nullptr);
 
 }  // namespace rrspmm::lsh

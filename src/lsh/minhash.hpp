@@ -12,6 +12,10 @@
 
 #include "sparse/csr.hpp"
 
+namespace rrspmm::runtime {
+class WorkerPool;
+}
+
 namespace rrspmm::lsh {
 
 using sparse::CsrMatrix;
@@ -49,9 +53,14 @@ class SignatureMatrix {
 /// The salted column hash used for signature slot k. Exposed for tests.
 std::uint32_t minhash_hash(index_t column, int k, std::uint64_t seed);
 
-/// Computes the signature matrix (OpenMP-parallel over rows; this is the
-/// "embarrassingly parallel" part of the paper's preprocessing, §5.4).
-SignatureMatrix compute_signatures(const CsrMatrix& m, int siglen, std::uint64_t seed);
+/// Computes the signature matrix — the "embarrassingly parallel" part of
+/// the paper's preprocessing (§5.4). With a pool, the row range is
+/// sharded over the workers in fixed chunks; each row's signature is
+/// independent, so the result is bitwise identical to the sequential
+/// loop (pool == nullptr) at any thread count. The parallel path carries
+/// the preproc.signature fault probe per chunk.
+SignatureMatrix compute_signatures(const CsrMatrix& m, int siglen, std::uint64_t seed,
+                                   runtime::WorkerPool* pool = nullptr);
 
 /// One-permutation MinHash with optimal densification (Shrivastava,
 /// ICML'17): hashes each column ONCE, bins the hash into siglen buckets,
@@ -61,7 +70,8 @@ SignatureMatrix compute_signatures(const CsrMatrix& m, int siglen, std::uint64_t
 /// O(nnz + siglen) per row — the paper's future-work direction of
 /// cutting the dominant preprocessing term. Slightly noisier for short
 /// rows (fewer occupied buckets), which the ablation bench quantifies.
-SignatureMatrix compute_signatures_oph(const CsrMatrix& m, int siglen, std::uint64_t seed);
+SignatureMatrix compute_signatures_oph(const CsrMatrix& m, int siglen, std::uint64_t seed,
+                                       runtime::WorkerPool* pool = nullptr);
 
 /// Signature scheme selector used by LshConfig.
 enum class MinHashScheme {

@@ -73,6 +73,11 @@ std::string Metrics::to_json() const {
   os << "\"retries\":" << get(retries) << ",";
   os << "\"failovers\":" << get(failovers) << ",";
   os << "\"degradations\":" << get(degradations) << ",";
+  os << "\"preproc_sig_us\":" << get(preproc_sig_us) << ",";
+  os << "\"preproc_band_us\":" << get(preproc_band_us) << ",";
+  os << "\"preproc_score_us\":" << get(preproc_score_us) << ",";
+  os << "\"preproc_merge_us\":" << get(preproc_merge_us) << ",";
+  os << "\"preproc_degradations\":" << get(preproc_degradations) << ",";
   os << "\"latency_count\":" << latency.count() << ",";
   os << "\"latency_total_s\":" << latency.total_seconds() << ",";
   os << "\"latency_p50_s\":" << latency.quantile(0.50) << ",";

@@ -80,6 +80,17 @@ struct Metrics {
   /// retries and failover were exhausted.
   std::atomic<std::uint64_t> degradations{0};
 
+  /// Preprocessing phase totals (µs) accumulated from every plan built
+  /// through the PlanCache — the serving-side view of the per-phase
+  /// timings the harness records per matrix.
+  std::atomic<std::uint64_t> preproc_sig_us{0};
+  std::atomic<std::uint64_t> preproc_band_us{0};
+  std::atomic<std::uint64_t> preproc_score_us{0};
+  std::atomic<std::uint64_t> preproc_merge_us{0};
+  /// Plan builds whose parallel preprocessing threw and fell back to the
+  /// sequential path (bitwise-equal result, see ReorderResult).
+  std::atomic<std::uint64_t> preproc_degradations{0};
+
   LatencyHistogram latency;
 
   /// One JSON object with every counter plus p50/p95/p99 latency in

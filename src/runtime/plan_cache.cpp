@@ -9,6 +9,10 @@ namespace rrspmm::runtime {
 
 namespace {
 
+std::uint64_t to_us(double ms) {
+  return ms > 0.0 ? static_cast<std::uint64_t>(ms * 1000.0) : 0;
+}
+
 char mode_tag(PlanMode mode) {
   switch (mode) {
     case PlanMode::rr: return 'r';
@@ -62,6 +66,14 @@ PlanPtr PlanCache::get(const std::string& matrix_fingerprint, const sparse::CsrM
     try {
       PlanPtr plan = build(m, mode);
       metrics_->plans_built.fetch_add(1, std::memory_order_relaxed);
+      const core::PipelineStats& ps = plan->stats;
+      metrics_->preproc_sig_us.fetch_add(to_us(ps.sig_ms), std::memory_order_relaxed);
+      metrics_->preproc_band_us.fetch_add(to_us(ps.band_ms), std::memory_order_relaxed);
+      metrics_->preproc_score_us.fetch_add(to_us(ps.score_ms), std::memory_order_relaxed);
+      metrics_->preproc_merge_us.fetch_add(to_us(ps.merge_ms), std::memory_order_relaxed);
+      if (ps.preproc_degraded) {
+        metrics_->preproc_degradations.fetch_add(1, std::memory_order_relaxed);
+      }
       {
         std::lock_guard<std::mutex> lk(m_);
         auto it = map_.find(key);

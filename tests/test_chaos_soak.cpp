@@ -212,5 +212,53 @@ TEST(ChaosSoak, EvictionStormWithStallsStaysCorrect) {
   EXPECT_GT(server.metrics().cache_evictions.load(), 0u);
 }
 
+// Mid-preprocessing fault: with throw rules armed on the parallel
+// signature and scoring stages (plus worker.chunk for good measure), a
+// multithreaded plan build must degrade to the sequential preprocessing
+// path and produce a plan bitwise equal to the fault-free threads=1
+// reference — permutations, candidates, clusters, everything.
+TEST(ChaosSoak, PreprocessingFaultsDegradeToSequentialBitwiseEqual) {
+  const auto corpus = synth::build_test_corpus();
+  ASSERT_GE(corpus.size(), 1u);
+  const auto& m0 = corpus[0];
+
+  // force_round1 so at least one reordering round always runs the
+  // parallel preprocessing, whatever the corpus heuristics decide.
+  core::PipelineConfig seq_cfg;
+  seq_cfg.force_round1 = true;
+  seq_cfg.threads = 1;
+  const core::ExecutionPlan ref = core::build_plan(m0.matrix, seq_cfg);
+
+  for (const std::uint64_t seed : chaos_seeds()) {
+    fault::FaultPlan plan;
+    plan.seed = seed;
+    for (const char* point : {fault::points::kPreprocSignature, fault::points::kPreprocScore,
+                              fault::points::kWorkerChunk}) {
+      fault::FaultRule r;
+      r.point = point;
+      r.kind = fault::FaultKind::throw_error;
+      r.probability = 1.0;
+      r.max_triggers = 2;
+      plan.rules.push_back(std::move(r));
+    }
+    fault::ScopedFaultPlan armed(std::move(plan));
+
+    core::PipelineConfig par_cfg;
+    par_cfg.force_round1 = true;
+    par_cfg.threads = 4;
+    const core::ExecutionPlan got = core::build_plan(m0.matrix, par_cfg);
+
+    EXPECT_TRUE(got.stats.preproc_degraded) << "seed " << seed;
+    EXPECT_EQ(ref.row_perm, got.row_perm) << "seed " << seed;
+    EXPECT_EQ(ref.sparse_order, got.sparse_order) << "seed " << seed;
+    EXPECT_EQ(ref.stats.round1_candidates, got.stats.round1_candidates) << "seed " << seed;
+    EXPECT_EQ(ref.stats.round2_candidates, got.stats.round2_candidates) << "seed " << seed;
+    EXPECT_EQ(ref.stats.round1_clusters, got.stats.round1_clusters) << "seed " << seed;
+    EXPECT_EQ(ref.stats.round2_clusters, got.stats.round2_clusters) << "seed " << seed;
+    EXPECT_EQ(ref.stats.round1_applied, got.stats.round1_applied) << "seed " << seed;
+    EXPECT_EQ(ref.stats.round2_applied, got.stats.round2_applied) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace rrspmm

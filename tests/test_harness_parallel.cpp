@@ -41,6 +41,10 @@ void zero_wall_clock(std::vector<harness::MatrixRecord>& records) {
   for (auto& rec : records) {
     rec.rr.preprocess_seconds = 0.0;
     rec.nr_preprocess_seconds = 0.0;
+    rec.rr.sig_ms = 0.0;
+    rec.rr.band_ms = 0.0;
+    rec.rr.score_ms = 0.0;
+    rec.rr.merge_ms = 0.0;
   }
 }
 

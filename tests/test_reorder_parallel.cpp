@@ -1,0 +1,163 @@
+// Bitwise-determinism contract of the parallel preprocessing: for every
+// thread count, reorder_rows must return a ReorderResult identical field
+// for field (order, candidate_pairs, clusters, merges) to the sequential
+// legacy path, for both MinHash schemes — and a fault thrown mid-
+// preprocessing must degrade to the sequential path with the identical
+// result. Runs under TSan in CI (the "ReorderParallel" regex).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/reorder_engine.hpp"
+#include "fault/fault.hpp"
+#include "lsh/candidates.hpp"
+#include "runtime/worker_pool.hpp"
+#include "sparse/permute.hpp"
+#include "synth/generators.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using core::ReorderConfig;
+using core::ReorderResult;
+using core::reorder_rows;
+using sparse::CsrMatrix;
+
+std::vector<std::pair<std::string, CsrMatrix>> subjects() {
+  std::vector<std::pair<std::string, CsrMatrix>> out;
+  synth::ClusteredParams p;
+  p.rows = 384;
+  p.cols = 1536;
+  p.num_groups = 12;
+  p.group_cols = 24;
+  p.row_nnz = 12;
+  p.noise_nnz = 2;
+  p.scatter = true;
+  out.emplace_back("scattered_clustered", synth::clustered_rows(p, 7));
+  out.emplace_back("rmat", synth::rmat(9, 4096, 3));
+  out.emplace_back("diagonal", synth::diagonal(128));
+  // Explicit empty rows: they must stay excluded from banding on every
+  // path.
+  out.emplace_back("with_empty_rows", test::csr({
+                                          {1, 0, 1, 1, 0, 0},
+                                          {0, 0, 0, 0, 0, 0},
+                                          {1, 0, 1, 1, 0, 0},
+                                          {0, 0, 0, 0, 0, 0},
+                                          {0, 1, 0, 0, 1, 1},
+                                          {0, 1, 0, 0, 1, 1},
+                                      }));
+  return out;
+}
+
+void expect_same_result(const ReorderResult& ref, const ReorderResult& r,
+                        const std::string& what) {
+  EXPECT_EQ(ref.order, r.order) << what;
+  EXPECT_EQ(ref.candidate_pairs, r.candidate_pairs) << what;
+  EXPECT_EQ(ref.clusters, r.clusters) << what;
+  EXPECT_EQ(ref.merges, r.merges) << what;
+}
+
+TEST(ReorderParallel, ResultIsBitwiseIdenticalAcrossThreadCounts) {
+  for (const auto& [name, m] : subjects()) {
+    for (const lsh::MinHashScheme scheme :
+         {lsh::MinHashScheme::kClassic, lsh::MinHashScheme::kOnePermutation}) {
+      ReorderConfig cfg;
+      cfg.lsh.scheme = scheme;
+      cfg.threads = 1;
+      const ReorderResult ref = reorder_rows(m, cfg);
+      EXPECT_FALSE(ref.degraded_to_sequential);
+      for (const int threads : {2, 8}) {
+        cfg.threads = threads;
+        const ReorderResult r = reorder_rows(m, cfg);
+        EXPECT_FALSE(r.degraded_to_sequential);
+        expect_same_result(ref, r,
+                           name + " scheme=" + std::to_string(static_cast<int>(scheme)) +
+                               " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ReorderParallel, CandidatePairsMatchSequentialExactly) {
+  for (const auto& [name, m] : subjects()) {
+    for (const lsh::MinHashScheme scheme :
+         {lsh::MinHashScheme::kClassic, lsh::MinHashScheme::kOnePermutation}) {
+      lsh::LshConfig cfg;
+      cfg.scheme = scheme;
+      const auto seq = lsh::find_candidate_pairs(m, cfg);
+      runtime::WorkerPool pool(4);
+      lsh::PhaseTimings timings;
+      const auto par = lsh::find_candidate_pairs(m, cfg, &pool, &timings);
+      ASSERT_EQ(seq.size(), par.size()) << name;
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].a, par[i].a) << name << " pair " << i;
+        EXPECT_EQ(seq[i].b, par[i].b) << name << " pair " << i;
+        EXPECT_EQ(seq[i].similarity, par[i].similarity) << name << " pair " << i;
+      }
+    }
+  }
+}
+
+TEST(ReorderParallel, BandPairsMatchSequentialExactly) {
+  for (const auto& [name, m] : subjects()) {
+    const lsh::LshConfig cfg;
+    const auto sig = lsh::compute_signatures(m, cfg.siglen, cfg.seed);
+    runtime::WorkerPool pool(4);
+    const auto sig_par = lsh::compute_signatures(m, cfg.siglen, cfg.seed, &pool);
+    for (index_t i = 0; i < m.rows(); ++i) {
+      for (int k = 0; k < cfg.siglen; ++k) {
+        ASSERT_EQ(sig.row(i)[k], sig_par.row(i)[k]) << name << " row " << i;
+      }
+    }
+    EXPECT_EQ(lsh::band_pairs(sig, m, cfg), lsh::band_pairs(sig, m, cfg, &pool)) << name;
+  }
+}
+
+// A chained bucket (size > bucket_cap) must produce the identical chain
+// on the sorted group-by path: all rows identical -> one bucket per band
+// holding every row.
+TEST(ReorderParallel, OversizedBucketChainingIsIdentical) {
+  std::vector<std::vector<value_t>> rows(150, {1, 0, 1, 1, 0, 0, 1, 0});
+  const auto m = test::csr(rows);
+  lsh::LshConfig cfg;
+  cfg.bucket_cap = 64;
+  const auto seq = lsh::find_candidate_pairs(m, cfg);
+  runtime::WorkerPool pool(4);
+  const auto par = lsh::find_candidate_pairs(m, cfg, &pool, nullptr);
+  ASSERT_EQ(seq.size(), par.size());
+  ASSERT_EQ(seq.size(), 149u);  // chain of 150 identical rows
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].a, par[i].a);
+    EXPECT_EQ(seq[i].b, par[i].b);
+  }
+}
+
+TEST(ReorderParallel, InjectedFaultDegradesToSequentialBitwiseEqual) {
+  const auto all = subjects();
+  const CsrMatrix& m = all[0].second;
+  ReorderConfig cfg;
+  cfg.threads = 1;
+  const ReorderResult ref = reorder_rows(m, cfg);
+
+  for (const char* point : {fault::points::kPreprocSignature, fault::points::kPreprocScore}) {
+    fault::FaultPlan plan;
+    plan.seed = 99;
+    fault::FaultRule rule;
+    rule.point = point;
+    rule.kind = fault::FaultKind::throw_error;
+    rule.probability = 1.0;
+    rule.max_triggers = 1;
+    plan.rules.push_back(rule);
+    fault::ScopedFaultPlan armed(std::move(plan));
+
+    cfg.threads = 4;
+    const ReorderResult r = reorder_rows(m, cfg);
+    EXPECT_TRUE(r.degraded_to_sequential) << point;
+    expect_same_result(ref, r, std::string("degraded via ") + point);
+  }
+}
+
+}  // namespace
+}  // namespace rrspmm
