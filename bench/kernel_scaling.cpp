@@ -1,0 +1,302 @@
+// SIMD kernel scaling bench: wall-clock of the SpMM/SDDMM kernels under
+// every runnable ISA backend (forced through simd::KernelConfig) against
+// the scalar reference, per K width. Prints a fixed-width table plus
+// PASS/FAIL checks and writes BENCH_kernels.json.
+//
+// Checks:
+//   * bitwise identity — every non-fma backend must reproduce the scalar
+//     result exactly; enforced unconditionally on every host.
+//   * speedup — the vectorized dense-tile phase (the staged-panel ASpT
+//     kernel on an all-dense tiling) must beat scalar by >= 1.5x geomean
+//     at k=32 when the host runs AVX2; hosts without AVX2 skip the gate.
+//
+//   RRSPMM_SCALE — linear multiplier on matrix rows (default 1)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aspt/aspt.hpp"
+#include "harness/render.hpp"
+#include "kernels/sddmm.hpp"
+#include "kernels/simd/dispatch.hpp"
+#include "kernels/spmm.hpp"
+#include "synth/generators.hpp"
+
+namespace rrspmm {
+namespace {
+
+namespace simd = kernels::simd;
+using sparse::CsrMatrix;
+using sparse::DenseMatrix;
+
+constexpr int kReps = 3;  ///< best-of, to shave scheduler noise
+constexpr index_t kWidths[] = {32, 128};
+constexpr double kAvx2DenseTileGate = 1.5;  ///< geomean speedup at k=32
+
+double env_scale() {
+  if (const char* s = std::getenv("RRSPMM_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+struct Subject {
+  std::string name;
+  std::string op;  ///< "spmm_aspt" | "spmm_rowwise" | "sddmm_aspt"
+  CsrMatrix s;
+  aspt::AsptMatrix tiled;
+  double dense_fraction = 0.0;
+};
+
+std::vector<Subject> build_subjects() {
+  const double scale = env_scale();
+  std::vector<Subject> out;
+
+  // Every nonzero in a dense tile: this is the staged-panel phase the
+  // SIMD layer targets, isolated (the sparse remainder is empty).
+  {
+    synth::ClusteredParams p;
+    p.rows = static_cast<index_t>(4096 * scale);
+    p.cols = 4096;
+    p.num_groups = 64;
+    p.group_cols = 64;
+    p.row_nnz = 32;
+    p.noise_nnz = 0;
+    p.scatter = false;
+    Subject sub;
+    sub.name = "dense_tiles";
+    sub.op = "spmm_aspt";
+    sub.s = synth::clustered_rows(p, 101);
+    sub.tiled = aspt::build_aspt(sub.s, aspt::AsptConfig{.panel_rows = 64,
+                                                         .dense_col_threshold = 2,
+                                                         .max_dense_cols = 128});
+    out.push_back(std::move(sub));
+  }
+
+  // Skewed mix of dense tiles and sparse remainder (the realistic case).
+  {
+    Subject sub;
+    sub.name = "mixed";
+    sub.op = "spmm_aspt";
+    sub.s = synth::chung_lu(static_cast<index_t>(4096 * scale), 4096, 16.0, 2.2, 103);
+    sub.tiled = aspt::build_aspt(sub.s, aspt::AsptConfig{});
+    out.push_back(std::move(sub));
+  }
+
+  // Pure CSR row-wise kernel, no tiling.
+  {
+    Subject sub;
+    sub.name = "uniform";
+    sub.op = "spmm_rowwise";
+    sub.s = synth::erdos_renyi(static_cast<index_t>(4096 * scale), 4096, 131072, 107);
+    sub.tiled = aspt::build_aspt(sub.s, aspt::AsptConfig{});
+    out.push_back(std::move(sub));
+  }
+
+  // SDDMM over the all-dense tiling (lane-per-nonzero vector path).
+  {
+    Subject sub;
+    sub.name = "dense_tiles";
+    sub.op = "sddmm_aspt";
+    sub.s = out[0].s;
+    sub.tiled = aspt::build_aspt(sub.s, aspt::AsptConfig{.panel_rows = 64,
+                                                         .dense_col_threshold = 2,
+                                                         .max_dense_cols = 128});
+    out.push_back(std::move(sub));
+  }
+
+  for (Subject& sub : out) {
+    const auto nnz_total = sub.tiled.stats().nnz_total;
+    const auto nnz_sparse = sub.tiled.sparse_part().nnz();
+    sub.dense_fraction =
+        nnz_total > 0 ? 1.0 - static_cast<double>(nnz_sparse) / static_cast<double>(nnz_total)
+                      : 0.0;
+  }
+  return out;
+}
+
+struct Point {
+  std::string subject;
+  std::string op;
+  index_t k = 0;
+  std::string isa;
+  bool fma = false;
+  double wall_ms = 0.0;
+  double speedup = 1.0;  ///< vs scalar, same subject/op/k
+  bool identical = true;  ///< bitwise vs scalar (fma rows are ULP-close, not bitwise)
+};
+
+/// Best-of-kReps wall time of `iters` back-to-back kernel runs.
+template <class Fn>
+double time_ms(int iters, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = Clock::now();
+    for (int it = 0; it < iters; ++it) fn();
+    const double ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(Clock::now() - t0)
+            .count() /
+        iters;
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+int calibrate_iters(const Subject& sub, index_t k) {
+  // Aim for ~100M scalar flops per timed run so even the fastest backend
+  // stays measurable.
+  const double flops = 2.0 * static_cast<double>(sub.s.nnz()) * k;
+  return std::clamp(static_cast<int>(1e8 / std::max(flops, 1.0)), 1, 64);
+}
+
+std::string to_json(const std::vector<Point>& points) {
+  std::ostringstream js;
+  js << "{\"bench\":\"kernel_scaling\",\"auto_isa\":\""
+     << simd::isa_name(simd::resolve_isa(std::nullopt)) << "\",\"results\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    if (i) js << ',';
+    js << "{\"subject\":\"" << p.subject << "\",\"op\":\"" << p.op << "\",\"k\":" << p.k
+       << ",\"isa\":\"" << p.isa << "\",\"fma\":" << (p.fma ? "true" : "false")
+       << ",\"wall_ms\":" << p.wall_ms << ",\"speedup\":" << p.speedup
+       << ",\"identical\":" << (p.identical ? "true" : "false") << "}";
+  }
+  js << "]}";
+  return js.str();
+}
+
+}  // namespace
+}  // namespace rrspmm
+
+int main() {
+  using namespace rrspmm;
+
+  std::vector<simd::Isa> isas;
+  for (int i = 0; i < static_cast<int>(simd::kIsaCount); ++i) {
+    const auto isa = static_cast<simd::Isa>(i);
+    if (simd::isa_supported(isa)) isas.push_back(isa);
+  }
+  const simd::Isa best_isa = simd::resolve_isa(std::nullopt);
+
+  const auto subjects = build_subjects();
+  std::printf("== kernel scaling: %zu subjects, backends:", subjects.size());
+  for (const simd::Isa isa : isas) std::printf(" %s", std::string(simd::isa_name(isa)).c_str());
+  std::printf(" (auto -> %s) ==\n", std::string(simd::isa_name(best_isa)).c_str());
+
+  int failures = 0;
+  std::vector<Point> points;
+
+  for (const Subject& sub : subjects) {
+    for (const index_t k : kWidths) {
+      DenseMatrix x(sub.s.cols(), k), ymat(sub.s.rows(), k);
+      sparse::fill_random(x, 211);
+      sparse::fill_random(ymat, 223);
+      const int iters = calibrate_iters(sub, k);
+
+      // One measurement closure per (isa, fma) configuration.
+      DenseMatrix y_ref, y_got;
+      std::vector<value_t> d_ref, d_got;
+      const auto run = [&](const simd::KernelConfig& cfg, DenseMatrix& y,
+                           std::vector<value_t>& d) {
+        if (sub.op == "spmm_aspt") {
+          kernels::spmm_aspt(sub.tiled, x, y, nullptr, cfg);
+        } else if (sub.op == "spmm_rowwise") {
+          kernels::spmm_rowwise(sub.s, x, y, cfg);
+        } else {
+          kernels::sddmm_aspt(sub.tiled, x, ymat, d, nullptr, cfg);
+        }
+      };
+
+      simd::KernelConfig scalar_cfg;
+      scalar_cfg.isa = simd::Isa::scalar;
+      y_ref = DenseMatrix(sub.s.rows(), k);
+      run(scalar_cfg, y_ref, d_ref);  // warmup + reference result
+      const double scalar_ms = time_ms(iters, [&] { run(scalar_cfg, y_ref, d_ref); });
+      points.push_back({sub.name, sub.op, k, "scalar", false, scalar_ms, 1.0, true});
+
+      const auto measure = [&](simd::Isa isa, bool fma) {
+        simd::KernelConfig cfg;
+        cfg.isa = isa;
+        cfg.allow_fma = fma;
+        y_got = DenseMatrix(sub.s.rows(), k);
+        d_got.clear();
+        run(cfg, y_got, d_got);  // warmup + correctness result
+        Point p;
+        p.subject = sub.name;
+        p.op = sub.op;
+        p.k = k;
+        p.isa = simd::isa_name(isa);
+        p.fma = fma;
+        p.wall_ms = time_ms(iters, [&] { run(cfg, y_got, d_got); });
+        p.speedup = p.wall_ms > 0.0 ? scalar_ms / p.wall_ms : 1.0;
+        if (!fma) {
+          p.identical = sub.op == "sddmm_aspt" ? d_got == d_ref
+                                               : y_got.max_abs_diff(y_ref) == 0.0;
+          if (!p.identical) {
+            ++failures;
+            std::printf("FAIL: %s/%s k=%d isa=%s not bitwise equal to scalar\n",
+                        sub.name.c_str(), sub.op.c_str(), k, p.isa.c_str());
+          }
+        }
+        points.push_back(std::move(p));
+      };
+
+      for (const simd::Isa isa : isas) {
+        if (isa == simd::Isa::scalar) continue;
+        measure(isa, false);
+      }
+      if (best_isa != simd::Isa::scalar) measure(best_isa, true);
+    }
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Point& p : points) {
+    rows.push_back({p.subject, p.op, std::to_string(p.k),
+                    p.fma ? p.isa + "+fma" : p.isa, harness::fmt(p.wall_ms, 3),
+                    harness::fmt(p.speedup, 2), p.identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n",
+              harness::render_table(
+                  {"subject", "op", "k", "isa", "wall_ms", "speedup", "identical"}, rows)
+                  .c_str());
+
+  // The acceptance gate: vectorized dense-tile SpMM at k=32 under AVX2.
+  if (simd::isa_supported(simd::Isa::avx2)) {
+    double log_sum = 0.0;
+    int n = 0;
+    for (const Point& p : points) {
+      if (p.subject == "dense_tiles" && p.op == "spmm_aspt" && p.k == 32 && p.isa == "avx2" &&
+          !p.fma) {
+        log_sum += std::log(p.speedup);
+        ++n;
+      }
+    }
+    const double geomean = n > 0 ? std::exp(log_sum / n) : 0.0;
+    const bool ok = geomean >= kAvx2DenseTileGate;
+    if (!ok) ++failures;
+    std::printf("%s: avx2 dense-tile SpMM geomean speedup at k=32: %.2fx (need >= %.2fx)\n",
+                ok ? "PASS" : "FAIL", geomean, kAvx2DenseTileGate);
+  } else {
+    std::printf("SKIP: avx2 dense-tile gate (host does not run AVX2)\n");
+  }
+
+  const std::string json = to_json(points);
+  std::ofstream out("BENCH_kernels.json", std::ios::trunc);
+  out << json << '\n';
+  std::printf("wrote BENCH_kernels.json\n");
+
+  if (failures > 0) {
+    std::printf("%d kernel scaling check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("all kernel scaling checks passed\n");
+  return 0;
+}

@@ -7,10 +7,13 @@
 // paper's performance argument is specific to the GPU memory hierarchy.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "aspt/aspt.hpp"
 #include "cluster/hierarchy.hpp"
 #include "core/pipeline.hpp"
 #include "kernels/sddmm.hpp"
+#include "kernels/simd/dispatch.hpp"
 #include "kernels/spmm.hpp"
 #include "lsh/candidates.hpp"
 #include "runtime/worker_pool.hpp"
@@ -155,6 +158,73 @@ void BM_FullPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipeline);
 
+// --- per-ISA kernel columns ------------------------------------------
+//
+// The BENCHMARK() entries above run whatever the process-wide dispatch
+// resolves to (auto). These registered variants force each runnable
+// backend through a KernelConfig, so one run prints a scalar-vs-SIMD
+// column per ISA for the same matrix and K.
+
+namespace simd = kernels::simd;
+
+const aspt::AsptMatrix& bench_tiling() {
+  static const aspt::AsptMatrix tiled = aspt::build_aspt(bench_matrix(true), aspt::AsptConfig{});
+  return tiled;
+}
+
+void BM_SpmmAsptIsa(benchmark::State& state, simd::Isa isa) {
+  const auto m = bench_matrix(true);
+  const auto& tiled = bench_tiling();
+  const auto k = static_cast<index_t>(state.range(0));
+  simd::KernelConfig cfg;
+  cfg.isa = isa;
+  sparse::DenseMatrix x(m.cols(), k), y(m.rows(), k);
+  sparse::fill_random(x, 7);
+  for (auto _ : state) {
+    kernels::spmm_aspt(tiled, x, y, nullptr, cfg);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz() * k * 2);
+}
+
+void BM_SddmmAsptIsa(benchmark::State& state, simd::Isa isa) {
+  const auto m = bench_matrix(true);
+  const auto& tiled = bench_tiling();
+  const auto k = static_cast<index_t>(state.range(0));
+  simd::KernelConfig cfg;
+  cfg.isa = isa;
+  sparse::DenseMatrix x(m.cols(), k), y(m.rows(), k);
+  sparse::fill_random(x, 8);
+  sparse::fill_random(y, 9);
+  std::vector<value_t> out;
+  for (auto _ : state) {
+    kernels::sddmm_aspt(tiled, x, y, out, nullptr, cfg);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz() * k * 2);
+}
+
+void register_isa_benchmarks() {
+  for (int i = 0; i < static_cast<int>(simd::kIsaCount); ++i) {
+    const auto isa = static_cast<simd::Isa>(i);
+    if (!simd::isa_supported(isa)) continue;
+    const std::string tag(simd::isa_name(isa));
+    benchmark::RegisterBenchmark(("BM_SpmmAspt_" + tag).c_str(), BM_SpmmAsptIsa, isa)
+        ->Arg(32)
+        ->Arg(128);
+    benchmark::RegisterBenchmark(("BM_SddmmAspt_" + tag).c_str(), BM_SddmmAsptIsa, isa)
+        ->Arg(32)
+        ->Arg(128);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_isa_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,12 +5,15 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "kernels/detail/scalar_ref.hpp"
 #include "kernels/spmm.hpp"
 #include "sparse/permute.hpp"
 
 namespace rrspmm::dist {
 
 namespace {
+
+namespace simd = kernels::simd;
 
 bool is_identity(const std::vector<index_t>& perm) {
   for (std::size_t i = 0; i < perm.size(); ++i) {
@@ -19,12 +22,21 @@ bool is_identity(const std::vector<index_t>& perm) {
   return true;
 }
 
+simd::KernelConfig effective_config(const simd::KernelConfig* kernel) {
+  return kernel ? *kernel : simd::active_config();
+}
+
 void spmm_shards(runtime::WorkerPool& pool, const aspt::AsptMatrix& a, const ShardPlan& sp,
-                 const DenseMatrix& x, DenseMatrix& y, runtime::Metrics* metrics) {
+                 const DenseMatrix& x, DenseMatrix& y, runtime::Metrics* metrics,
+                 const simd::KernelConfig& cfg) {
+  const simd::Isa isa = simd::table(cfg).isa;
   pool.parallel_for(sp.row_shards.size(), [&](std::size_t si) {
     const core::RowShard& s = sp.row_shards[si];
-    kernels::spmm_aspt_row_range(a, x, y, s.row_begin, s.row_end);
-    if (metrics) metrics->shards_executed.fetch_add(1, std::memory_order_relaxed);
+    kernels::spmm_aspt_row_range(a, x, y, s.row_begin, s.row_end, cfg);
+    if (metrics) {
+      metrics->shards_executed.fetch_add(1, std::memory_order_relaxed);
+      metrics->count_kernel(isa);
+    }
   });
 }
 
@@ -32,7 +44,7 @@ void spmm_shards(runtime::WorkerPool& pool, const aspt::AsptMatrix& a, const Sha
 
 void sharded_spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
                   const ShardPlan& shard_plan, const DenseMatrix& x, DenseMatrix& y,
-                  runtime::Metrics* metrics) {
+                  runtime::Metrics* metrics, const simd::KernelConfig* kernel) {
   shard_plan.validate();
   if (shard_plan.mode != ShardMode::row) {
     throw sparse::invalid_matrix("sharded_spmm: shard plan is not row mode");
@@ -40,12 +52,13 @@ void sharded_spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
   if (shard_plan.rows != plan.tiled.rows()) {
     throw sparse::invalid_matrix("sharded_spmm: shard plan rows do not match the plan");
   }
+  const simd::KernelConfig cfg = effective_config(kernel);
   if (is_identity(plan.row_perm)) {
-    spmm_shards(pool, plan.tiled, shard_plan, x, y, metrics);
+    spmm_shards(pool, plan.tiled, shard_plan, x, y, metrics, cfg);
     return;
   }
   DenseMatrix yp(plan.tiled.rows(), x.cols());
-  spmm_shards(pool, plan.tiled, shard_plan, x, yp, metrics);
+  spmm_shards(pool, plan.tiled, shard_plan, x, yp, metrics, cfg);
   y = sparse::unpermute_dense_rows(yp, plan.row_perm);
 }
 
@@ -87,9 +100,7 @@ void sharded_spmm_cols(runtime::WorkerPool& pool, const CsrMatrix& m, const Shar
         auto out = y.row(i);
         for (auto it = lo; it != hi; ++it) {
           const std::size_t j = static_cast<std::size_t>(it - cols.begin());
-          const value_t v = vals[j];
-          const auto xr = x.row(*it);
-          for (index_t c = 0; c < k; ++c) out[static_cast<std::size_t>(c)] += v * xr[static_cast<std::size_t>(c)];
+          kernels::detail::axpy(out.data(), x.row(*it).data(), vals[j], k);
         }
       }
     });
@@ -108,6 +119,8 @@ void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan&
                            const DenseMatrix& x, DenseMatrix& y, runtime::Metrics* metrics) {
   const ShardPlan sp = planner_.plan_rows(plan, cfg_.num_devices, cfg_.strategy);
   if (metrics) metrics->sharded_batches.fetch_add(1, std::memory_order_relaxed);
+  const simd::KernelConfig kcfg = effective_config(cfg_.kernel ? &*cfg_.kernel : nullptr);
+  const simd::Isa isa = simd::table(kcfg).isa;
 
   // Execute in permuted row space; unpermute once at the end, after all
   // failover rounds, so recovery never perturbs the output ordering.
@@ -139,9 +152,13 @@ void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan&
       try {
         fault::hit(fault::points::kShardExec);
         fault::hit_nothrow(fault::points::kShardStraggler);
-        kernels::spmm_aspt_row_range(plan.tiled, x, yp, w.shard.row_begin, w.shard.row_end);
+        kernels::spmm_aspt_row_range(plan.tiled, x, yp, w.shard.row_begin, w.shard.row_end,
+                                     kcfg);
         fault::hit(fault::points::kShardInterconnect);
-        if (metrics) metrics->shards_executed.fetch_add(1, std::memory_order_relaxed);
+        if (metrics) {
+          metrics->shards_executed.fetch_add(1, std::memory_order_relaxed);
+          metrics->count_kernel(isa);
+        }
       } catch (const fault::injected_fault&) {
         if (metrics) {
           metrics->faults_injected.fetch_add(1, std::memory_order_relaxed);

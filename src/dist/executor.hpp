@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -38,7 +39,8 @@ class shards_exhausted : public std::runtime_error {
 /// `shard_plan`'s shards. `metrics`, when given, counts the shards.
 void sharded_spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
                   const ShardPlan& shard_plan, const DenseMatrix& x, DenseMatrix& y,
-                  runtime::Metrics* metrics = nullptr);
+                  runtime::Metrics* metrics = nullptr,
+                  const kernels::simd::KernelConfig* kernel = nullptr);
 
 /// Column-mode sharded SpMM on the raw CSR matrix: device d computes the
 /// partial product of its column slice (rows split across the pool
@@ -56,6 +58,10 @@ struct ShardedExecutorConfig {
   /// re-planned onto surviving devices before the batch gives up with
   /// shards_exhausted. 0 disables failover entirely.
   int max_failover_rounds = 3;
+  /// SIMD kernel selection for the shard row-range kernels; nullopt uses
+  /// the process-wide simd::active_config(). Shard results are bitwise
+  /// identical either way on the default (non-fma) path.
+  std::optional<kernels::simd::KernelConfig> kernel;
 };
 
 /// runtime::Executor that shards every batch across simulated devices.

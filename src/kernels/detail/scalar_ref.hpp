@@ -1,0 +1,35 @@
+// The scalar reference inner loops shared by every execution path.
+//
+// Before the SIMD layer, spmm.cpp / sddmm.cpp (and dist/executor.cpp)
+// each carried their own copy of these two loops; they are now the single
+// reference implementation the scalar kernel table uses directly and the
+// vector backends must match bitwise (non-fma) or to an ULP bound (fma).
+//
+// `static inline` (internal linkage) on purpose: this header is included
+// from translation units compiled with ISA-specific flags, and internal
+// linkage guarantees each TU keeps its own copy — no comdat can leak
+// AVX-encoded code into the baseline build.
+//
+// Both loops must stay contraction-free to remain the bitwise reference;
+// the kernels and dist targets are compiled with -ffp-contract=off to
+// keep the compiler from fusing the multiply-add.
+#pragma once
+
+#include "sparse/types.hpp"
+
+namespace rrspmm::kernels::detail {
+
+/// y[0..k) += a * x[0..k), one multiply and one add per element, in
+/// ascending kk order — the SpMM accumulation step.
+static inline void axpy(value_t* y, const value_t* x, value_t a, index_t k) {
+  for (index_t kk = 0; kk < k; ++kk) y[kk] += a * x[kk];
+}
+
+/// Ordered dot product, acc = ((a0*b0) + a1*b1) + ... — the SDDMM step.
+static inline value_t dot(const value_t* a, const value_t* b, index_t k) {
+  value_t acc = 0;
+  for (index_t kk = 0; kk < k; ++kk) acc += a[kk] * b[kk];
+  return acc;
+}
+
+}  // namespace rrspmm::kernels::detail

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "kernels/detail/staging.hpp"
+#include "sparse/aligned.hpp"
+
 namespace rrspmm::kernels {
 
 namespace {
+
+constexpr index_t kRowBlock = 64;  // see spmm.cpp
 
 void check_sddmm_shapes(index_t s_rows, index_t s_cols, const DenseMatrix& x,
                         const DenseMatrix& y) {
@@ -13,36 +18,41 @@ void check_sddmm_shapes(index_t s_rows, index_t s_cols, const DenseMatrix& x,
   if (x.cols() != y.cols()) throw sparse::invalid_matrix("SDDMM: X and Y must share K");
 }
 
-value_t dot(const value_t* a, const value_t* b, index_t k) {
-  value_t acc = 0;
-  for (index_t kk = 0; kk < k; ++kk) acc += a[kk] * b[kk];
-  return acc;
-}
-
 }  // namespace
 
 void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
                    std::vector<value_t>& out) {
+  sddmm_rowwise(s, x, y, out, simd::active_config());
+}
+
+void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
+                   std::vector<value_t>& out, const simd::KernelConfig& cfg) {
   check_sddmm_shapes(s.rows(), s.cols(), x, y);
+  const simd::KernelTable& t = simd::table(cfg);
+  simd::count_invocation(t.isa);
   const index_t k = x.cols();
   out.assign(static_cast<std::size_t>(s.nnz()), value_t{0});
+  const index_t blocks = (s.rows() + kRowBlock - 1) / kRowBlock;
 
 #ifdef RRSPMM_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic, 64)
+#pragma omp parallel for schedule(dynamic, 1)
 #endif
-  for (index_t i = 0; i < s.rows(); ++i) {
-    const value_t* yr = y.row(i).data();
-    const auto cols = s.row_cols(i);
-    const auto vals = s.row_vals(i);
-    const offset_t base = s.rowptr()[static_cast<std::size_t>(i)];
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      out[static_cast<std::size_t>(base) + j] = vals[j] * dot(yr, x.row(cols[j]).data(), k);
-    }
+  for (index_t blk = 0; blk < blocks; ++blk) {
+    const index_t lo = blk * kRowBlock;
+    const index_t hi = std::min(s.rows(), lo + kRowBlock);
+    t.sddmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data(), x.ld(),
+                 y.data(), y.ld(), k, out.data(), /*src=*/nullptr, /*order=*/nullptr, lo, hi);
   }
 }
 
 void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
                    std::vector<value_t>& out, index_t row_begin, index_t row_end) {
+  sddmm_rowwise(s, x, y, out, row_begin, row_end, simd::active_config());
+}
+
+void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
+                   std::vector<value_t>& out, index_t row_begin, index_t row_end,
+                   const simd::KernelConfig& cfg) {
   check_sddmm_shapes(s.rows(), s.cols(), x, y);
   if (row_begin < 0 || row_end > s.rows() || row_begin > row_end) {
     throw sparse::invalid_matrix("SDDMM: row range out of bounds");
@@ -50,53 +60,47 @@ void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& 
   if (out.size() != static_cast<std::size_t>(s.nnz())) {
     throw sparse::invalid_matrix("SDDMM: out must be pre-sized to nnz for row-range calls");
   }
-  const index_t k = x.cols();
-  for (index_t i = row_begin; i < row_end; ++i) {
-    const value_t* yr = y.row(i).data();
-    const auto cols = s.row_cols(i);
-    const auto vals = s.row_vals(i);
-    const offset_t base = s.rowptr()[static_cast<std::size_t>(i)];
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      out[static_cast<std::size_t>(base) + j] = vals[j] * dot(yr, x.row(cols[j]).data(), k);
-    }
-  }
+  const simd::KernelTable& t = simd::table(cfg);
+  simd::count_invocation(t.isa);
+  t.sddmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data(), x.ld(),
+               y.data(), y.ld(), x.cols(), out.data(), /*src=*/nullptr, /*order=*/nullptr,
+               row_begin, row_end);
 }
 
 void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
                 std::vector<value_t>& out, const std::vector<index_t>* sparse_order) {
+  sddmm_aspt(a, x, y, out, sparse_order, simd::active_config());
+}
+
+void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
+                std::vector<value_t>& out, const std::vector<index_t>* sparse_order,
+                const simd::KernelConfig& cfg) {
   check_sddmm_shapes(a.rows(), a.cols(), x, y);
+  const simd::KernelTable& t = simd::table(cfg);
+  simd::count_invocation(t.isa);
   const index_t k = x.cols();
   out.assign(static_cast<std::size_t>(a.stats().nnz_total), value_t{0});
 
-  // Phase 1: dense tiles with a staged panel buffer (see spmm_aspt).
+  // Phase 1: dense tiles with an aligned staged panel buffer per thread,
+  // sized once to the largest panel (see spmm_aspt).
+  const std::size_t max_dense = detail::max_panel_dense_cols(a);
+  if (max_dense > 0) {
+    const index_t staged_ld = sparse::aligned_ld(k);
 #ifdef RRSPMM_HAVE_OPENMP
 #pragma omp parallel
 #endif
-  {
-    std::vector<value_t> staged;
+    {
+      sparse::AlignedVector<value_t> staged(max_dense * static_cast<std::size_t>(staged_ld));
 #ifdef RRSPMM_HAVE_OPENMP
 #pragma omp for schedule(dynamic, 1)
 #endif
-    for (std::size_t pi = 0; pi < a.panels().size(); ++pi) {
-      const aspt::Panel& p = a.panels()[pi];
-      if (p.dense_cols.empty()) continue;
-      staged.resize(p.dense_cols.size() * static_cast<std::size_t>(k));
-      for (std::size_t d = 0; d < p.dense_cols.size(); ++d) {
-        const value_t* xr = x.row(p.dense_cols[d]).data();
-        std::copy(xr, xr + k, staged.data() + d * static_cast<std::size_t>(k));
-      }
-      for (index_t r = 0; r < p.rows(); ++r) {
-        const value_t* yr = y.row(p.row_begin + r).data();
-        const offset_t lo = p.dense_rowptr[static_cast<std::size_t>(r)];
-        const offset_t hi = p.dense_rowptr[static_cast<std::size_t>(r) + 1];
-        for (offset_t j = lo; j < hi; ++j) {
-          const value_t* xr =
-              staged.data() +
-              static_cast<std::size_t>(p.dense_slot[static_cast<std::size_t>(j)]) *
-                  static_cast<std::size_t>(k);
-          out[static_cast<std::size_t>(p.dense_src_idx[static_cast<std::size_t>(j)])] =
-              p.dense_val[static_cast<std::size_t>(j)] * dot(yr, xr, k);
-        }
+      for (std::size_t pi = 0; pi < a.panels().size(); ++pi) {
+        const aspt::Panel& p = a.panels()[pi];
+        if (p.dense_cols.empty()) continue;
+        detail::stage_panel(p, x, k, staged.data(), staged_ld);
+        t.sddmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
+                      p.dense_src_idx.data(), p.row_begin, staged.data(), staged_ld, y.data(),
+                      y.ld(), k, out.data(), p.row_begin, p.row_end);
       }
     }
   }
@@ -104,26 +108,27 @@ void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
   // Phase 2: sparse remainder. Distinct nonzeros scatter to distinct
   // source indices, so the loop is race-free.
   const CsrMatrix& sp = a.sparse_part();
-  const auto& src = a.sparse_src_idx();
+  const index_t* order = sparse_order ? sparse_order->data() : nullptr;
+  const index_t blocks = (sp.rows() + kRowBlock - 1) / kRowBlock;
 #ifdef RRSPMM_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic, 64)
+#pragma omp parallel for schedule(dynamic, 1)
 #endif
-  for (index_t pos = 0; pos < sp.rows(); ++pos) {
-    const index_t i = sparse_order ? (*sparse_order)[static_cast<std::size_t>(pos)] : pos;
-    const auto cols = sp.row_cols(i);
-    if (cols.empty()) continue;
-    const auto vals = sp.row_vals(i);
-    const value_t* yr = y.row(i).data();
-    const offset_t base = sp.rowptr()[static_cast<std::size_t>(i)];
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      out[static_cast<std::size_t>(src[static_cast<std::size_t>(base) + j])] =
-          vals[j] * dot(yr, x.row(cols[j]).data(), k);
-    }
+  for (index_t blk = 0; blk < blocks; ++blk) {
+    const index_t lo = blk * kRowBlock;
+    const index_t hi = std::min(sp.rows(), lo + kRowBlock);
+    t.sddmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data(), x.ld(),
+                 y.data(), y.ld(), k, out.data(), a.sparse_src_idx().data(), order, lo, hi);
   }
 }
 
 void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
                           std::vector<value_t>& out, index_t row_begin, index_t row_end) {
+  sddmm_aspt_row_range(a, x, y, out, row_begin, row_end, simd::active_config());
+}
+
+void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
+                          std::vector<value_t>& out, index_t row_begin, index_t row_end,
+                          const simd::KernelConfig& cfg) {
   check_sddmm_shapes(a.rows(), a.cols(), x, y);
   if (row_begin < 0 || row_end > a.rows() || row_begin > row_end) {
     throw sparse::invalid_matrix("SDDMM: row range out of bounds");
@@ -131,50 +136,32 @@ void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const Dense
   if (out.size() != static_cast<std::size_t>(a.stats().nnz_total)) {
     throw sparse::invalid_matrix("SDDMM: out must be pre-sized to nnz for row-range calls");
   }
+  const simd::KernelTable& t = simd::table(cfg);
+  simd::count_invocation(t.isa);
   const index_t k = x.cols();
 
-  // Dense tiles of the panels intersecting the range, clipped to it.
-  std::vector<value_t> staged;
-  for (const aspt::Panel& p : a.panels()) {
-    if (p.row_end <= row_begin || p.row_begin >= row_end) continue;
-    if (p.dense_cols.empty()) continue;
-    staged.resize(p.dense_cols.size() * static_cast<std::size_t>(k));
-    for (std::size_t d = 0; d < p.dense_cols.size(); ++d) {
-      const value_t* xr = x.row(p.dense_cols[d]).data();
-      std::copy(xr, xr + k, staged.data() + d * static_cast<std::size_t>(k));
-    }
-    const index_t lo_row = std::max(row_begin, p.row_begin);
-    const index_t hi_row = std::min(row_end, p.row_end);
-    for (index_t row = lo_row; row < hi_row; ++row) {
-      const index_t r = row - p.row_begin;
-      const value_t* yr = y.row(row).data();
-      const offset_t lo = p.dense_rowptr[static_cast<std::size_t>(r)];
-      const offset_t hi = p.dense_rowptr[static_cast<std::size_t>(r) + 1];
-      for (offset_t j = lo; j < hi; ++j) {
-        const value_t* xr =
-            staged.data() +
-            static_cast<std::size_t>(p.dense_slot[static_cast<std::size_t>(j)]) *
-                static_cast<std::size_t>(k);
-        out[static_cast<std::size_t>(p.dense_src_idx[static_cast<std::size_t>(j)])] =
-            p.dense_val[static_cast<std::size_t>(j)] * dot(yr, xr, k);
-      }
+  // Dense tiles of the panels intersecting the range, clipped to it; one
+  // staging buffer sized to the largest intersecting panel.
+  const std::size_t max_dense = detail::max_panel_dense_cols_in_range(a, row_begin, row_end);
+  if (max_dense > 0) {
+    const index_t staged_ld = sparse::aligned_ld(k);
+    sparse::AlignedVector<value_t> staged(max_dense * static_cast<std::size_t>(staged_ld));
+    for (const aspt::Panel& p : a.panels()) {
+      if (p.row_end <= row_begin || p.row_begin >= row_end) continue;
+      if (p.dense_cols.empty()) continue;
+      detail::stage_panel(p, x, k, staged.data(), staged_ld);
+      t.sddmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
+                    p.dense_src_idx.data(), p.row_begin, staged.data(), staged_ld, y.data(),
+                    y.ld(), k, out.data(), std::max(row_begin, p.row_begin),
+                    std::min(row_end, p.row_end));
     }
   }
 
   // Sparse remainder of the same rows.
   const CsrMatrix& sp = a.sparse_part();
-  const auto& src = a.sparse_src_idx();
-  for (index_t i = row_begin; i < row_end; ++i) {
-    const auto cols = sp.row_cols(i);
-    if (cols.empty()) continue;
-    const auto vals = sp.row_vals(i);
-    const value_t* yr = y.row(i).data();
-    const offset_t base = sp.rowptr()[static_cast<std::size_t>(i)];
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      out[static_cast<std::size_t>(src[static_cast<std::size_t>(base) + j])] =
-          vals[j] * dot(yr, x.row(cols[j]).data(), k);
-    }
-  }
+  t.sddmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data(), x.ld(),
+               y.data(), y.ld(), k, out.data(), a.sparse_src_idx().data(), /*order=*/nullptr,
+               row_begin, row_end);
 }
 
 }  // namespace rrspmm::kernels

@@ -4,11 +4,17 @@
 // Output is a value array aligned with the *source* CSR's nonzero order,
 // so callers can pair it directly with their matrix regardless of the
 // execution strategy (the ASpT variant scatters through src-index maps).
+//
+// Like the SpMM kernels, these dispatch through the SIMD layer
+// (kernels/simd); overloads without a simd::KernelConfig use the
+// process-wide active configuration, and the default (non-fma) path is
+// bitwise-identical to the scalar reference on every backend.
 #pragma once
 
 #include <vector>
 
 #include "aspt/aspt.hpp"
+#include "kernels/simd/dispatch.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
 
@@ -22,18 +28,26 @@ using sparse::DenseMatrix;
 /// j-th nonzero of `s`. y must be s.rows() x K, x must be s.cols() x K.
 void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
                    std::vector<value_t>& out);
+void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
+                   std::vector<value_t>& out, const simd::KernelConfig& cfg);
 
 /// Row-range variant: fills only the output slots of rows
 /// [row_begin, row_end); `out` must already be sized to s.nnz(). Serial,
 /// race-free across disjoint ranges (each nonzero belongs to one row).
 void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
                    std::vector<value_t>& out, index_t row_begin, index_t row_end);
+void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
+                   std::vector<value_t>& out, index_t row_begin, index_t row_end,
+                   const simd::KernelConfig& cfg);
 
 /// ASpT-structured SDDMM; `out` is aligned with the CSR that `a` was
 /// built from (via the tiling's source-index maps).
 void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
                 std::vector<value_t>& out,
                 const std::vector<index_t>* sparse_order = nullptr);
+void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
+                std::vector<value_t>& out, const std::vector<index_t>* sparse_order,
+                const simd::KernelConfig& cfg);
 
 /// Row-range ASpT SDDMM: dense tiles clipped to [row_begin, row_end) plus
 /// the sparse remainder of those rows, scattering through the source-
@@ -42,5 +56,8 @@ void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
 /// [0, rows) reproduce sddmm_aspt exactly.
 void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
                           std::vector<value_t>& out, index_t row_begin, index_t row_end);
+void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
+                          std::vector<value_t>& out, index_t row_begin, index_t row_end,
+                          const simd::KernelConfig& cfg);
 
 }  // namespace rrspmm::kernels

@@ -1,0 +1,61 @@
+// Runtime kernel dispatch: picks a KernelTable from what was compiled in
+// (backends.hpp) and what the CPU supports, with an env override for
+// testing and benchmarking.
+//
+// Environment knobs (read once, on first use; reload_env() re-reads):
+//   RRSPMM_KERNEL_ISA  = scalar | neon | avx2 | avx512 | auto (default)
+//   RRSPMM_KERNEL_FMA  = 1 | on | true | yes  (default off)
+//
+// A requested ISA that is not compiled in or not supported by the CPU
+// degrades down the ladder (avx512 -> avx2 -> neon -> scalar) instead of
+// failing, so a forced configuration is always runnable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "kernels/simd/isa.hpp"
+#include "kernels/simd/table.hpp"
+
+namespace rrspmm::kernels::simd {
+
+/// Kernel selection carried by callers (ServerConfig, ShardedExecutor,
+/// bench drivers). Default-constructed = auto ISA, bitwise math.
+struct KernelConfig {
+  /// Forced ISA; nullopt picks the best compiled-and-supported backend.
+  std::optional<Isa> isa;
+  /// Opt into the fused-multiply-add fast path. Off by default: the
+  /// default path is bitwise-identical to the scalar reference, the fma
+  /// path only ULP-close (see docs/API.md).
+  bool allow_fma = false;
+};
+
+/// Whether the backend was compiled into this binary.
+bool isa_compiled(Isa isa);
+/// isa_compiled && the running CPU has the features.
+bool isa_supported(Isa isa);
+
+/// Resolves a requested (or auto) ISA down the availability ladder;
+/// always returns something runnable (worst case Isa::scalar).
+Isa resolve_isa(std::optional<Isa> requested);
+
+/// The kernel table for a configuration. The returned table's `isa` is
+/// the resolved one, which may differ from cfg.isa (fallback).
+const KernelTable& table(const KernelConfig& cfg);
+
+/// Process-wide configuration used by kernel calls that don't carry an
+/// explicit KernelConfig. Initialised from the environment on first use.
+KernelConfig active_config();
+void set_active_config(const KernelConfig& cfg);
+/// Re-reads RRSPMM_KERNEL_ISA / RRSPMM_KERNEL_FMA (tests use this after
+/// setenv; the initial read happens once per process otherwise).
+void reload_env();
+
+/// Per-ISA invocation counters (one public kernel call = one count for
+/// the resolved ISA). Exposed through runtime::Metrics as well.
+void count_invocation(Isa isa);
+std::array<std::uint64_t, kIsaCount> invocation_counts();
+void reset_invocation_counts();
+
+}  // namespace rrspmm::kernels::simd

@@ -1,0 +1,45 @@
+// Instruction-set identifiers for the SIMD kernel layer.
+//
+// Header-only on purpose: runtime::Metrics and the benches need the enum
+// and its names without linking against rrspmm_kernels.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace rrspmm::kernels::simd {
+
+/// The kernel backends the library can be built with. `scalar` is always
+/// available and is the bitwise reference all other backends are tested
+/// against. Values are dense so they can index per-ISA counter arrays.
+enum class Isa : int {
+  scalar = 0,
+  neon = 1,
+  avx2 = 2,
+  avx512 = 3,
+};
+
+inline constexpr std::size_t kIsaCount = 4;
+
+constexpr std::string_view isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::scalar: return "scalar";
+    case Isa::neon: return "neon";
+    case Isa::avx2: return "avx2";
+    case Isa::avx512: return "avx512";
+  }
+  return "unknown";
+}
+
+/// Parses an ISA name as accepted by RRSPMM_KERNEL_ISA. "auto" (or any
+/// unrecognised string) yields nullopt, meaning "pick the best available".
+constexpr std::optional<Isa> parse_isa(std::string_view name) {
+  if (name == "scalar") return Isa::scalar;
+  if (name == "neon") return Isa::neon;
+  if (name == "avx2") return Isa::avx2;
+  if (name == "avx512") return Isa::avx512;
+  return std::nullopt;
+}
+
+}  // namespace rrspmm::kernels::simd

@@ -1,0 +1,27 @@
+// AVX2 backend TU. Compiled with -mavx2 -mfma when the toolchain supports
+// them and RRSPMM_ENABLE_SIMD is on; otherwise the guard fails and this
+// TU degrades to a nullptr stub. Nothing in this TU runs before the
+// dispatcher has confirmed the CPU supports AVX2+FMA.
+#include "kernels/simd/backends.hpp"
+#include "kernels/simd/kernels_generic.hpp"
+
+namespace rrspmm::kernels::simd {
+
+#if defined(__AVX2__) && defined(__FMA__) && !defined(RRSPMM_SIMD_DISABLED)
+
+namespace {
+constexpr KernelTable kTables[2] = {
+    make_table<VecAvx2, false>(Isa::avx2),
+    make_table<VecAvx2, true>(Isa::avx2),
+};
+}  // namespace
+
+const KernelTable* avx2_tables() { return kTables; }
+
+#else
+
+const KernelTable* avx2_tables() { return nullptr; }
+
+#endif
+
+}  // namespace rrspmm::kernels::simd

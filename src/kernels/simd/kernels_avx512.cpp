@@ -1,0 +1,26 @@
+// AVX-512 backend TU. Compiled with -mavx512f when supported and
+// RRSPMM_ENABLE_SIMD is on; nullptr stub otherwise. Nothing in this TU
+// runs before the dispatcher has confirmed the CPU supports AVX-512F.
+#include "kernels/simd/backends.hpp"
+#include "kernels/simd/kernels_generic.hpp"
+
+namespace rrspmm::kernels::simd {
+
+#if defined(__AVX512F__) && !defined(RRSPMM_SIMD_DISABLED)
+
+namespace {
+constexpr KernelTable kTables[2] = {
+    make_table<VecAvx512, false>(Isa::avx512),
+    make_table<VecAvx512, true>(Isa::avx512),
+};
+}  // namespace
+
+const KernelTable* avx512_tables() { return kTables; }
+
+#else
+
+const KernelTable* avx512_tables() { return nullptr; }
+
+#endif
+
+}  // namespace rrspmm::kernels::simd

@@ -1,0 +1,274 @@
+// Register-blocked SpMM / SDDMM kernel bodies, generic over a vector
+// backend V (vec.hpp) and the Fma policy.
+//
+// Bitwise-equality contract (Fma == false): the scalar kernels accumulate
+// each output element as an ordered chain over the row's nonzeros —
+// yr[kk] = ((0 + v0*x0[kk]) + v1*x1[kk]) + ... — with a separately
+// rounded multiply and add per step. Vectorizing across kk keeps every
+// element's chain intact (lanes never mix kk positions), and using
+// V::mul + V::add keeps the two roundings separate, so the result is
+// bit-identical to the scalar reference for any V. The same holds for
+// SDDMM by giving each vector lane one whole nonzero's dot product.
+// Fma == true fuses the multiply-add (and uses vector partial sums for
+// dots), which reassociates rounding — faster, but only ULP-close.
+//
+// This header is included from TUs compiled with ISA-specific flags, so
+// it deliberately contains only raw loops over raw pointers (plus the
+// internal-linkage scalar helpers) — nothing here may instantiate
+// library inline code that could be comdat-merged across TUs.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/detail/scalar_ref.hpp"
+#include "kernels/simd/table.hpp"
+#include "kernels/simd/vec.hpp"
+
+namespace rrspmm::kernels::simd {
+
+namespace generic {
+
+template <class V, bool Aligned>
+inline V load_x(const value_t* p) {
+  if constexpr (Aligned) {
+    return V::load(p);
+  } else {
+    return V::loadu(p);
+  }
+}
+
+/// One accumulation step: acc + v * x, fused or separately rounded.
+template <class V, bool Fma>
+inline V step(V acc, V v, V x) {
+  if constexpr (Fma) {
+    return V::madd(v, x, acc);
+  } else {
+    return V::add(acc, V::mul(v, x));
+  }
+}
+
+/// yr[0..k) += sum_j val(j) * xrow(j)[0..k).
+///
+/// K is tiled into 4-vector register blocks: the four accumulators are
+/// loaded from yr once, held in registers across the whole nonzero loop
+/// (only the X row load and a broadcast remain inside), and stored once.
+/// AlignedX marks xrow(j) pointers as vector-aligned with a padded
+/// leading dimension (the ASpT staged panel), enabling aligned loads.
+template <class V, bool Fma, bool AlignedX, class GetX, class GetV>
+inline void accumulate_row(value_t* yr, index_t k, index_t nnz, GetX&& xrow, GetV&& val) {
+  if constexpr (V::width == 1) {
+    for (index_t j = 0; j < nnz; ++j) detail::axpy(yr, xrow(j), val(j), k);
+    return;
+  } else {
+    constexpr index_t W = V::width;
+    index_t kk = 0;
+    for (; kk + 4 * W <= k; kk += 4 * W) {
+      V a0 = V::loadu(yr + kk);
+      V a1 = V::loadu(yr + kk + W);
+      V a2 = V::loadu(yr + kk + 2 * W);
+      V a3 = V::loadu(yr + kk + 3 * W);
+      for (index_t j = 0; j < nnz; ++j) {
+        const V v = V::broadcast(val(j));
+        const value_t* xr = xrow(j) + kk;
+        a0 = step<V, Fma>(a0, v, load_x<V, AlignedX>(xr));
+        a1 = step<V, Fma>(a1, v, load_x<V, AlignedX>(xr + W));
+        a2 = step<V, Fma>(a2, v, load_x<V, AlignedX>(xr + 2 * W));
+        a3 = step<V, Fma>(a3, v, load_x<V, AlignedX>(xr + 3 * W));
+      }
+      a0.storeu(yr + kk);
+      a1.storeu(yr + kk + W);
+      a2.storeu(yr + kk + 2 * W);
+      a3.storeu(yr + kk + 3 * W);
+    }
+    for (; kk + W <= k; kk += W) {
+      V a0 = V::loadu(yr + kk);
+      for (index_t j = 0; j < nnz; ++j) {
+        a0 = step<V, Fma>(a0, V::broadcast(val(j)), load_x<V, AlignedX>(xrow(j) + kk));
+      }
+      a0.storeu(yr + kk);
+    }
+    if (kk < k) {
+      for (index_t j = 0; j < nnz; ++j) {
+        const value_t v = val(j);
+        const value_t* xr = xrow(j);
+        for (index_t t = kk; t < k; ++t) yr[t] += v * xr[t];
+      }
+    }
+  }
+}
+
+/// emit(j, val(j) * dot(yr, xrow(j))) for j in [0, nnz).
+///
+/// Non-fma path: lane-per-nonzero — W nonzeros are processed together,
+/// each lane accumulating one full dot product in ascending kk order
+/// (yr[kk] broadcast, one gathered X element per lane), so every lane
+/// reproduces the scalar dot chain exactly. Fma path: per-nonzero vector
+/// dot with four partial accumulators and an ordered lane reduction.
+template <class V, bool Fma, bool AlignedX, class GetX, class GetV, class Emit>
+inline void dot_rows(const value_t* yr, index_t k, index_t nnz, GetX&& xrow, GetV&& val,
+                     Emit&& emit) {
+  if constexpr (V::width == 1) {
+    for (index_t j = 0; j < nnz; ++j) emit(j, val(j) * detail::dot(yr, xrow(j), k));
+    return;
+  } else if constexpr (!Fma) {
+    constexpr index_t W = V::width;
+    index_t j = 0;
+    for (; j + W <= nnz; j += W) {
+      const value_t* rows[W];
+      for (index_t l = 0; l < W; ++l) rows[l] = xrow(j + l);
+      V acc = V::zero();
+      for (index_t kk = 0; kk < k; ++kk) {
+        acc = V::add(acc, V::mul(V::broadcast(yr[kk]), V::gather_lanes(rows, kk)));
+      }
+      value_t lanes[W];
+      acc.storeu(lanes);
+      for (index_t l = 0; l < W; ++l) emit(j + l, val(j + l) * lanes[l]);
+    }
+    for (; j < nnz; ++j) emit(j, val(j) * detail::dot(yr, xrow(j), k));
+  } else {
+    constexpr index_t W = V::width;
+    for (index_t j = 0; j < nnz; ++j) {
+      const value_t* xr = xrow(j);
+      index_t kk = 0;
+      V a0 = V::zero();
+      V a1 = V::zero();
+      V a2 = V::zero();
+      V a3 = V::zero();
+      for (; kk + 4 * W <= k; kk += 4 * W) {
+        a0 = V::madd(V::loadu(yr + kk), load_x<V, AlignedX>(xr + kk), a0);
+        a1 = V::madd(V::loadu(yr + kk + W), load_x<V, AlignedX>(xr + kk + W), a1);
+        a2 = V::madd(V::loadu(yr + kk + 2 * W), load_x<V, AlignedX>(xr + kk + 2 * W), a2);
+        a3 = V::madd(V::loadu(yr + kk + 3 * W), load_x<V, AlignedX>(xr + kk + 3 * W), a3);
+      }
+      a0 = V::add(V::add(a0, a1), V::add(a2, a3));
+      for (; kk + W <= k; kk += W) {
+        a0 = V::madd(V::loadu(yr + kk), load_x<V, AlignedX>(xr + kk), a0);
+      }
+      value_t lanes[W];
+      a0.storeu(lanes);
+      value_t acc = 0;
+      for (index_t l = 0; l < W; ++l) acc += lanes[l];
+      for (; kk < k; ++kk) acc += yr[kk] * xr[kk];
+      emit(j, val(j) * acc);
+    }
+  }
+}
+
+}  // namespace generic
+
+/// The four serial kernel entry points for one (backend, fma) pair; the
+/// backend TUs take their addresses to build KernelTables.
+template <class V, bool Fma>
+struct KernelSet {
+  static void spmm_rows(const offset_t* rowptr, const index_t* colidx, const value_t* vals,
+                        const value_t* x, index_t x_ld, value_t* y, index_t y_ld, index_t k,
+                        const index_t* order, bool zero_y, index_t pos_begin, index_t pos_end) {
+    for (index_t pos = pos_begin; pos < pos_end; ++pos) {
+      const index_t i = order ? order[pos] : pos;
+      value_t* yr = y + static_cast<std::size_t>(i) * static_cast<std::size_t>(y_ld);
+      if (zero_y) {
+        for (index_t kk = 0; kk < k; ++kk) yr[kk] = value_t{0};
+      }
+      const offset_t lo = rowptr[static_cast<std::size_t>(i)];
+      const index_t nnz = static_cast<index_t>(rowptr[static_cast<std::size_t>(i) + 1] - lo);
+      if (nnz == 0) continue;
+      const index_t* cs = colidx + lo;
+      const value_t* vs = vals + lo;
+      generic::accumulate_row<V, Fma, false>(
+          yr, k, nnz,
+          [&](index_t j) {
+            return x + static_cast<std::size_t>(cs[j]) * static_cast<std::size_t>(x_ld);
+          },
+          [&](index_t j) { return vs[j]; });
+    }
+  }
+
+  static void spmm_panel(const offset_t* dense_rowptr, const index_t* dense_slot,
+                         const value_t* dense_val, index_t panel_row_begin,
+                         const value_t* staged, index_t staged_ld, value_t* y, index_t y_ld,
+                         index_t k, index_t row_lo, index_t row_hi) {
+    for (index_t row = row_lo; row < row_hi; ++row) {
+      const std::size_t r = static_cast<std::size_t>(row - panel_row_begin);
+      const offset_t lo = dense_rowptr[r];
+      const index_t nnz = static_cast<index_t>(dense_rowptr[r + 1] - lo);
+      if (nnz == 0) continue;
+      value_t* yr = y + static_cast<std::size_t>(row) * static_cast<std::size_t>(y_ld);
+      const index_t* slots = dense_slot + lo;
+      const value_t* vs = dense_val + lo;
+      generic::accumulate_row<V, Fma, true>(
+          yr, k, nnz,
+          [&](index_t j) {
+            return staged +
+                   static_cast<std::size_t>(slots[j]) * static_cast<std::size_t>(staged_ld);
+          },
+          [&](index_t j) { return vs[j]; });
+    }
+  }
+
+  static void sddmm_rows(const offset_t* rowptr, const index_t* colidx, const value_t* vals,
+                         const value_t* x, index_t x_ld, const value_t* ymat, index_t y_ld,
+                         index_t k, value_t* out, const offset_t* src, const index_t* order,
+                         index_t pos_begin, index_t pos_end) {
+    for (index_t pos = pos_begin; pos < pos_end; ++pos) {
+      const index_t i = order ? order[pos] : pos;
+      const offset_t base = rowptr[static_cast<std::size_t>(i)];
+      const index_t nnz = static_cast<index_t>(rowptr[static_cast<std::size_t>(i) + 1] - base);
+      if (nnz == 0) continue;
+      const value_t* yr = ymat + static_cast<std::size_t>(i) * static_cast<std::size_t>(y_ld);
+      const index_t* cs = colidx + base;
+      const value_t* vs = vals + base;
+      generic::dot_rows<V, Fma, false>(
+          yr, k, nnz,
+          [&](index_t j) {
+            return x + static_cast<std::size_t>(cs[j]) * static_cast<std::size_t>(x_ld);
+          },
+          [&](index_t j) { return vs[j]; },
+          [&](index_t j, value_t r) {
+            const std::size_t slot = static_cast<std::size_t>(base) + static_cast<std::size_t>(j);
+            out[src ? static_cast<std::size_t>(src[slot]) : slot] = r;
+          });
+    }
+  }
+
+  static void sddmm_panel(const offset_t* dense_rowptr, const index_t* dense_slot,
+                          const value_t* dense_val, const offset_t* dense_src_idx,
+                          index_t panel_row_begin, const value_t* staged, index_t staged_ld,
+                          const value_t* ymat, index_t y_ld, index_t k, value_t* out,
+                          index_t row_lo, index_t row_hi) {
+    for (index_t row = row_lo; row < row_hi; ++row) {
+      const std::size_t r = static_cast<std::size_t>(row - panel_row_begin);
+      const offset_t lo = dense_rowptr[r];
+      const index_t nnz = static_cast<index_t>(dense_rowptr[r + 1] - lo);
+      if (nnz == 0) continue;
+      const value_t* yr = ymat + static_cast<std::size_t>(row) * static_cast<std::size_t>(y_ld);
+      const index_t* slots = dense_slot + lo;
+      const value_t* vs = dense_val + lo;
+      const offset_t* srcs = dense_src_idx + lo;
+      generic::dot_rows<V, Fma, true>(
+          yr, k, nnz,
+          [&](index_t j) {
+            return staged +
+                   static_cast<std::size_t>(slots[j]) * static_cast<std::size_t>(staged_ld);
+          },
+          [&](index_t j) { return vs[j]; },
+          [&](index_t j, value_t r) { out[static_cast<std::size_t>(srcs[j])] = r; });
+    }
+  }
+};
+
+/// Builds the KernelTable for one (backend, fma) pair at compile time, so
+/// the backend TUs' tables are constant-initialised (no code runs in an
+/// ISA-flagged TU before dispatch has checked CPU support).
+template <class V, bool Fma>
+constexpr KernelTable make_table(Isa isa) {
+  KernelTable t{};
+  t.isa = isa;
+  t.fma = Fma;
+  t.spmm_rows = &KernelSet<V, Fma>::spmm_rows;
+  t.spmm_panel = &KernelSet<V, Fma>::spmm_panel;
+  t.sddmm_rows = &KernelSet<V, Fma>::sddmm_rows;
+  t.sddmm_panel = &KernelSet<V, Fma>::sddmm_panel;
+  return t;
+}
+
+}  // namespace rrspmm::kernels::simd

@@ -1,0 +1,26 @@
+// NEON backend TU. NEON is part of the aarch64 baseline, so no extra
+// compile flags are needed — the guard is simply whether the target
+// architecture defines __ARM_NEON (and SIMD was not forced off).
+#include "kernels/simd/backends.hpp"
+#include "kernels/simd/kernels_generic.hpp"
+
+namespace rrspmm::kernels::simd {
+
+#if defined(__ARM_NEON) && !defined(RRSPMM_SIMD_DISABLED)
+
+namespace {
+constexpr KernelTable kTables[2] = {
+    make_table<VecNeon, false>(Isa::neon),
+    make_table<VecNeon, true>(Isa::neon),
+};
+}  // namespace
+
+const KernelTable* neon_tables() { return kTables; }
+
+#else
+
+const KernelTable* neon_tables() { return nullptr; }
+
+#endif
+
+}  // namespace rrspmm::kernels::simd

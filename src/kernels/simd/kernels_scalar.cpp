@@ -1,0 +1,19 @@
+// Scalar backend: always compiled, no ISA flags. Both table entries use
+// the non-fma kernels — the scalar reference never reassociates, so the
+// "fma" slot degrades to the bitwise path (allow_fma is a permission,
+// not a mandate).
+#include "kernels/simd/backends.hpp"
+#include "kernels/simd/kernels_generic.hpp"
+
+namespace rrspmm::kernels::simd {
+
+namespace {
+constexpr KernelTable kTables[2] = {
+    make_table<VecScalar, false>(Isa::scalar),
+    make_table<VecScalar, false>(Isa::scalar),
+};
+}  // namespace
+
+const KernelTable* scalar_tables() { return kTables; }
+
+}  // namespace rrspmm::kernels::simd

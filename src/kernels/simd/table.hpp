@@ -1,0 +1,63 @@
+// Dispatch-table ABI between the public kernels (spmm.cpp / sddmm.cpp)
+// and the per-ISA backend translation units.
+//
+// The signatures take raw pointers and strides only — no CsrMatrix /
+// AsptMatrix / DenseMatrix. This is deliberate: the backend TUs are
+// compiled with ISA-specific flags (-mavx2, -mavx512f, ...), and any
+// inline library code instantiated inside them would be emitted as a
+// comdat that the linker may pick over the baseline copy, leaking AVX
+// instructions into code that runs unconditionally. Keeping the ABI at
+// the pointer level means those TUs only ever compile their own loops.
+#pragma once
+
+#include "kernels/simd/isa.hpp"
+#include "sparse/types.hpp"
+
+namespace rrspmm::kernels::simd {
+
+/// One backend's kernel entry points. All functions are serial (no OpenMP
+/// inside) — the public wrappers own the parallel structure — and all of
+/// them preserve the scalar kernels' per-element accumulation order, so a
+/// non-`fma` table is bitwise-equal to the scalar reference.
+struct KernelTable {
+  Isa isa = Isa::scalar;
+  /// True for the opt-in fused-multiply-add fast path: same loop
+  /// structure, but contraction (and, for SDDMM, vector partial sums)
+  /// reassociate rounding — equal to scalar only within an ULP bound.
+  bool fma = false;
+
+  /// CSR SpMM over positions [pos_begin, pos_end): the processed row is
+  /// `order ? order[pos] : pos`; each position owns its output row. When
+  /// `zero_y`, the row is zeroed first (row-wise kernels); otherwise it
+  /// accumulates (ASpT sparse remainder).
+  void (*spmm_rows)(const offset_t* rowptr, const index_t* colidx, const value_t* vals,
+                    const value_t* x, index_t x_ld, value_t* y, index_t y_ld, index_t k,
+                    const index_t* order, bool zero_y, index_t pos_begin,
+                    index_t pos_end) = nullptr;
+
+  /// ASpT dense-tile phase of one panel, clipped to absolute rows
+  /// [row_lo, row_hi). `staged` holds the panel's dense-column X rows,
+  /// 64-byte aligned with leading dimension `staged_ld` (a multiple of
+  /// 16 floats), so backends may use aligned vector loads on it.
+  void (*spmm_panel)(const offset_t* dense_rowptr, const index_t* dense_slot,
+                     const value_t* dense_val, index_t panel_row_begin, const value_t* staged,
+                     index_t staged_ld, value_t* y, index_t y_ld, index_t k, index_t row_lo,
+                     index_t row_hi) = nullptr;
+
+  /// CSR SDDMM over positions [pos_begin, pos_end): for nonzero j of row
+  /// i, out[src ? src[base+j] : base+j] = vals[base+j] * dot(Y_i, X_col).
+  void (*sddmm_rows)(const offset_t* rowptr, const index_t* colidx, const value_t* vals,
+                     const value_t* x, index_t x_ld, const value_t* ymat, index_t y_ld,
+                     index_t k, value_t* out, const offset_t* src, const index_t* order,
+                     index_t pos_begin, index_t pos_end) = nullptr;
+
+  /// ASpT dense-tile SDDMM of one panel, clipped to [row_lo, row_hi),
+  /// scattering through dense_src_idx. Staged buffer as in spmm_panel.
+  void (*sddmm_panel)(const offset_t* dense_rowptr, const index_t* dense_slot,
+                      const value_t* dense_val, const offset_t* dense_src_idx,
+                      index_t panel_row_begin, const value_t* staged, index_t staged_ld,
+                      const value_t* ymat, index_t y_ld, index_t k, value_t* out,
+                      index_t row_lo, index_t row_hi) = nullptr;
+};
+
+}  // namespace rrspmm::kernels::simd

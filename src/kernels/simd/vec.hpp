@@ -1,0 +1,129 @@
+// Fixed-width vector abstraction over value_t (fp32) lanes.
+//
+// Each backend is a small value type with an identical static interface;
+// the generic kernels (kernels_generic.hpp) are templates over it, so a
+// backend TU compiled with the matching -m flags instantiates exactly one
+// specialisation. Only the backends whose feature macros are defined in
+// the current TU exist — a TU compiled without -mavx2 simply never sees
+// VecAvx2.
+//
+// Interface (W = width, in fp32 lanes):
+//   static V zero()                      all-zero vector
+//   static V broadcast(value_t v)        v in every lane
+//   static V load(const value_t* p)      aligned load (W*4-byte aligned)
+//   static V loadu(const value_t* p)     unaligned load
+//   void store / storeu (value_t* p)     aligned / unaligned store
+//   static V mul(a, b), add(a, b)        lane-wise, separately rounded
+//   static V madd(a, b, c)               a*b + c, fused where the ISA
+//                                        has FMA (reassociates rounding —
+//                                        only the opt-in fma path uses it)
+//   static V gather_lanes(rows, kk)      lane l = rows[l][kk]; rows is an
+//                                        array of W row pointers (SDDMM
+//                                        lane-per-nonzero path)
+#pragma once
+
+#include "sparse/types.hpp"
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace rrspmm::kernels::simd {
+
+/// Always-available reference backend; the generic kernels short-circuit
+/// width == 1 to the shared scalar helpers, so this mostly serves as the
+/// template parameter naming the scalar table.
+struct VecScalar {
+  static constexpr index_t width = 1;
+  value_t r;
+
+  static VecScalar zero() { return {0.0f}; }
+  static VecScalar broadcast(value_t v) { return {v}; }
+  static VecScalar load(const value_t* p) { return {*p}; }
+  static VecScalar loadu(const value_t* p) { return {*p}; }
+  void store(value_t* p) const { *p = r; }
+  void storeu(value_t* p) const { *p = r; }
+  static VecScalar mul(VecScalar a, VecScalar b) { return {a.r * b.r}; }
+  static VecScalar add(VecScalar a, VecScalar b) { return {a.r + b.r}; }
+  static VecScalar madd(VecScalar a, VecScalar b, VecScalar c) { return {a.r * b.r + c.r}; }
+  static VecScalar gather_lanes(const value_t* const* rows, index_t kk) {
+    return {rows[0][kk]};
+  }
+};
+
+#if defined(__AVX2__) && defined(__FMA__)
+struct VecAvx2 {
+  static constexpr index_t width = 8;
+  __m256 r;
+
+  static VecAvx2 zero() { return {_mm256_setzero_ps()}; }
+  static VecAvx2 broadcast(value_t v) { return {_mm256_set1_ps(v)}; }
+  static VecAvx2 load(const value_t* p) { return {_mm256_load_ps(p)}; }
+  static VecAvx2 loadu(const value_t* p) { return {_mm256_loadu_ps(p)}; }
+  void store(value_t* p) const { _mm256_store_ps(p, r); }
+  void storeu(value_t* p) const { _mm256_storeu_ps(p, r); }
+  static VecAvx2 mul(VecAvx2 a, VecAvx2 b) { return {_mm256_mul_ps(a.r, b.r)}; }
+  static VecAvx2 add(VecAvx2 a, VecAvx2 b) { return {_mm256_add_ps(a.r, b.r)}; }
+  static VecAvx2 madd(VecAvx2 a, VecAvx2 b, VecAvx2 c) {
+    return {_mm256_fmadd_ps(a.r, b.r, c.r)};
+  }
+  static VecAvx2 gather_lanes(const value_t* const* rows, index_t kk) {
+    return {_mm256_set_ps(rows[7][kk], rows[6][kk], rows[5][kk], rows[4][kk], rows[3][kk],
+                          rows[2][kk], rows[1][kk], rows[0][kk])};
+  }
+};
+#endif  // __AVX2__ && __FMA__
+
+#if defined(__AVX512F__)
+struct VecAvx512 {
+  static constexpr index_t width = 16;
+  __m512 r;
+
+  static VecAvx512 zero() { return {_mm512_setzero_ps()}; }
+  static VecAvx512 broadcast(value_t v) { return {_mm512_set1_ps(v)}; }
+  static VecAvx512 load(const value_t* p) { return {_mm512_load_ps(p)}; }
+  static VecAvx512 loadu(const value_t* p) { return {_mm512_loadu_ps(p)}; }
+  void store(value_t* p) const { _mm512_store_ps(p, r); }
+  void storeu(value_t* p) const { _mm512_storeu_ps(p, r); }
+  static VecAvx512 mul(VecAvx512 a, VecAvx512 b) { return {_mm512_mul_ps(a.r, b.r)}; }
+  static VecAvx512 add(VecAvx512 a, VecAvx512 b) { return {_mm512_add_ps(a.r, b.r)}; }
+  static VecAvx512 madd(VecAvx512 a, VecAvx512 b, VecAvx512 c) {
+    return {_mm512_fmadd_ps(a.r, b.r, c.r)};
+  }
+  static VecAvx512 gather_lanes(const value_t* const* rows, index_t kk) {
+    return {_mm512_set_ps(rows[15][kk], rows[14][kk], rows[13][kk], rows[12][kk], rows[11][kk],
+                          rows[10][kk], rows[9][kk], rows[8][kk], rows[7][kk], rows[6][kk],
+                          rows[5][kk], rows[4][kk], rows[3][kk], rows[2][kk], rows[1][kk],
+                          rows[0][kk])};
+  }
+};
+#endif  // __AVX512F__
+
+#if defined(__ARM_NEON)
+struct VecNeon {
+  static constexpr index_t width = 4;
+  float32x4_t r;
+
+  static VecNeon zero() { return {vdupq_n_f32(0.0f)}; }
+  static VecNeon broadcast(value_t v) { return {vdupq_n_f32(v)}; }
+  static VecNeon load(const value_t* p) { return {vld1q_f32(p)}; }
+  static VecNeon loadu(const value_t* p) { return {vld1q_f32(p)}; }
+  void store(value_t* p) const { vst1q_f32(p, r); }
+  void storeu(value_t* p) const { vst1q_f32(p, r); }
+  static VecNeon mul(VecNeon a, VecNeon b) { return {vmulq_f32(a.r, b.r)}; }
+  static VecNeon add(VecNeon a, VecNeon b) { return {vaddq_f32(a.r, b.r)}; }
+  static VecNeon madd(VecNeon a, VecNeon b, VecNeon c) { return {vfmaq_f32(c.r, a.r, b.r)}; }
+  static VecNeon gather_lanes(const value_t* const* rows, index_t kk) {
+    float32x4_t v = vdupq_n_f32(rows[0][kk]);
+    v = vsetq_lane_f32(rows[1][kk], v, 1);
+    v = vsetq_lane_f32(rows[2][kk], v, 2);
+    v = vsetq_lane_f32(rows[3][kk], v, 3);
+    return {v};
+  }
+};
+#endif  // __ARM_NEON
+
+}  // namespace rrspmm::kernels::simd

@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "kernels/detail/staging.hpp"
+#include "sparse/aligned.hpp"
+
 namespace rrspmm::kernels {
 
 namespace {
+
+// Rows handed to one serial table call by the parallel wrappers; matches
+// the pre-dispatch kernels' `schedule(dynamic, 64)` row distribution.
+constexpr index_t kRowBlock = 64;
 
 void check_spmm_shapes(index_t s_rows, index_t s_cols, const DenseMatrix& x,
                        const DenseMatrix& y) {
@@ -17,82 +24,82 @@ void check_spmm_shapes(index_t s_rows, index_t s_cols, const DenseMatrix& x,
 }  // namespace
 
 void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y) {
+  spmm_rowwise(s, x, y, simd::active_config());
+}
+
+void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y,
+                  const simd::KernelConfig& cfg) {
   check_spmm_shapes(s.rows(), s.cols(), x, y);
+  const simd::KernelTable& t = simd::table(cfg);
+  simd::count_invocation(t.isa);
   const index_t k = x.cols();
+  const index_t rows = s.rows();
+  const index_t blocks = (rows + kRowBlock - 1) / kRowBlock;
 
 #ifdef RRSPMM_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic, 64)
+#pragma omp parallel for schedule(dynamic, 1)
 #endif
-  for (index_t i = 0; i < s.rows(); ++i) {
-    value_t* yr = y.row(i).data();
-    std::fill(yr, yr + k, value_t{0});
-    const auto cols = s.row_cols(i);
-    const auto vals = s.row_vals(i);
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      const value_t v = vals[j];
-      const value_t* xr = x.row(cols[j]).data();
-      for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
-    }
+  for (index_t blk = 0; blk < blocks; ++blk) {
+    const index_t lo = blk * kRowBlock;
+    const index_t hi = std::min(rows, lo + kRowBlock);
+    t.spmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data(), x.ld(),
+                y.data(), y.ld(), k, /*order=*/nullptr, /*zero_y=*/true, lo, hi);
   }
 }
 
 void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, index_t row_begin,
                   index_t row_end) {
+  spmm_rowwise(s, x, y, row_begin, row_end, simd::active_config());
+}
+
+void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, index_t row_begin,
+                  index_t row_end, const simd::KernelConfig& cfg) {
   check_spmm_shapes(s.rows(), s.cols(), x, y);
   if (row_begin < 0 || row_end > s.rows() || row_begin > row_end) {
     throw sparse::invalid_matrix("SpMM: row range out of bounds");
   }
-  const index_t k = x.cols();
-  for (index_t i = row_begin; i < row_end; ++i) {
-    value_t* yr = y.row(i).data();
-    std::fill(yr, yr + k, value_t{0});
-    const auto cols = s.row_cols(i);
-    const auto vals = s.row_vals(i);
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      const value_t v = vals[j];
-      const value_t* xr = x.row(cols[j]).data();
-      for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
-    }
-  }
+  const simd::KernelTable& t = simd::table(cfg);
+  simd::count_invocation(t.isa);
+  t.spmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data(), x.ld(),
+              y.data(), y.ld(), x.cols(), /*order=*/nullptr, /*zero_y=*/true, row_begin,
+              row_end);
 }
 
 void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
                const std::vector<index_t>* sparse_order) {
+  spmm_aspt(a, x, y, sparse_order, simd::active_config());
+}
+
+void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+               const std::vector<index_t>* sparse_order, const simd::KernelConfig& cfg) {
   check_spmm_shapes(a.rows(), a.cols(), x, y);
+  const simd::KernelTable& t = simd::table(cfg);
+  simd::count_invocation(t.isa);
   const index_t k = x.cols();
   y.fill(value_t{0});
 
-  // Phase 1: dense tiles. The staging buffer plays the role of the GPU
-  // shared memory: dense-column X rows are gathered once per panel, and
-  // all dense nonzeros read the compact copy.
+  // Phase 1: dense tiles. One aligned staging buffer per thread, sized
+  // once to the largest panel (satellite: no per-panel resize), plays
+  // the role of the GPU shared memory: dense-column X rows are gathered
+  // once per panel, and all dense nonzeros read the compact copy.
+  const std::size_t max_dense = detail::max_panel_dense_cols(a);
+  if (max_dense > 0) {
+    const index_t staged_ld = sparse::aligned_ld(k);
 #ifdef RRSPMM_HAVE_OPENMP
 #pragma omp parallel
 #endif
-  {
-    std::vector<value_t> staged;
+    {
+      sparse::AlignedVector<value_t> staged(max_dense * static_cast<std::size_t>(staged_ld));
 #ifdef RRSPMM_HAVE_OPENMP
 #pragma omp for schedule(dynamic, 1)
 #endif
-    for (std::size_t pi = 0; pi < a.panels().size(); ++pi) {
-      const aspt::Panel& p = a.panels()[pi];
-      if (p.dense_cols.empty()) continue;
-      staged.resize(p.dense_cols.size() * static_cast<std::size_t>(k));
-      for (std::size_t d = 0; d < p.dense_cols.size(); ++d) {
-        const value_t* xr = x.row(p.dense_cols[d]).data();
-        std::copy(xr, xr + k, staged.data() + d * static_cast<std::size_t>(k));
-      }
-      for (index_t r = 0; r < p.rows(); ++r) {
-        value_t* yr = y.row(p.row_begin + r).data();
-        const offset_t lo = p.dense_rowptr[static_cast<std::size_t>(r)];
-        const offset_t hi = p.dense_rowptr[static_cast<std::size_t>(r) + 1];
-        for (offset_t j = lo; j < hi; ++j) {
-          const value_t v = p.dense_val[static_cast<std::size_t>(j)];
-          const value_t* xr =
-              staged.data() +
-              static_cast<std::size_t>(p.dense_slot[static_cast<std::size_t>(j)]) *
-                  static_cast<std::size_t>(k);
-          for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
-        }
+      for (std::size_t pi = 0; pi < a.panels().size(); ++pi) {
+        const aspt::Panel& p = a.panels()[pi];
+        if (p.dense_cols.empty()) continue;
+        detail::stage_panel(p, x, k, staged.data(), staged_ld);
+        t.spmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
+                     p.row_begin, staged.data(), staged_ld, y.data(), y.ld(), k, p.row_begin,
+                     p.row_end);
       }
     }
   }
@@ -101,76 +108,60 @@ void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
   // order. Each position of the order owns a distinct output row, so the
   // parallel loop is race-free.
   const CsrMatrix& sp = a.sparse_part();
+  const index_t* order = sparse_order ? sparse_order->data() : nullptr;
+  const index_t blocks = (sp.rows() + kRowBlock - 1) / kRowBlock;
 #ifdef RRSPMM_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic, 64)
+#pragma omp parallel for schedule(dynamic, 1)
 #endif
-  for (index_t pos = 0; pos < sp.rows(); ++pos) {
-    const index_t i = sparse_order ? (*sparse_order)[static_cast<std::size_t>(pos)] : pos;
-    const auto cols = sp.row_cols(i);
-    if (cols.empty()) continue;
-    const auto vals = sp.row_vals(i);
-    value_t* yr = y.row(i).data();
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      const value_t v = vals[j];
-      const value_t* xr = x.row(cols[j]).data();
-      for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
-    }
+  for (index_t blk = 0; blk < blocks; ++blk) {
+    const index_t lo = blk * kRowBlock;
+    const index_t hi = std::min(sp.rows(), lo + kRowBlock);
+    t.spmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data(), x.ld(),
+                y.data(), y.ld(), k, order, /*zero_y=*/false, lo, hi);
   }
 }
 
 void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
                          index_t row_begin, index_t row_end) {
+  spmm_aspt_row_range(a, x, y, row_begin, row_end, simd::active_config());
+}
+
+void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+                         index_t row_begin, index_t row_end,
+                         const simd::KernelConfig& cfg) {
   check_spmm_shapes(a.rows(), a.cols(), x, y);
   if (row_begin < 0 || row_end > a.rows() || row_begin > row_end) {
     throw sparse::invalid_matrix("SpMM: row range out of bounds");
   }
+  const simd::KernelTable& t = simd::table(cfg);
+  simd::count_invocation(t.isa);
   const index_t k = x.cols();
   for (index_t i = row_begin; i < row_end; ++i) {
-    value_t* yr = y.row(i).data();
-    std::fill(yr, yr + k, value_t{0});
+    auto yr = y.row(i);
+    std::fill(yr.begin(), yr.end(), value_t{0});
   }
 
-  // Dense tiles of the panels intersecting the range, clipped to it.
-  std::vector<value_t> staged;
-  for (const aspt::Panel& p : a.panels()) {
-    if (p.row_end <= row_begin || p.row_begin >= row_end) continue;
-    if (p.dense_cols.empty()) continue;
-    staged.resize(p.dense_cols.size() * static_cast<std::size_t>(k));
-    for (std::size_t d = 0; d < p.dense_cols.size(); ++d) {
-      const value_t* xr = x.row(p.dense_cols[d]).data();
-      std::copy(xr, xr + k, staged.data() + d * static_cast<std::size_t>(k));
-    }
-    const index_t lo_row = std::max(row_begin, p.row_begin);
-    const index_t hi_row = std::min(row_end, p.row_end);
-    for (index_t row = lo_row; row < hi_row; ++row) {
-      const index_t r = row - p.row_begin;
-      value_t* yr = y.row(row).data();
-      const offset_t lo = p.dense_rowptr[static_cast<std::size_t>(r)];
-      const offset_t hi = p.dense_rowptr[static_cast<std::size_t>(r) + 1];
-      for (offset_t j = lo; j < hi; ++j) {
-        const value_t v = p.dense_val[static_cast<std::size_t>(j)];
-        const value_t* xr =
-            staged.data() +
-            static_cast<std::size_t>(p.dense_slot[static_cast<std::size_t>(j)]) *
-                static_cast<std::size_t>(k);
-        for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
-      }
+  // Dense tiles of the panels intersecting the range, clipped to it. The
+  // staging buffer is sized once to the largest intersecting panel and
+  // reused, matching the parallel kernel's per-thread buffer behaviour.
+  const std::size_t max_dense = detail::max_panel_dense_cols_in_range(a, row_begin, row_end);
+  if (max_dense > 0) {
+    const index_t staged_ld = sparse::aligned_ld(k);
+    sparse::AlignedVector<value_t> staged(max_dense * static_cast<std::size_t>(staged_ld));
+    for (const aspt::Panel& p : a.panels()) {
+      if (p.row_end <= row_begin || p.row_begin >= row_end) continue;
+      if (p.dense_cols.empty()) continue;
+      detail::stage_panel(p, x, k, staged.data(), staged_ld);
+      t.spmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(), p.row_begin,
+                   staged.data(), staged_ld, y.data(), y.ld(), k,
+                   std::max(row_begin, p.row_begin), std::min(row_end, p.row_end));
     }
   }
 
   // Sparse remainder of the same rows.
   const CsrMatrix& sp = a.sparse_part();
-  for (index_t i = row_begin; i < row_end; ++i) {
-    const auto cols = sp.row_cols(i);
-    if (cols.empty()) continue;
-    const auto vals = sp.row_vals(i);
-    value_t* yr = y.row(i).data();
-    for (std::size_t j = 0; j < cols.size(); ++j) {
-      const value_t v = vals[j];
-      const value_t* xr = x.row(cols[j]).data();
-      for (index_t kk = 0; kk < k; ++kk) yr[kk] += v * xr[kk];
-    }
-  }
+  t.spmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data(), x.ld(),
+              y.data(), y.ld(), k, /*order=*/nullptr, /*zero_y=*/false, row_begin, row_end);
 }
 
 }  // namespace rrspmm::kernels

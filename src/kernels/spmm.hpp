@@ -7,11 +7,20 @@
 // They are also real, usable CPU kernels — the ASpT-structured variant
 // enjoys the same locality benefits on a CPU cache hierarchy, which the
 // micro benchmarks measure.
+//
+// Every kernel is a thin parallel wrapper over the SIMD dispatch layer
+// (kernels/simd): the per-row math runs through the KernelTable selected
+// by a simd::KernelConfig. The overloads without a config use the
+// process-wide simd::active_config() (RRSPMM_KERNEL_ISA /
+// RRSPMM_KERNEL_FMA). With allow_fma off — the default — every backend
+// is bitwise-identical to the scalar reference, so results do not depend
+// on which ISA the dispatcher picked.
 #pragma once
 
 #include <vector>
 
 #include "aspt/aspt.hpp"
+#include "kernels/simd/dispatch.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
 
@@ -24,6 +33,8 @@ using sparse::DenseMatrix;
 /// Y = S * X, row-wise (paper Alg 1). Y is overwritten; it must be
 /// S.rows() x X.cols(); X must be S.cols() x K.
 void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y);
+void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y,
+                  const simd::KernelConfig& cfg);
 
 /// Row-range variant: computes (and zeroes) only Y rows
 /// [row_begin, row_end). Serial — no OpenMP inside — so an external
@@ -33,13 +44,18 @@ void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y);
 /// run is bitwise equal to it.
 void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, index_t row_begin,
                   index_t row_end);
+void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, index_t row_begin,
+                  index_t row_end, const simd::KernelConfig& cfg);
 
-/// Y = S * X over an ASpT tiling: dense-tile phase with a stack-local
-/// panel buffer standing in for shared memory, then the sparse remainder
-/// row-wise. `sparse_order`, if non-null, is the processing order of the
-/// sparse-part rows (affects performance only; the result is identical).
+/// Y = S * X over an ASpT tiling: dense-tile phase with an aligned
+/// staged panel buffer standing in for shared memory, then the sparse
+/// remainder row-wise. `sparse_order`, if non-null, is the processing
+/// order of the sparse-part rows (affects performance only; the result
+/// is identical).
 void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
                const std::vector<index_t>* sparse_order = nullptr);
+void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+               const std::vector<index_t>* sparse_order, const simd::KernelConfig& cfg);
 
 /// Row-range ASpT SpMM: zeroes Y rows [row_begin, row_end), then runs the
 /// dense-tile phase clipped to those rows and the sparse remainder
@@ -51,5 +67,7 @@ void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
 /// independent; panel-aligned ranges reproduce the staging locality.
 void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
                          index_t row_begin, index_t row_end);
+void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+                         index_t row_begin, index_t row_end, const simd::KernelConfig& cfg);
 
 }  // namespace rrspmm::kernels

@@ -8,6 +8,8 @@ namespace rrspmm::runtime {
 
 namespace {
 
+namespace simd = kernels::simd;
+
 bool is_identity(const std::vector<index_t>& perm) {
   for (std::size_t i = 0; i < perm.size(); ++i) {
     if (perm[i] != static_cast<index_t>(i)) return false;
@@ -15,61 +17,81 @@ bool is_identity(const std::vector<index_t>& perm) {
   return true;
 }
 
+/// Resolves the effective kernel configuration once per operation, so
+/// every panel task of one call uses the same backend even if the
+/// process-wide config changes mid-flight.
+simd::KernelConfig effective_config(const simd::KernelConfig* kernel) {
+  return kernel ? *kernel : simd::active_config();
+}
+
 void spmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix& x,
-                 DenseMatrix& y, Metrics* metrics) {
+                 DenseMatrix& y, Metrics* metrics, const simd::KernelConfig& cfg) {
+  const simd::Isa isa = simd::table(cfg).isa;
   const auto& panels = a.panels();
   if (panels.empty()) {
-    kernels::spmm_aspt_row_range(a, x, y, 0, a.rows());
+    kernels::spmm_aspt_row_range(a, x, y, 0, a.rows(), cfg);
+    if (metrics) metrics->count_kernel(isa);
     return;
   }
   pool.parallel_for(panels.size(), [&](std::size_t pi) {
-    kernels::spmm_aspt_row_range(a, x, y, panels[pi].row_begin, panels[pi].row_end);
-    if (metrics) metrics->panels_executed.fetch_add(1, std::memory_order_relaxed);
+    kernels::spmm_aspt_row_range(a, x, y, panels[pi].row_begin, panels[pi].row_end, cfg);
+    if (metrics) {
+      metrics->panels_executed.fetch_add(1, std::memory_order_relaxed);
+      metrics->count_kernel(isa);
+    }
   });
 }
 
 void sddmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix& x,
-                  const DenseMatrix& y, std::vector<value_t>& out, Metrics* metrics) {
+                  const DenseMatrix& y, std::vector<value_t>& out, Metrics* metrics,
+                  const simd::KernelConfig& cfg) {
+  const simd::Isa isa = simd::table(cfg).isa;
   out.assign(static_cast<std::size_t>(a.stats().nnz_total), value_t{0});
   const auto& panels = a.panels();
   if (panels.empty()) {
-    kernels::sddmm_aspt_row_range(a, x, y, out, 0, a.rows());
+    kernels::sddmm_aspt_row_range(a, x, y, out, 0, a.rows(), cfg);
+    if (metrics) metrics->count_kernel(isa);
     return;
   }
   pool.parallel_for(panels.size(), [&](std::size_t pi) {
-    kernels::sddmm_aspt_row_range(a, x, y, out, panels[pi].row_begin, panels[pi].row_end);
-    if (metrics) metrics->panels_executed.fetch_add(1, std::memory_order_relaxed);
+    kernels::sddmm_aspt_row_range(a, x, y, out, panels[pi].row_begin, panels[pi].row_end, cfg);
+    if (metrics) {
+      metrics->panels_executed.fetch_add(1, std::memory_order_relaxed);
+      metrics->count_kernel(isa);
+    }
   });
 }
 
 }  // namespace
 
 void parallel_spmm(WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
-                   DenseMatrix& y, Metrics* metrics) {
+                   DenseMatrix& y, Metrics* metrics, const simd::KernelConfig* kernel) {
+  const simd::KernelConfig cfg = effective_config(kernel);
   if (is_identity(plan.row_perm)) {
-    spmm_panels(pool, plan.tiled, x, y, metrics);
+    spmm_panels(pool, plan.tiled, x, y, metrics, cfg);
     return;
   }
   DenseMatrix yp(plan.tiled.rows(), x.cols());
-  spmm_panels(pool, plan.tiled, x, yp, metrics);
+  spmm_panels(pool, plan.tiled, x, yp, metrics, cfg);
   y = sparse::unpermute_dense_rows(yp, plan.row_perm);
 }
 
 void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
                     const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
-                    Metrics* metrics) {
+                    Metrics* metrics, const simd::KernelConfig* kernel) {
   if (m.rows() != plan.tiled.rows() || m.nnz() != plan.tiled.stats().nnz_total) {
     throw sparse::invalid_matrix("parallel_sddmm: matrix does not match the plan");
   }
+  const simd::KernelConfig cfg = effective_config(kernel);
   if (is_identity(plan.row_perm)) {
-    sddmm_panels(pool, plan.tiled, x, y, out, metrics);
+    sddmm_panels(pool, plan.tiled, x, y, out, metrics, cfg);
     return;
   }
   // Same permutation dance as core::run_sddmm: Y into permuted row space,
   // then scatter per-row output segments back to the caller's layout.
   const DenseMatrix yp = sparse::permute_dense_rows(y, plan.row_perm);
   std::vector<value_t> outp;
-  sddmm_panels(pool, plan.tiled, x, yp, outp, metrics);
+  sddmm_panels(pool, plan.tiled, x, yp, outp, metrics, cfg);
 
   out.resize(static_cast<std::size_t>(m.nnz()));
   offset_t ppos = 0;

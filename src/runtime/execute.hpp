@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "kernels/simd/dispatch.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/worker_pool.hpp"
 
@@ -20,15 +21,21 @@ using sparse::CsrMatrix;
 using sparse::DenseMatrix;
 
 /// Same contract as core::run_spmm (y in the caller's row order), executed
-/// panel-parallel on `pool`. `metrics`, when given, counts the panels.
+/// panel-parallel on `pool`. `metrics`, when given, counts the panels and
+/// per-ISA kernel invocations. `kernel`, when given, forces the SIMD
+/// backend selection; nullptr uses the process-wide active configuration
+/// (RRSPMM_KERNEL_ISA / RRSPMM_KERNEL_FMA). Either way the default
+/// (non-fma) result is bitwise equal to the scalar reference.
 void parallel_spmm(WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
-                   DenseMatrix& y, Metrics* metrics = nullptr);
+                   DenseMatrix& y, Metrics* metrics = nullptr,
+                   const kernels::simd::KernelConfig* kernel = nullptr);
 
 /// Same contract as core::run_sddmm (out aligned with m's nonzero order),
 /// executed panel-parallel on `pool`.
 void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
                     const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
-                    Metrics* metrics = nullptr);
+                    Metrics* metrics = nullptr,
+                    const kernels::simd::KernelConfig* kernel = nullptr);
 
 /// Pluggable execution strategy for the Server. The default (no executor
 /// configured) is the panel-parallel path above; dist::ShardedExecutor

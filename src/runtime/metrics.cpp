@@ -68,6 +68,13 @@ std::string Metrics::to_json() const {
   os << "\"sharded_batches\":" << get(sharded_batches) << ",";
   os << "\"shards_executed\":" << get(shards_executed) << ",";
   os << "\"queue_depth\":" << get(queue_depth) << ",";
+  os << "\"kernel_invocations\":{";
+  for (std::size_t i = 0; i < kernels::simd::kIsaCount; ++i) {
+    if (i) os << ",";
+    os << "\"" << isa_name(static_cast<kernels::simd::Isa>(i)) << "\":"
+       << get(kernel_invocations[i]);
+  }
+  os << "},";
   os << "\"faults_injected\":" << get(faults_injected) << ",";
   os << "\"shard_failures\":" << get(shard_failures) << ",";
   os << "\"retries\":" << get(retries) << ",";

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "kernels/simd/isa.hpp"
+
 namespace rrspmm::runtime {
 
 /// Power-of-two-microsecond latency histogram: bucket i counts requests
@@ -64,6 +66,18 @@ struct Metrics {
   std::atomic<std::uint64_t> shards_executed{0};
   /// Requests currently queued or executing (gauge, not a counter).
   std::atomic<std::uint64_t> queue_depth{0};
+
+  /// Kernel invocations by resolved SIMD backend (index = simd::Isa):
+  /// which ISA the dispatcher actually ran, per row-range / full kernel
+  /// call issued through this runtime. The kernels layer keeps its own
+  /// process-wide totals (simd::invocation_counts()); these are the
+  /// serving-scoped view.
+  std::array<std::atomic<std::uint64_t>, kernels::simd::kIsaCount> kernel_invocations{};
+
+  /// Bumps the counter for one resolved ISA.
+  void count_kernel(kernels::simd::Isa isa) {
+    kernel_invocations[static_cast<std::size_t>(isa)].fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// fault::injected_fault exceptions observed by the recovery layers
   /// (shard failover, batch retry). Stall injections and faults that

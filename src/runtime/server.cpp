@@ -73,7 +73,7 @@ void Server::exec_spmm(const core::ExecutionPlan& plan, const sparse::DenseMatri
   if (cfg_.executor) {
     cfg_.executor->spmm(pool_, plan, x, y, &metrics_);
   } else {
-    parallel_spmm(pool_, plan, x, y, &metrics_);
+    parallel_spmm(pool_, plan, x, y, &metrics_, cfg_.kernel ? &*cfg_.kernel : nullptr);
   }
 }
 
@@ -83,7 +83,7 @@ void Server::exec_sddmm(const core::ExecutionPlan& plan, const sparse::CsrMatrix
   if (cfg_.executor) {
     cfg_.executor->sddmm(pool_, plan, m, x, y, out, &metrics_);
   } else {
-    parallel_sddmm(pool_, plan, m, x, y, out, &metrics_);
+    parallel_sddmm(pool_, plan, m, x, y, out, &metrics_, cfg_.kernel ? &*cfg_.kernel : nullptr);
   }
 }
 
@@ -225,10 +225,12 @@ std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
   }
 
   // Coalesce: concatenate the X operands column-wise, run one multi-K
-  // SpMM, split the product back per request.
+  // SpMM, split the product back per request. The batch buffers use the
+  // aligned (padded-ld) storage mode so every row pointer the SIMD
+  // kernels see is vector-aligned; per-request results stay packed.
   index_t k_total = 0;
   for (const SpmmRequest& r : batch) k_total += r.x.cols();
-  sparse::DenseMatrix x_all(e.matrix.cols(), k_total);
+  sparse::DenseMatrix x_all = sparse::DenseMatrix::aligned(e.matrix.cols(), k_total);
   index_t off = 0;
   for (const SpmmRequest& r : batch) {
     const index_t k = r.x.cols();
@@ -239,7 +241,7 @@ std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
     off += k;
   }
 
-  sparse::DenseMatrix y_all(e.matrix.rows(), k_total);
+  sparse::DenseMatrix y_all = sparse::DenseMatrix::aligned(e.matrix.rows(), k_total);
   exec_spmm(*plan, x_all, y_all);
 
   off = 0;

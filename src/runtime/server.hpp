@@ -22,6 +22,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -69,6 +70,11 @@ struct ServerConfig {
   /// panel-parallel path. dist::ShardedExecutor plugs in here.
   std::shared_ptr<Executor> executor;
   RetryPolicy retry;
+  /// SIMD kernel selection for the built-in panel-parallel path; nullopt
+  /// uses the process-wide simd::active_config() (RRSPMM_KERNEL_ISA /
+  /// RRSPMM_KERNEL_FMA env knobs). A configured Executor owns its own
+  /// kernel choice (see dist::ShardedExecutorConfig::kernel).
+  std::optional<kernels::simd::KernelConfig> kernel;
 };
 
 class Server {

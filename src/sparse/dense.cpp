@@ -5,13 +5,24 @@
 
 namespace rrspmm::sparse {
 
+void DenseMatrix::fill(value_t v) {
+  for (index_t i = 0; i < rows_; ++i) {
+    auto r = row(i);
+    std::fill(r.begin(), r.end(), v);
+  }
+}
+
 double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
   if (rows_ != other.rows_ || cols_ != other.cols_) {
     throw invalid_matrix("max_abs_diff: shape mismatch");
   }
   double best = 0.0;
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    best = std::max(best, std::abs(static_cast<double>(data_[i]) - static_cast<double>(other.data_[i])));
+  for (index_t i = 0; i < rows_; ++i) {
+    const auto a = row(i);
+    const auto b = other.row(i);
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      best = std::max(best, std::abs(static_cast<double>(a[j]) - static_cast<double>(b[j])));
+    }
   }
   return best;
 }
@@ -19,6 +30,9 @@ double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
 void fill_random(DenseMatrix& m, std::uint64_t seed) {
   // SplitMix64: tiny, deterministic across platforms, good enough for
   // filling test operands (we are not doing statistics on these values).
+  // Elements are drawn in row-major (i, j) order independent of the
+  // leading dimension, so padded and packed matrices get identical
+  // values — the SIMD equivalence tests rely on this.
   std::uint64_t state = seed;
   auto next = [&state]() {
     state += 0x9E3779B97F4A7C15ULL;
@@ -27,11 +41,13 @@ void fill_random(DenseMatrix& m, std::uint64_t seed) {
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
     return z ^ (z >> 31);
   };
-  value_t* p = m.data();
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    // 24 random mantissa bits -> uniform in [0,1), then shift to [-1,1).
-    const auto bits = static_cast<std::uint32_t>(next() >> 40);
-    p[i] = static_cast<value_t>(bits) * (2.0f / 16777216.0f) - 1.0f;
+  for (index_t i = 0; i < m.rows(); ++i) {
+    auto r = m.row(i);
+    for (value_t& v : r) {
+      // 24 random mantissa bits -> uniform in [0,1), then shift to [-1,1).
+      const auto bits = static_cast<std::uint32_t>(next() >> 40);
+      v = static_cast<value_t>(bits) * (2.0f / 16777216.0f) - 1.0f;
+    }
   }
 }
 

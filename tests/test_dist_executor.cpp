@@ -99,8 +99,10 @@ TEST(ShardedExecutorTest, PlugsIntoServerAndStaysExact) {
   constexpr int kDevices = 3;
   ServerConfig cfg;
   cfg.threads = 4;
-  cfg.executor = std::make_shared<ShardedExecutor>(
-      ShardedExecutorConfig{kDevices, ShardStrategy::reorder_aware, {}});
+  ShardedExecutorConfig scfg;
+  scfg.num_devices = kDevices;
+  scfg.strategy = ShardStrategy::reorder_aware;
+  cfg.executor = std::make_shared<ShardedExecutor>(scfg);
   Server server(cfg);
 
   const auto corpus = synth::build_test_corpus();
@@ -127,8 +129,10 @@ TEST(ShardedExecutorTest, PlugsIntoServerAndStaysExact) {
 }
 
 TEST(ShardedExecutorTest, RejectsBadConfig) {
-  EXPECT_THROW(ShardedExecutor(ShardedExecutorConfig{0, ShardStrategy::contiguous, {}}),
-               invalid_matrix);
+  ShardedExecutorConfig scfg;
+  scfg.num_devices = 0;
+  scfg.strategy = ShardStrategy::contiguous;
+  EXPECT_THROW(ShardedExecutor{scfg}, invalid_matrix);
 }
 
 TEST(ShardedSpmm, RejectsMismatchedPlans) {

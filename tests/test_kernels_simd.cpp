@@ -1,0 +1,397 @@
+// SIMD kernel layer tests: the bitwise-equivalence matrix (every
+// compiled-and-supported backend must reproduce the scalar reference
+// exactly on the default, non-fma path), the fma fast path's ULP bound,
+// runtime dispatch (ladder fallback, env overrides), and the per-ISA
+// invocation counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "aspt/aspt.hpp"
+#include "kernels/sddmm.hpp"
+#include "kernels/simd/dispatch.hpp"
+#include "kernels/spmm.hpp"
+#include "synth/generators.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+namespace simd = kernels::simd;
+using sparse::CsrMatrix;
+using sparse::DenseMatrix;
+
+std::vector<simd::Isa> runnable_isas() {
+  std::vector<simd::Isa> v;
+  for (int i = 0; i < static_cast<int>(simd::kIsaCount); ++i) {
+    const auto isa = static_cast<simd::Isa>(i);
+    if (simd::isa_supported(isa)) v.push_back(isa);
+  }
+  return v;
+}
+
+simd::KernelConfig cfg_of(simd::Isa isa, bool fma = false) {
+  simd::KernelConfig cfg;
+  cfg.isa = isa;
+  cfg.allow_fma = fma;
+  return cfg;
+}
+
+constexpr simd::KernelConfig kScalar{simd::Isa::scalar, false};
+
+/// One equivalence subject: a matrix plus the tiling that stresses a
+/// particular ASpT shape (single-row panels, all-dense, all-sparse, ...).
+struct Subject {
+  std::string name;
+  CsrMatrix s;
+  aspt::AsptConfig acfg;
+};
+
+std::vector<Subject> subjects() {
+  std::vector<Subject> out;
+
+  // Leading, trailing, and interior empty rows.
+  out.push_back({"empty_rows",
+                 test::csr({{0, 0, 0, 0},
+                            {1, 0, 2, 0},
+                            {0, 0, 0, 0},
+                            {0, 3, 0, 4},
+                            {5, 0, 0, 6},
+                            {0, 0, 0, 0}}),
+                 aspt::AsptConfig{.panel_rows = 2, .dense_col_threshold = 2, .max_dense_cols = 8}});
+
+  // Degenerate panels: one row each, so every dense tile is a single row.
+  out.push_back({"single_row_panels", synth::erdos_renyi(64, 48, 400, 11),
+                 aspt::AsptConfig{.panel_rows = 1, .dense_col_threshold = 2, .max_dense_cols = 64}});
+
+  // Every nonzero lands in a dense tile (sparse remainder empty).
+  {
+    std::vector<std::vector<value_t>> rows(32, {1, 0, 2, 0, 3, 0, 0, 4});
+    out.push_back({"all_dense", test::csr(rows),
+                   aspt::AsptConfig{.panel_rows = 8, .dense_col_threshold = 2,
+                                    .max_dense_cols = 1024}});
+  }
+
+  // No column qualifies as dense: the whole matrix goes through the
+  // sparse-remainder path.
+  out.push_back({"all_sparse", synth::erdos_renyi(96, 80, 600, 17),
+                 aspt::AsptConfig{.panel_rows = 16, .dense_col_threshold = 1 << 20,
+                                  .max_dense_cols = 64}});
+
+  // Generic skewed matrix with a real dense/sparse mix.
+  out.push_back({"mixed", synth::chung_lu(200, 150, 8.0, 2.4, 3),
+                 aspt::AsptConfig{.panel_rows = 32, .dense_col_threshold = 2,
+                                  .max_dense_cols = 64}});
+  return out;
+}
+
+const std::vector<index_t> kWidths = {1, 7, 8, 32, 33};
+
+/// Uneven partition of [0, rows) exercising range boundaries that do not
+/// line up with panels or vector widths.
+std::vector<std::pair<index_t, index_t>> uneven_ranges(index_t rows) {
+  std::vector<std::pair<index_t, index_t>> r;
+  index_t begin = 0;
+  index_t step = 1;
+  while (begin < rows) {
+    const index_t end = std::min<index_t>(begin + step, rows);
+    r.emplace_back(begin, end);
+    begin = end;
+    step = step * 2 + 1;  // 1, 3, 7, 15, ... rows per range
+  }
+  return r;
+}
+
+void expect_bitwise_eq(const std::vector<value_t>& a, const std::vector<value_t>& b,
+                       const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    ASSERT_EQ(a[j], b[j]) << what << " diverges at nonzero " << j;
+  }
+}
+
+class SimdEquivalence : public ::testing::TestWithParam<simd::Isa> {};
+
+// The tentpole contract: with allow_fma off, every backend is
+// bitwise-identical to the scalar reference for all four SpMM variants,
+// across ASpT shapes and K widths (including sub-vector and off-vector
+// widths).
+TEST_P(SimdEquivalence, SpmmMatchesScalarBitwise) {
+  const simd::KernelConfig cfg = cfg_of(GetParam());
+  for (const Subject& sub : subjects()) {
+    const auto tiled = aspt::build_aspt(sub.s, sub.acfg);
+    for (const index_t k : kWidths) {
+      SCOPED_TRACE(sub.name + " k=" + std::to_string(k));
+      DenseMatrix x(sub.s.cols(), k);
+      sparse::fill_random(x, 29);
+
+      DenseMatrix y_ref(sub.s.rows(), k), y(sub.s.rows(), k);
+      kernels::spmm_rowwise(sub.s, x, y_ref, kScalar);
+      kernels::spmm_rowwise(sub.s, x, y, cfg);
+      EXPECT_DOUBLE_EQ(y.max_abs_diff(y_ref), 0.0) << "spmm_rowwise";
+
+      DenseMatrix ya_ref(sub.s.rows(), k), ya(sub.s.rows(), k);
+      kernels::spmm_aspt(tiled, x, ya_ref, nullptr, kScalar);
+      kernels::spmm_aspt(tiled, x, ya, nullptr, cfg);
+      EXPECT_DOUBLE_EQ(ya.max_abs_diff(ya_ref), 0.0) << "spmm_aspt";
+
+      // Range-partitioned execution reassembles to the full result.
+      DenseMatrix yr(sub.s.rows(), k);
+      yr.fill(99.0f);
+      for (const auto& [b, e] : uneven_ranges(sub.s.rows())) {
+        kernels::spmm_aspt_row_range(tiled, x, yr, b, e, cfg);
+      }
+      EXPECT_DOUBLE_EQ(yr.max_abs_diff(ya_ref), 0.0) << "spmm_aspt_row_range";
+
+      DenseMatrix yrw(sub.s.rows(), k);
+      yrw.fill(-7.0f);
+      for (const auto& [b, e] : uneven_ranges(sub.s.rows())) {
+        kernels::spmm_rowwise(sub.s, x, yrw, b, e, cfg);
+      }
+      EXPECT_DOUBLE_EQ(yrw.max_abs_diff(y_ref), 0.0) << "spmm_rowwise range";
+    }
+  }
+}
+
+TEST_P(SimdEquivalence, SddmmMatchesScalarBitwise) {
+  const simd::KernelConfig cfg = cfg_of(GetParam());
+  for (const Subject& sub : subjects()) {
+    const auto tiled = aspt::build_aspt(sub.s, sub.acfg);
+    for (const index_t k : kWidths) {
+      SCOPED_TRACE(sub.name + " k=" + std::to_string(k));
+      DenseMatrix x(sub.s.cols(), k), ymat(sub.s.rows(), k);
+      sparse::fill_random(x, 31);
+      sparse::fill_random(ymat, 37);
+
+      std::vector<value_t> ref, got;
+      kernels::sddmm_rowwise(sub.s, x, ymat, ref, kScalar);
+      kernels::sddmm_rowwise(sub.s, x, ymat, got, cfg);
+      expect_bitwise_eq(ref, got, "sddmm_rowwise");
+
+      std::vector<value_t> aref, agot;
+      kernels::sddmm_aspt(tiled, x, ymat, aref, nullptr, kScalar);
+      kernels::sddmm_aspt(tiled, x, ymat, agot, nullptr, cfg);
+      expect_bitwise_eq(aref, agot, "sddmm_aspt");
+
+      // Range-partitioned ASpT SDDMM fills the same slots.
+      std::vector<value_t> rgot(aref.size(), value_t{0});
+      for (const auto& [b, e] : uneven_ranges(sub.s.rows())) {
+        kernels::sddmm_aspt_row_range(tiled, x, ymat, rgot, b, e, cfg);
+      }
+      expect_bitwise_eq(aref, rgot, "sddmm_aspt_row_range");
+    }
+  }
+}
+
+// Padded (aligned-ld) operands must not change a single bit relative to
+// packed operands, on every backend.
+TEST_P(SimdEquivalence, PaddedOperandsAreBitwiseEqualToPacked) {
+  const simd::KernelConfig cfg = cfg_of(GetParam());
+  const CsrMatrix s = synth::chung_lu(120, 100, 6.0, 2.2, 5);
+  const auto tiled = aspt::build_aspt(
+      s, aspt::AsptConfig{.panel_rows = 16, .dense_col_threshold = 2, .max_dense_cols = 64});
+  for (const index_t k : kWidths) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    DenseMatrix x(s.cols(), k);
+    DenseMatrix xp = DenseMatrix::aligned(s.cols(), k);
+    sparse::fill_random(x, 41);
+    sparse::fill_random(xp, 41);
+    ASSERT_DOUBLE_EQ(x.max_abs_diff(xp), 0.0);
+
+    DenseMatrix y(s.rows(), k);
+    DenseMatrix yp = DenseMatrix::aligned(s.rows(), k);
+    kernels::spmm_aspt(tiled, x, y, nullptr, cfg);
+    kernels::spmm_aspt(tiled, xp, yp, nullptr, cfg);
+    EXPECT_DOUBLE_EQ(y.max_abs_diff(yp), 0.0);
+
+    std::vector<value_t> d, dp;
+    kernels::sddmm_aspt(tiled, x, y, d, nullptr, cfg);
+    kernels::sddmm_aspt(tiled, xp, yp, dp, nullptr, cfg);
+    expect_bitwise_eq(d, dp, "sddmm padded");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SimdEquivalence, ::testing::ValuesIn(runnable_isas()),
+                         [](const ::testing::TestParamInfo<simd::Isa>& p) {
+                           return std::string(simd::isa_name(p.param));
+                         });
+
+// --- fma fast path ---------------------------------------------------
+
+/// Distance in units-in-the-last-place between two finite floats
+/// (monotonic integer mapping of the IEEE-754 bit patterns).
+std::int64_t ulp_distance(float a, float b) {
+  const auto key = [](float f) {
+    std::int32_t i;
+    std::memcpy(&i, &f, sizeof(i));
+    return i >= 0 ? static_cast<std::int64_t>(i)
+                  : static_cast<std::int64_t>(0x80000000LL) - static_cast<std::int64_t>(i);
+  };
+  return std::llabs(key(a) - key(b));
+}
+
+/// Bound documented in docs/API.md: on non-cancelling inputs the fma path
+/// stays within a few dozen ULPs of the scalar reference for the K widths
+/// and nonzero counts exercised here.
+constexpr std::int64_t kFmaUlpBound = 64;
+
+void make_positive(DenseMatrix& m) {
+  for (index_t i = 0; i < m.rows(); ++i) {
+    for (value_t& v : m.row(i)) v = std::fabs(v) + 0.01f;
+  }
+}
+
+CsrMatrix abs_values(const CsrMatrix& s) {
+  std::vector<value_t> vals = s.values();
+  for (value_t& v : vals) v = std::fabs(v) + 0.01f;
+  return CsrMatrix(s.rows(), s.cols(), s.rowptr(), s.colidx(), vals);
+}
+
+TEST(SimdFma, SpmmWithinUlpBound) {
+  const CsrMatrix s = abs_values(synth::chung_lu(160, 120, 8.0, 2.4, 7));
+  const auto tiled = aspt::build_aspt(
+      s, aspt::AsptConfig{.panel_rows = 32, .dense_col_threshold = 2, .max_dense_cols = 64});
+  for (const simd::Isa isa : runnable_isas()) {
+    for (const index_t k : kWidths) {
+      SCOPED_TRACE(std::string(simd::isa_name(isa)) + " k=" + std::to_string(k));
+      DenseMatrix x(s.cols(), k);
+      sparse::fill_random(x, 43);
+      make_positive(x);
+      DenseMatrix y_ref(s.rows(), k), y(s.rows(), k);
+      kernels::spmm_aspt(tiled, x, y_ref, nullptr, kScalar);
+      kernels::spmm_aspt(tiled, x, y, nullptr, cfg_of(isa, /*fma=*/true));
+      for (index_t i = 0; i < s.rows(); ++i) {
+        for (index_t c = 0; c < k; ++c) {
+          ASSERT_LE(ulp_distance(y(i, c), y_ref(i, c)), kFmaUlpBound)
+              << "row " << i << " col " << c << ": " << y(i, c) << " vs " << y_ref(i, c);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdFma, SddmmWithinUlpBound) {
+  const CsrMatrix s = abs_values(synth::erdos_renyi(96, 80, 700, 13));
+  const auto tiled = aspt::build_aspt(
+      s, aspt::AsptConfig{.panel_rows = 16, .dense_col_threshold = 2, .max_dense_cols = 64});
+  for (const simd::Isa isa : runnable_isas()) {
+    for (const index_t k : kWidths) {
+      SCOPED_TRACE(std::string(simd::isa_name(isa)) + " k=" + std::to_string(k));
+      DenseMatrix x(s.cols(), k), ymat(s.rows(), k);
+      sparse::fill_random(x, 47);
+      sparse::fill_random(ymat, 53);
+      make_positive(x);
+      make_positive(ymat);
+      std::vector<value_t> ref, got;
+      kernels::sddmm_aspt(tiled, x, ymat, ref, nullptr, kScalar);
+      kernels::sddmm_aspt(tiled, x, ymat, got, nullptr, cfg_of(isa, /*fma=*/true));
+      ASSERT_EQ(ref.size(), got.size());
+      for (std::size_t j = 0; j < ref.size(); ++j) {
+        ASSERT_LE(ulp_distance(got[j], ref[j]), kFmaUlpBound)
+            << "nonzero " << j << ": " << got[j] << " vs " << ref[j];
+      }
+    }
+  }
+}
+
+// On a backend where the fma table slot degrades to the bitwise kernels
+// (scalar), allow_fma must not change the result at all.
+TEST(SimdFma, ScalarBackendIgnoresFmaFlag) {
+  const CsrMatrix s = synth::erdos_renyi(48, 40, 300, 19);
+  DenseMatrix x(s.cols(), 9);
+  sparse::fill_random(x, 59);
+  DenseMatrix a(s.rows(), 9), b(s.rows(), 9);
+  kernels::spmm_rowwise(s, x, a, cfg_of(simd::Isa::scalar, false));
+  kernels::spmm_rowwise(s, x, b, cfg_of(simd::Isa::scalar, true));
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+}
+
+// --- dispatch --------------------------------------------------------
+
+TEST(SimdDispatch, ScalarIsAlwaysRunnable) {
+  EXPECT_TRUE(simd::isa_compiled(simd::Isa::scalar));
+  EXPECT_TRUE(simd::isa_supported(simd::Isa::scalar));
+  EXPECT_EQ(simd::resolve_isa(simd::Isa::scalar), simd::Isa::scalar);
+}
+
+TEST(SimdDispatch, ResolutionAlwaysLandsOnSupportedIsa) {
+  for (int i = 0; i < static_cast<int>(simd::kIsaCount); ++i) {
+    const auto requested = static_cast<simd::Isa>(i);
+    const simd::Isa got = simd::resolve_isa(requested);
+    EXPECT_TRUE(simd::isa_supported(got)) << simd::isa_name(requested);
+    if (simd::isa_supported(requested)) {
+      EXPECT_EQ(got, requested);
+    }
+  }
+  EXPECT_TRUE(simd::isa_supported(simd::resolve_isa(std::nullopt)));
+}
+
+TEST(SimdDispatch, TableReportsResolvedIsa) {
+  for (const simd::Isa isa : runnable_isas()) {
+    const simd::KernelTable& t = simd::table(cfg_of(isa));
+    EXPECT_EQ(t.isa, isa);
+    EXPECT_FALSE(t.fma);
+    EXPECT_NE(t.spmm_rows, nullptr);
+    EXPECT_NE(t.spmm_panel, nullptr);
+    EXPECT_NE(t.sddmm_rows, nullptr);
+    EXPECT_NE(t.sddmm_panel, nullptr);
+  }
+}
+
+TEST(SimdDispatch, EnvOverridesForceIsaAndFma) {
+  ::setenv("RRSPMM_KERNEL_ISA", "scalar", 1);
+  ::setenv("RRSPMM_KERNEL_FMA", "on", 1);
+  simd::reload_env();
+  const simd::KernelConfig cfg = simd::active_config();
+  ASSERT_TRUE(cfg.isa.has_value());
+  EXPECT_EQ(*cfg.isa, simd::Isa::scalar);
+  EXPECT_TRUE(cfg.allow_fma);
+  EXPECT_EQ(simd::table(cfg).isa, simd::Isa::scalar);
+
+  // An unparseable name falls back to auto instead of failing.
+  ::setenv("RRSPMM_KERNEL_ISA", "quantum", 1);
+  simd::reload_env();
+  EXPECT_FALSE(simd::active_config().isa.has_value());
+
+  ::unsetenv("RRSPMM_KERNEL_ISA");
+  ::unsetenv("RRSPMM_KERNEL_FMA");
+  simd::reload_env();
+  EXPECT_FALSE(simd::active_config().isa.has_value());
+  EXPECT_FALSE(simd::active_config().allow_fma);
+}
+
+TEST(SimdDispatch, SetActiveConfigOverridesEnv) {
+  simd::set_active_config(cfg_of(simd::Isa::scalar));
+  ASSERT_TRUE(simd::active_config().isa.has_value());
+  EXPECT_EQ(*simd::active_config().isa, simd::Isa::scalar);
+  simd::set_active_config(simd::KernelConfig{});  // back to auto
+  EXPECT_FALSE(simd::active_config().isa.has_value());
+}
+
+TEST(SimdCounters, InvocationsTrackTheResolvedIsa) {
+  const CsrMatrix s = test::csr({{1, 2}, {0, 3}});
+  DenseMatrix x(2, 4), y(2, 4);
+  sparse::fill_random(x, 61);
+
+  simd::reset_invocation_counts();
+  kernels::spmm_rowwise(s, x, y, cfg_of(simd::Isa::scalar));
+  auto counts = simd::invocation_counts();
+  EXPECT_GE(counts[static_cast<std::size_t>(simd::Isa::scalar)], 1u);
+
+  const simd::Isa best = simd::resolve_isa(std::nullopt);
+  simd::reset_invocation_counts();
+  kernels::spmm_rowwise(s, x, y, simd::KernelConfig{});
+  counts = simd::invocation_counts();
+  EXPECT_GE(counts[static_cast<std::size_t>(best)], 1u);
+
+  simd::reset_invocation_counts();
+  for (const auto c : simd::invocation_counts()) EXPECT_EQ(c, 0u);
+}
+
+}  // namespace
+}  // namespace rrspmm

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "sparse/dense.hpp"
 
 namespace rrspmm {
@@ -69,6 +71,57 @@ TEST(Dense, FillRandomIsDeterministicAndInRange) {
     for (value_t v : a.row(i)) {
       EXPECT_GE(v, -1.0f);
       EXPECT_LT(v, 1.0f);
+    }
+  }
+}
+
+TEST(DenseAligned, PadsLeadingDimensionToAlignment) {
+  const DenseMatrix m = DenseMatrix::aligned(3, 5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 5);
+  EXPECT_GE(m.ld(), 5);
+  EXPECT_TRUE(m.padded());
+  EXPECT_EQ(m.size(), 15u);  // logical size excludes padding
+  const auto align = sparse::kDenseAlignBytes;
+  EXPECT_EQ(static_cast<std::size_t>(m.ld()) * sizeof(value_t) % align, 0u);
+  for (index_t i = 0; i < m.rows(); ++i) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.row(i).data()) % align, 0u);
+  }
+}
+
+TEST(DenseAligned, PackedWhenColsAlreadyAligned) {
+  const DenseMatrix m = DenseMatrix::aligned(4, 16);
+  EXPECT_EQ(m.ld(), 16);
+  EXPECT_FALSE(m.padded());
+}
+
+TEST(DenseAligned, RowSpanHasLogicalWidth) {
+  DenseMatrix m = DenseMatrix::aligned(2, 3);
+  EXPECT_EQ(m.row(0).size(), 3u);
+  m(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(m.row(1)[2], 5.0f);
+}
+
+TEST(DenseAligned, FillRandomMatchesPackedElementwise) {
+  DenseMatrix packed(7, 5);
+  DenseMatrix padded = DenseMatrix::aligned(7, 5);
+  sparse::fill_random(packed, 11);
+  sparse::fill_random(padded, 11);
+  EXPECT_DOUBLE_EQ(packed.max_abs_diff(padded), 0.0);
+}
+
+TEST(DenseAligned, FillAndMaxAbsDiffIgnorePadding) {
+  DenseMatrix padded = DenseMatrix::aligned(4, 3);
+  padded.fill(2.0f);
+  DenseMatrix packed(4, 3);
+  packed.fill(2.0f);
+  EXPECT_DOUBLE_EQ(padded.max_abs_diff(packed), 0.0);
+  // Padding lanes stay zero after fill (kernels rely on that for aligned
+  // vector stores never leaking into the next row's data).
+  for (index_t i = 0; i < padded.rows(); ++i) {
+    const value_t* r = padded.data() + static_cast<std::size_t>(i) * padded.ld();
+    for (index_t j = padded.cols(); j < padded.ld(); ++j) {
+      EXPECT_FLOAT_EQ(r[j], 0.0f);
     }
   }
 }
