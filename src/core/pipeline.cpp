@@ -10,6 +10,7 @@
 #include "kernels/spmm.hpp"
 #include "runtime/worker_pool.hpp"
 #include "sparse/permute.hpp"
+#include "sparse/validate.hpp"
 #include "sparse/stats.hpp"
 
 namespace rrspmm::core {
@@ -60,6 +61,7 @@ void add_round_stats(PipelineStats& stats, const ReorderResult& r) {
 }  // namespace
 
 ExecutionPlan build_plan_nr(const CsrMatrix& m, const PipelineConfig& cfg) {
+  sparse::validate_csr(m, "build_plan_nr");
   const auto t0 = Clock::now();
   ExecutionPlan plan;
   plan.row_perm = sparse::identity_permutation(m.rows());
@@ -74,6 +76,7 @@ ExecutionPlan build_plan_nr(const CsrMatrix& m, const PipelineConfig& cfg) {
 }
 
 ExecutionPlan build_plan(const CsrMatrix& m, const PipelineConfig& cfg) {
+  sparse::validate_csr(m, "build_plan");
   const auto t0 = Clock::now();
   ExecutionPlan plan;
 
@@ -200,6 +203,15 @@ void run_sddmm(const ExecutionPlan& plan, const CsrMatrix& m, const DenseMatrix&
               out.begin() + base);
     ppos += len;
   }
+}
+
+std::vector<index_t> spgemm_row_order(const ExecutionPlan& plan) {
+  if (is_identity(plan.row_perm) && is_identity(plan.sparse_order)) return {};
+  std::vector<index_t> order(plan.sparse_order.size());
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    order[p] = plan.row_perm[static_cast<std::size_t>(plan.sparse_order[p])];
+  }
+  return order;
 }
 
 gpusim::SimResult simulate_spmm(const ExecutionPlan& plan, index_t k,

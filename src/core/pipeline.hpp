@@ -131,6 +131,15 @@ void run_spmm(const ExecutionPlan& plan, const DenseMatrix& x, DenseMatrix& y);
 void run_sddmm(const ExecutionPlan& plan, const CsrMatrix& m, const DenseMatrix& x,
                const DenseMatrix& y, std::vector<value_t>& out);
 
+/// Gustavson processing order for SpGEMM over the plan's matrix as the
+/// left operand: round-2's processing order composed with round-1's
+/// physical permutation — position p processes original row
+/// row_perm[sparse_order[p]] (sparse_order indexes permuted row space).
+/// Returns an empty vector when both rounds were skipped, i.e. natural
+/// order. Any order yields bitwise-identical products; this one places
+/// rows with similar B-row footprints adjacently for cache reuse.
+std::vector<index_t> spgemm_row_order(const ExecutionPlan& plan);
+
 /// Device-model predictions for a plan.
 gpusim::SimResult simulate_spmm(const ExecutionPlan& plan, index_t k,
                                 const gpusim::DeviceConfig& dev);

@@ -206,4 +206,100 @@ void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan&
   if (!identity) y = sparse::unpermute_dense_rows(yp, plan.row_perm);
 }
 
+void ShardedExecutor::spgemm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
+                             const CsrMatrix& a, const CsrMatrix& b, CsrMatrix& c,
+                             runtime::Metrics* metrics, const spgemm::SpgemmConfig& cfg) {
+  if (a.rows() != plan.tiled.rows()) {
+    throw sparse::invalid_matrix("ShardedExecutor::spgemm: left operand does not match the plan");
+  }
+  // Symbolic up front, outside the failover loop: it allocates the one
+  // output structure every shard fills into. A throw here (probe or
+  // organic) propagates to the server's retry layer, like a plan-build
+  // failure.
+  spgemm::SymbolicResult sym = runtime::parallel_spgemm_symbolic(pool, a, b, cfg, metrics);
+  std::vector<index_t> colidx(static_cast<std::size_t>(sym.nnz()));
+  std::vector<value_t> values(static_cast<std::size_t>(sym.nnz()));
+
+  const ShardPlan sp = planner_.plan_rows(plan, cfg_.num_devices, cfg_.strategy);
+  if (metrics) metrics->sharded_batches.fetch_add(1, std::memory_order_relaxed);
+  // Composed processing order (round 1 ∘ round 2): shard cuts index
+  // positions of this order, so reorder-aware seams keep each device on
+  // one cluster of similar B-row footprints.
+  const std::vector<index_t> composed = core::spgemm_row_order(plan);
+  const std::vector<index_t>* order = composed.empty() ? nullptr : &composed;
+
+  struct Work {
+    core::RowShard shard;
+    int device = 0;
+  };
+  std::vector<Work> work;
+  work.reserve(sp.row_shards.size());
+  for (std::size_t d = 0; d < sp.row_shards.size(); ++d) {
+    work.push_back({sp.row_shards[d], static_cast<int>(d)});
+  }
+  std::vector<char> dead(static_cast<std::size_t>(cfg_.num_devices), 0);
+
+  int rounds = 0;
+  while (!work.empty()) {
+    std::vector<Work> failed;
+    std::mutex failed_m;
+    pool.parallel_for(work.size(), [&](std::size_t wi) {
+      const Work& w = work[wi];
+      try {
+        fault::hit(fault::points::kShardExec);
+        fault::hit_nothrow(fault::points::kShardStraggler);
+        spgemm::AccumulatorCounts local;
+        spgemm::numeric_rows(a, b, sym.rowptr, colidx.data(), values.data(), w.shard.row_begin,
+                             w.shard.row_end, cfg, order, &local);
+        fault::hit(fault::points::kShardInterconnect);
+        if (metrics) {
+          metrics->shards_executed.fetch_add(1, std::memory_order_relaxed);
+          metrics->spgemm_rows_hash.fetch_add(local.hash_rows, std::memory_order_relaxed);
+          metrics->spgemm_rows_sort.fetch_add(local.sort_rows, std::memory_order_relaxed);
+        }
+      } catch (const fault::injected_fault&) {
+        if (metrics) {
+          metrics->faults_injected.fetch_add(1, std::memory_order_relaxed);
+          metrics->shard_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::lock_guard<std::mutex> lk(failed_m);
+        failed.push_back(w);
+      } catch (...) {
+        if (metrics) metrics->shard_failures.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(failed_m);
+        failed.push_back(w);
+      }
+    });
+    if (failed.empty()) break;
+
+    for (const Work& w : failed) dead[static_cast<std::size_t>(w.device)] = 1;
+    std::vector<int> survivors;
+    for (int d = 0; d < cfg_.num_devices; ++d) {
+      if (!dead[static_cast<std::size_t>(d)]) survivors.push_back(d);
+    }
+    if (survivors.empty() || rounds >= cfg_.max_failover_rounds) {
+      throw shards_exhausted(survivors.empty()
+                                 ? "ShardedExecutor: all devices failed"
+                                 : "ShardedExecutor: failover rounds exhausted");
+    }
+    ++rounds;
+
+    std::sort(failed.begin(), failed.end(),
+              [](const Work& a_, const Work& b_) { return a_.shard.row_begin < b_.shard.row_begin; });
+    std::vector<Work> next;
+    for (const Work& w : failed) {
+      if (metrics) metrics->failovers.fetch_add(1, std::memory_order_relaxed);
+      const ShardPlan rp =
+          planner_.plan_row_range(plan, w.shard.row_begin, w.shard.row_end,
+                                  static_cast<int>(survivors.size()), cfg_.strategy);
+      for (std::size_t i = 0; i < rp.row_shards.size(); ++i) {
+        next.push_back({rp.row_shards[i], survivors[i % survivors.size()]});
+      }
+    }
+    work = std::move(next);
+  }
+
+  c = CsrMatrix(a.rows(), b.cols(), std::move(sym.rowptr), std::move(colidx), std::move(values));
+}
+
 }  // namespace rrspmm::dist

@@ -82,6 +82,19 @@ class ShardedExecutor final : public runtime::Executor {
   void spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
             DenseMatrix& y, runtime::Metrics* metrics) override;
 
+  /// CSR×CSR across the device shards: the symbolic phase runs
+  /// pool-parallel (it is cheap and deterministic), then each shard's
+  /// contiguous permuted row range fills its output segments via
+  /// spgemm::numeric_rows. reorder_aware shard planning reuses the
+  /// paper's LSH/cluster reordering of the LEFT operand, so one device's
+  /// rows share B-row working sets. Shard failure handling is identical
+  /// to spmm(): dead device, plan_row_range re-cut across survivors;
+  /// numeric ranges rewrite their segments completely, so re-execution
+  /// is idempotent and the recovered C is bitwise-equal.
+  void spgemm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& a,
+              const CsrMatrix& b, CsrMatrix& c, runtime::Metrics* metrics,
+              const spgemm::SpgemmConfig& cfg) override;
+
   const ShardedExecutorConfig& config() const { return cfg_; }
 
  private:

@@ -163,6 +163,25 @@ FaultPlan FaultPlan::chaos(std::uint64_t seed) {
     r.max_triggers = 1 + mix.below(2);
     plan.rules.push_back(std::move(r));
   }
+  // SpGEMM probes: both phases degrade to the sequential sort-based
+  // multiply (probes off, bitwise-equal), so throws here are capped like
+  // the preprocessing ones and can never wedge a request.
+  if (mix.below(2) == 0) {
+    FaultRule r;
+    r.point = points::kSpgemmSymbolic;
+    r.kind = FaultKind::throw_error;
+    r.probability = 0.3 + 0.4 * mix.unit();
+    r.max_triggers = 1 + mix.below(2);
+    plan.rules.push_back(std::move(r));
+  }
+  if (mix.below(2) == 0) {
+    FaultRule r;
+    r.point = points::kSpgemmAccumulate;
+    r.kind = FaultKind::throw_error;
+    r.probability = 0.2 + 0.3 * mix.unit();
+    r.max_triggers = 1 + mix.below(3);
+    plan.rules.push_back(std::move(r));
+  }
   for (const char* p : {points::kServerDrain, points::kServerSubmit, points::kShardStraggler,
                         points::kPlanCacheEvict, points::kWorkerTask}) {
     if (mix.below(3) != 0) continue;

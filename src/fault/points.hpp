@@ -62,4 +62,16 @@ inline constexpr const char* kShardStraggler = "shard.straggler";
 /// result gather and triggers the same failover as a kernel failure.
 inline constexpr const char* kShardInterconnect = "shard.interconnect";
 
+/// spgemm: before a symbolic (row-counting) chunk runs. A throw
+/// propagates out of the symbolic pass; the server's retry loop catches
+/// it and ultimately degrades to the sequential sort-based multiply,
+/// which runs with probes disabled and is bitwise-equal.
+inline constexpr const char* kSpgemmSymbolic = "spgemm.symbolic";
+
+/// spgemm: before a numeric (accumulation) row-range runs. Same
+/// degradation contract as spgemm.symbolic; under ShardedExecutor the
+/// throw is additionally a shard failure and triggers row-range
+/// failover first.
+inline constexpr const char* kSpgemmAccumulate = "spgemm.accumulate";
+
 }  // namespace rrspmm::fault::points

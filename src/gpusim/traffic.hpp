@@ -77,6 +77,21 @@ SimResult simulate_spmv_rowwise(const CsrMatrix& s, const DeviceConfig& dev,
 SimResult simulate_sddmm_rowwise(const CsrMatrix& s, index_t k, const DeviceConfig& dev,
                                  const std::vector<index_t>* row_order = nullptr);
 
+/// Row-wise Gustavson SpGEMM (C = A * B, all CSR) — the sparse-output
+/// workload. Two launches are modelled (symbolic row-sizing, then exact
+/// numeric fill): A's structure streams in both, A's values in the
+/// numeric pass only, and C — rowptr plus exactly-sized colidx/values —
+/// is written once, the sparse-output counterpart of the dense Y-write
+/// accounting above. The reuse that reordering exploits is on B: every
+/// nonzero (i,j) of A reads B's row j through the shared L2 (modelled at
+/// whole-row granularity, capacity in average-sized B rows; a row
+/// structurally touched in the symbolic pass warms the cache for the
+/// numeric one). `row_order` is A's row *processing* order — rows with
+/// similar column sets placed in nearby blocks share their B-row working
+/// set, exactly the SpMM effect transferred to a sparse right operand.
+SimResult simulate_spgemm_rowwise(const CsrMatrix& a, const CsrMatrix& b, const DeviceConfig& dev,
+                                  const std::vector<index_t>* row_order = nullptr);
+
 /// ASpT SDDMM over a tiled matrix.
 SimResult simulate_sddmm_aspt(const AsptMatrix& a, index_t k, const DeviceConfig& dev,
                               const std::vector<index_t>* sparse_order = nullptr);

@@ -58,15 +58,32 @@ MatrixRecord make_record(const synth::CorpusEntry& entry, const ExperimentConfig
       rec.sddmm.push_back(d);
     }
   }
+
+  if (cfg.run_spgemm && entry.matrix.rows() == entry.matrix.cols()) {
+    rec.spgemm.run = true;
+    const spgemm::SymbolicResult sym = spgemm::symbolic(entry.matrix, entry.matrix);
+    rec.spgemm.out_nnz = sym.nnz();
+    rec.spgemm.flops = static_cast<double>(sym.flops);
+    const std::vector<index_t> order = core::spgemm_row_order(rr);
+    rec.spgemm.natural = gpusim::simulate_spgemm_rowwise(entry.matrix, entry.matrix, cfg.device);
+    rec.spgemm.reordered = gpusim::simulate_spgemm_rowwise(entry.matrix, entry.matrix, cfg.device,
+                                                           order.empty() ? nullptr : &order);
+  }
   return rec;
 }
 
 void print_progress(std::size_t done, std::size_t total, const MatrixRecord& rec) {
-  std::fprintf(stderr, "[%3zu/%zu] %-24s rows=%-7d nnz=%-9lld dr %.3f->%.3f sim %.3f->%.3f%s\n",
+  char spg[64] = "";
+  if (rec.spgemm.run) {
+    std::snprintf(spg, sizeof(spg), "  spgemm nnz=%lld x%.2f",
+                  static_cast<long long>(rec.spgemm.out_nnz),
+                  speedup(rec.spgemm.natural, rec.spgemm.reordered));
+  }
+  std::fprintf(stderr, "[%3zu/%zu] %-24s rows=%-7d nnz=%-9lld dr %.3f->%.3f sim %.3f->%.3f%s%s\n",
                done, total, rec.name.c_str(), rec.mstats.rows,
                static_cast<long long>(rec.mstats.nnz), rec.rr.dense_ratio_before,
                rec.rr.dense_ratio_after, rec.rr.avg_sim_before, rec.rr.avg_sim_after,
-               rec.needs_reordering() ? "  [reordered]" : "");
+               rec.needs_reordering() ? "  [reordered]" : "", spg);
 }
 
 }  // namespace

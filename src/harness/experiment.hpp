@@ -11,6 +11,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/traffic.hpp"
 #include "sparse/stats.hpp"
+#include "spgemm/spgemm.hpp"
 #include "synth/corpus.hpp"
 
 namespace rrspmm::harness {
@@ -22,6 +23,19 @@ struct KernelTriple {
   gpusim::SimResult aspt_rr;
 };
 
+/// A·A (adjacency squaring) effectiveness record — the sparse-output
+/// counterpart of KernelTriple. Only square matrices are squared;
+/// `run` stays false otherwise. Both simulations use the row-wise
+/// Gustavson model; `reordered` processes A's rows in the RR plan's
+/// permutation, which is what concentrates B-row (here: A-row) reuse.
+struct SpgemmSim {
+  bool run = false;
+  offset_t out_nnz = 0;  ///< exact nnz(A·A), from spgemm::symbolic
+  double flops = 0.0;    ///< 2 * multiply-add products
+  gpusim::SimResult natural;
+  gpusim::SimResult reordered;
+};
+
 struct MatrixRecord {
   std::string name;
   std::string family;
@@ -30,6 +44,7 @@ struct MatrixRecord {
   double nr_preprocess_seconds = 0.0;
   std::vector<KernelTriple> spmm;   ///< one entry per K
   std::vector<KernelTriple> sddmm;  ///< one entry per K (rowwise also simulated)
+  SpgemmSim spgemm;                 ///< filled when cfg.run_spgemm and square
 
   /// The paper's "needs row-reordering" predicate (§4 heuristics fired
   /// at least one round).
@@ -48,6 +63,11 @@ struct ExperimentConfig {
   core::PipelineConfig pipeline;
   gpusim::DeviceConfig device = gpusim::DeviceConfig::p100();
   bool run_sddmm = true;
+  /// Also square every square corpus matrix (C = A·A) and simulate the
+  /// Gustavson kernel with and without the RR row order. Off by default:
+  /// symbolic counting is O(flops) and the SpMM/SDDMM benches don't need
+  /// it.
+  bool run_spgemm = false;
   bool verbose = true;  ///< progress lines on stderr
 };
 

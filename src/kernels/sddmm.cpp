@@ -4,6 +4,7 @@
 
 #include "kernels/detail/staging.hpp"
 #include "sparse/aligned.hpp"
+#include "sparse/validate.hpp"
 
 namespace rrspmm::kernels {
 
@@ -27,6 +28,7 @@ void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& 
 
 void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
                    std::vector<value_t>& out, const simd::KernelConfig& cfg) {
+  sparse::validate_csr(s, "sddmm_rowwise");
   check_sddmm_shapes(s.rows(), s.cols(), x, y);
   const simd::KernelTable& t = simd::table(cfg);
   simd::count_invocation(t.isa);

@@ -4,6 +4,7 @@
 
 #include "kernels/detail/staging.hpp"
 #include "sparse/aligned.hpp"
+#include "sparse/validate.hpp"
 
 namespace rrspmm::kernels {
 
@@ -29,6 +30,7 @@ void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y) {
 
 void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y,
                   const simd::KernelConfig& cfg) {
+  sparse::validate_csr(s, "spmm_rowwise");
   check_spmm_shapes(s.rows(), s.cols(), x, y);
   const simd::KernelTable& t = simd::table(cfg);
   simd::count_invocation(t.isa);

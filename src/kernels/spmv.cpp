@@ -1,9 +1,12 @@
 #include "kernels/spmv.hpp"
 
+#include "sparse/validate.hpp"
+
 namespace rrspmm::kernels {
 
 void spmv_rowwise(const sparse::CsrMatrix& s, const std::vector<value_t>& x,
                   std::vector<value_t>& y) {
+  sparse::validate_csr(s, "spmv_rowwise");
   if (static_cast<index_t>(x.size()) != s.cols()) {
     throw sparse::invalid_matrix("SpMV: x size must equal S cols");
   }

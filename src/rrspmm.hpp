@@ -30,3 +30,5 @@
 #include "sparse/permute.hpp"
 #include "sparse/stats.hpp"
 #include "sparse/types.hpp"
+#include "sparse/validate.hpp"
+#include "spgemm/spgemm.hpp"

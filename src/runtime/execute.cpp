@@ -1,5 +1,7 @@
 #include "runtime/execute.hpp"
 
+#include <algorithm>
+
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm.hpp"
 #include "sparse/permute.hpp"
@@ -104,10 +106,90 @@ void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const Csr
   }
 }
 
+spgemm::SymbolicResult parallel_spgemm_symbolic(WorkerPool& pool, const CsrMatrix& a,
+                                                const CsrMatrix& b,
+                                                const spgemm::SpgemmConfig& cfg,
+                                                Metrics* metrics) {
+  if (a.cols() != b.rows()) {
+    throw sparse::invalid_matrix("parallel_spgemm: A cols must equal B rows");
+  }
+  spgemm::SymbolicResult res;
+  res.rowptr.assign(static_cast<std::size_t>(a.rows()) + 1, 0);
+
+  // Fixed row blocks, counts stored at their row index: identical output
+  // for any thread count or chunk interleaving.
+  constexpr index_t kRowBlock = 64;
+  const std::size_t blocks = static_cast<std::size_t>((a.rows() + kRowBlock - 1) / kRowBlock);
+  if (blocks > 0) {
+    pool.parallel_for(blocks, [&](std::size_t bi) {
+      const index_t rb = static_cast<index_t>(bi) * kRowBlock;
+      const index_t re = std::min<index_t>(rb + kRowBlock, a.rows());
+      spgemm::symbolic_rows(a, b, res.rowptr.data() + rb + 1, rb, re, cfg);
+    });
+  }
+  for (std::size_t i = 1; i < res.rowptr.size(); ++i) res.rowptr[i] += res.rowptr[i - 1];
+  for (index_t i = 0; i < a.rows(); ++i) res.upper_bound_nnz += spgemm::row_upper_bound(a, b, i);
+  res.flops = 2.0 * static_cast<double>(res.upper_bound_nnz);
+
+  if (metrics) {
+    metrics->spgemm_flops.fetch_add(static_cast<std::uint64_t>(res.flops),
+                                    std::memory_order_relaxed);
+    metrics->spgemm_output_nnz.fetch_add(static_cast<std::uint64_t>(res.nnz()),
+                                         std::memory_order_relaxed);
+  }
+  return res;
+}
+
+void parallel_spgemm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& a,
+                     const CsrMatrix& b, CsrMatrix& c, Metrics* metrics,
+                     const spgemm::SpgemmConfig& cfg) {
+  if (a.rows() != plan.tiled.rows()) {
+    throw sparse::invalid_matrix("parallel_spgemm: left operand does not match the plan");
+  }
+  spgemm::SymbolicResult sym = parallel_spgemm_symbolic(pool, a, b, cfg, metrics);
+  std::vector<index_t> colidx(static_cast<std::size_t>(sym.nnz()));
+  std::vector<value_t> values(static_cast<std::size_t>(sym.nnz()));
+
+  // Task shape mirrors parallel_spmm: one task per ASpT row panel of the
+  // permuted row space. Each task computes the original rows its panel's
+  // positions map to under the composed processing order (round 1's
+  // physical permutation and round 2's sparse-remainder order); the
+  // output lands directly in A's row order, so no unpermute pass exists
+  // to perturb.
+  const std::vector<index_t> composed = core::spgemm_row_order(plan);
+  const std::vector<index_t>* order = composed.empty() ? nullptr : &composed;
+  const auto run_range = [&](index_t rb, index_t re) {
+    spgemm::AccumulatorCounts local;
+    spgemm::numeric_rows(a, b, sym.rowptr, colidx.data(), values.data(), rb, re, cfg, order,
+                         &local);
+    if (metrics) {
+      metrics->spgemm_rows_hash.fetch_add(local.hash_rows, std::memory_order_relaxed);
+      metrics->spgemm_rows_sort.fetch_add(local.sort_rows, std::memory_order_relaxed);
+    }
+  };
+
+  const auto& panels = plan.tiled.panels();
+  if (panels.empty()) {
+    if (a.rows() > 0) run_range(0, a.rows());
+  } else {
+    pool.parallel_for(panels.size(), [&](std::size_t pi) {
+      run_range(panels[pi].row_begin, panels[pi].row_end);
+      if (metrics) metrics->panels_executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  c = CsrMatrix(a.rows(), b.cols(), std::move(sym.rowptr), std::move(colidx), std::move(values));
+}
+
 void Executor::sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
                      const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
                      Metrics* metrics) {
   parallel_sddmm(pool, plan, m, x, y, out, metrics);
+}
+
+void Executor::spgemm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& a,
+                      const CsrMatrix& b, CsrMatrix& c, Metrics* metrics,
+                      const spgemm::SpgemmConfig& cfg) {
+  parallel_spgemm(pool, plan, a, b, c, metrics, cfg);
 }
 
 }  // namespace rrspmm::runtime

@@ -14,6 +14,7 @@
 #include "kernels/simd/dispatch.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/worker_pool.hpp"
+#include "spgemm/spgemm.hpp"
 
 namespace rrspmm::runtime {
 
@@ -37,6 +38,27 @@ void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const Csr
                     Metrics* metrics = nullptr,
                     const kernels::simd::KernelConfig* kernel = nullptr);
 
+/// SpGEMM symbolic phase fanned out over `pool` in fixed row blocks:
+/// exact per-row counts, prefix-summed into C's rowptr. Deterministic at
+/// every thread count (counts land at their row index). Bumps
+/// spgemm_flops / spgemm_output_nnz when `metrics` is given — the one
+/// place both the panel-parallel and the sharded numeric paths share.
+spgemm::SymbolicResult parallel_spgemm_symbolic(WorkerPool& pool, const CsrMatrix& a,
+                                                const CsrMatrix& b,
+                                                const spgemm::SpgemmConfig& cfg,
+                                                Metrics* metrics = nullptr);
+
+/// CSR×CSR through a plan built on the LEFT operand: c = a * b, c in
+/// a's original row order. Symbolic runs pool-parallel in row blocks;
+/// numeric fans out one task per ASpT row panel of the permuted row
+/// space (matching parallel_spmm's task shape), each filling its target
+/// rows' segments via spgemm::numeric_rows with the plan's row_perm as
+/// processing order. Bitwise equal to spgemm::multiply(a, b) for every
+/// thread count, accumulator choice and panel layout.
+void parallel_spgemm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& a,
+                     const CsrMatrix& b, CsrMatrix& c, Metrics* metrics = nullptr,
+                     const spgemm::SpgemmConfig& cfg = {});
+
 /// Pluggable execution strategy for the Server. The default (no executor
 /// configured) is the panel-parallel path above; dist::ShardedExecutor
 /// substitutes multi-device sharded execution without the runtime linking
@@ -54,6 +76,13 @@ class Executor {
   virtual void sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
                      const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
                      Metrics* metrics);
+
+  /// Default SpGEMM: panel-parallel via parallel_spgemm.
+  /// dist::ShardedExecutor overrides with row-range shards + failover;
+  /// every implementation must stay bitwise equal to spgemm::multiply.
+  virtual void spgemm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& a,
+                      const CsrMatrix& b, CsrMatrix& c, Metrics* metrics,
+                      const spgemm::SpgemmConfig& cfg);
 };
 
 }  // namespace rrspmm::runtime

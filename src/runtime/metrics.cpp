@@ -75,6 +75,12 @@ std::string Metrics::to_json() const {
        << get(kernel_invocations[i]);
   }
   os << "},";
+  os << "\"spgemm_batches\":" << get(spgemm_batches) << ",";
+  os << "\"spgemm_flops\":" << get(spgemm_flops) << ",";
+  os << "\"spgemm_output_nnz\":" << get(spgemm_output_nnz) << ",";
+  os << "\"spgemm_rows_hash\":" << get(spgemm_rows_hash) << ",";
+  os << "\"spgemm_rows_sort\":" << get(spgemm_rows_sort) << ",";
+  os << "\"spgemm_degradations\":" << get(spgemm_degradations) << ",";
   os << "\"faults_injected\":" << get(faults_injected) << ",";
   os << "\"shard_failures\":" << get(shard_failures) << ",";
   os << "\"retries\":" << get(retries) << ",";

@@ -79,6 +79,22 @@ struct Metrics {
     kernel_invocations[static_cast<std::size_t>(isa)].fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// SpGEMM (CSR×CSR) requests executed, including degraded ones.
+  std::atomic<std::uint64_t> spgemm_batches{0};
+  /// Useful SpGEMM floating-point work (2 per product), counted once per
+  /// executed symbolic pass — a retried attempt counts again, a degraded
+  /// sequential run does not (it bypasses the instrumented paths).
+  std::atomic<std::uint64_t> spgemm_flops{0};
+  /// Output nonzeros produced by instrumented SpGEMM executions.
+  std::atomic<std::uint64_t> spgemm_output_nnz{0};
+  /// Accumulator-choice histogram: output rows accumulated via the hash
+  /// map vs the sort-based accumulator (successful executions only).
+  std::atomic<std::uint64_t> spgemm_rows_hash{0};
+  std::atomic<std::uint64_t> spgemm_rows_sort{0};
+  /// SpGEMM requests that fell back to the sequential sort-based
+  /// multiply after retries/failover were exhausted.
+  std::atomic<std::uint64_t> spgemm_degradations{0};
+
   /// fault::injected_fault exceptions observed by the recovery layers
   /// (shard failover, batch retry). Stall injections and faults that
   /// never reach a recovery site are counted by the FaultRegistry, not

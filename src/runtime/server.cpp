@@ -87,6 +87,15 @@ void Server::exec_sddmm(const core::ExecutionPlan& plan, const sparse::CsrMatrix
   }
 }
 
+void Server::exec_spgemm(const core::ExecutionPlan& plan, const sparse::CsrMatrix& a,
+                         const sparse::CsrMatrix& b, sparse::CsrMatrix& c) {
+  if (cfg_.executor) {
+    cfg_.executor->spgemm(pool_, plan, a, b, c, &metrics_, cfg_.spgemm);
+  } else {
+    parallel_spgemm(pool_, plan, a, b, c, &metrics_, cfg_.spgemm);
+  }
+}
+
 void Server::register_matrix(const std::string& name, sparse::CsrMatrix m) {
   auto reg = std::make_unique<Registered>();
   reg->fingerprint = core::matrix_fingerprint(m);
@@ -333,6 +342,88 @@ std::vector<value_t> Server::run_sddmm_request(Registered& e, const sparse::Dens
   std::vector<value_t> out;
   core::run_sddmm(*plan, e.matrix, x, y, out);
   return out;
+}
+
+sparse::CsrMatrix Server::run_spgemm_request(Registered& ea, Registered& eb) {
+  const int max_attempts = std::max(1, cfg_.retry.max_attempts);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (attempt > 0) {
+        metrics_.retries.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(retry_delay(cfg_.retry, attempt));
+      }
+      const PlanPtr plan = plan_cache_.get(ea.fingerprint, ea.matrix, cfg_.mode);
+      sparse::CsrMatrix c;
+      exec_spgemm(*plan, ea.matrix, eb.matrix, c);
+      metrics_.spgemm_batches.fetch_add(1, std::memory_order_relaxed);
+      return c;
+    } catch (const fault::injected_fault&) {
+      metrics_.faults_injected.fetch_add(1, std::memory_order_relaxed);
+      if (attempt + 1 >= max_attempts) {
+        if (!cfg_.retry.degrade_to_single_device) throw;
+        break;
+      }
+    } catch (const sparse::invalid_matrix&) {
+      throw;
+    } catch (...) {
+      if (attempt + 1 >= max_attempts) {
+        if (!cfg_.retry.degrade_to_single_device) throw;
+        break;
+      }
+    }
+  }
+
+  // Graceful degradation: sequential sort-based multiply with probes
+  // off, so an armed fault plan cannot re-fire inside the fallback. Same
+  // per-column accumulation order as every instrumented path — bitwise
+  // equal (see spgemm/accumulators.hpp).
+  metrics_.degradations.fetch_add(1, std::memory_order_relaxed);
+  metrics_.spgemm_degradations.fetch_add(1, std::memory_order_relaxed);
+  spgemm::SpgemmConfig degraded;
+  degraded.accumulator = spgemm::Accumulator::sort;
+  degraded.probes = false;
+  sparse::CsrMatrix c = spgemm::multiply(ea.matrix, eb.matrix, degraded);
+  metrics_.spgemm_batches.fetch_add(1, std::memory_order_relaxed);
+  return c;
+}
+
+std::future<sparse::CsrMatrix> Server::submit_spgemm(const std::string& a_name,
+                                                     const std::string& b_name) {
+  Registered& ea = entry(a_name);
+  Registered& eb = entry(b_name);
+  if (ea.matrix.cols() != eb.matrix.rows()) {
+    throw sparse::invalid_matrix("Server::submit_spgemm: A cols must equal B rows");
+  }
+
+  struct SpgemmRequest {
+    std::promise<sparse::CsrMatrix> result;
+    Clock::time_point t0;
+  };
+  auto req = std::make_shared<SpgemmRequest>();
+  req->t0 = Clock::now();
+  std::future<sparse::CsrMatrix> fut = req->result.get_future();
+
+  admit();
+  fault::hit_nothrow(fault::points::kServerSubmit);
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+
+  pool_.submit([this, &ea, &eb, req] {
+    try {
+      sparse::CsrMatrix c = run_spgemm_request(ea, eb);
+      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      metrics_.latency.record(seconds_since(req->t0));
+      req->result.set_value(std::move(c));
+    } catch (...) {
+      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      metrics_.latency.record(seconds_since(req->t0));
+      req->result.set_exception(std::current_exception());
+    }
+    finish_requests(1);
+  });
+  return fut;
 }
 
 std::future<std::vector<value_t>> Server::submit_sddmm(const std::string& name,

@@ -70,6 +70,10 @@ struct ServerConfig {
   /// panel-parallel path. dist::ShardedExecutor plugs in here.
   std::shared_ptr<Executor> executor;
   RetryPolicy retry;
+  /// SpGEMM accumulator policy for submit_spgemm requests. The choice
+  /// never affects result bits, only speed; the degraded path always
+  /// runs the sequential sort-based accumulator with probes off.
+  spgemm::SpgemmConfig spgemm;
   /// SIMD kernel selection for the built-in panel-parallel path; nullopt
   /// uses the process-wide simd::active_config() (RRSPMM_KERNEL_ISA /
   /// RRSPMM_KERNEL_FMA env knobs). A configured Executor owns its own
@@ -111,6 +115,16 @@ class Server {
   /// requests are executed singly (their two operands do not concatenate).
   std::future<std::vector<value_t>> submit_sddmm(const std::string& name, sparse::DenseMatrix x,
                                                  sparse::DenseMatrix y);
+
+  /// Enqueues an SpGEMM request between two registered matrices: the
+  /// future resolves to C = S_a * S_b in CSR, C in S_a's row order. The
+  /// plan (and so the paper's reordering) is built on the LEFT operand
+  /// and drives numeric-phase locality; results are bitwise-identical
+  /// across accumulator choice, thread count, shard strategy, and the
+  /// retry/degradation path. Executed singly, like SDDMM (sparse-output
+  /// products do not concatenate).
+  std::future<sparse::CsrMatrix> submit_spgemm(const std::string& a_name,
+                                               const std::string& b_name);
 
   /// Blocks until every submitted request has completed.
   void wait_idle();
@@ -162,6 +176,9 @@ class Server {
   /// SDDMM counterpart of run_spmm_batch (single request, no coalescing).
   std::vector<value_t> run_sddmm_request(Registered& e, const sparse::DenseMatrix& x,
                                          const sparse::DenseMatrix& y);
+  /// SpGEMM counterpart: retry with backoff, then degrade to the
+  /// sequential sort-based spgemm::multiply (probes off, bitwise-equal).
+  sparse::CsrMatrix run_spgemm_request(Registered& ea, Registered& eb);
   void finish_requests(std::size_t n);
   /// Gate every admission through: throws server_stopped after stop()
   /// has begun, otherwise counts the request as in flight. The check and
@@ -175,6 +192,8 @@ class Server {
   void exec_sddmm(const core::ExecutionPlan& plan, const sparse::CsrMatrix& m,
                   const sparse::DenseMatrix& x, const sparse::DenseMatrix& y,
                   std::vector<value_t>& out);
+  void exec_spgemm(const core::ExecutionPlan& plan, const sparse::CsrMatrix& a,
+                   const sparse::CsrMatrix& b, sparse::CsrMatrix& c);
 
   ServerConfig cfg_;
   Metrics metrics_;

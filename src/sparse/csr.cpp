@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "sparse/validate.hpp"
+
 namespace rrspmm::sparse {
 
 CsrMatrix::CsrMatrix(index_t rows, index_t cols, std::vector<offset_t> rowptr,
@@ -55,29 +57,7 @@ index_t CsrMatrix::max_row_nnz() const {
 }
 
 void CsrMatrix::validate() const {
-  if (rows_ < 0 || cols_ < 0) throw invalid_matrix("negative dimensions");
-  if (rowptr_.size() != static_cast<std::size_t>(rows_) + 1) {
-    throw invalid_matrix("rowptr size must be rows+1");
-  }
-  if (rowptr_.front() != 0) throw invalid_matrix("rowptr must start at 0");
-  if (rowptr_.back() != static_cast<offset_t>(colidx_.size())) {
-    throw invalid_matrix("rowptr must end at nnz");
-  }
-  if (colidx_.size() != values_.size()) throw invalid_matrix("colidx/values size mismatch");
-  for (index_t i = 0; i < rows_; ++i) {
-    const auto lo = rowptr_[static_cast<std::size_t>(i)];
-    const auto hi = rowptr_[static_cast<std::size_t>(i) + 1];
-    if (hi < lo) throw invalid_matrix("rowptr not monotone at row " + std::to_string(i));
-    for (offset_t j = lo; j < hi; ++j) {
-      const index_t c = colidx_[static_cast<std::size_t>(j)];
-      if (c < 0 || c >= cols_) {
-        throw invalid_matrix("column out of range at row " + std::to_string(i));
-      }
-      if (j > lo && colidx_[static_cast<std::size_t>(j) - 1] >= c) {
-        throw invalid_matrix("columns not strictly increasing at row " + std::to_string(i));
-      }
-    }
-  }
+  validate_csr(rows_, cols_, rowptr_, colidx_, values_);
 }
 
 std::vector<std::vector<value_t>> CsrMatrix::to_dense() const {

@@ -1,0 +1,32 @@
+// Shared CSR structural validation.
+//
+// One canonical checker for the invariants every CSR producer and
+// consumer in the library relies on: rowptr is monotone, starts at 0 and
+// ends at nnz; column indices are in range and strictly increasing
+// within each row; colidx and values agree in length. CsrMatrix::validate
+// delegates here, and the plan builder plus every whole-matrix kernel
+// entry point (SpMM, SDDMM, SpMV, SpGEMM) call validate_csr on their
+// sparse inputs — replacing the ad-hoc per-call-site checks that used to
+// guard only the shapes. Row-range kernels skip it (they sit inside
+// per-panel loops; their full-matrix callers have already validated).
+#pragma once
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace rrspmm::sparse {
+
+class CsrMatrix;
+
+/// Validates raw CSR arrays against (rows, cols). Throws invalid_matrix
+/// naming the first violated invariant; `what` prefixes the message so
+/// the failing entry point is identifiable from the exception alone.
+void validate_csr(index_t rows, index_t cols, const std::vector<offset_t>& rowptr,
+                  const std::vector<index_t>& colidx, const std::vector<value_t>& values,
+                  const char* what = "CSR");
+
+/// Convenience overload for an assembled matrix.
+void validate_csr(const CsrMatrix& m, const char* what = "CSR");
+
+}  // namespace rrspmm::sparse

@@ -1,0 +1,131 @@
+// Row accumulators for Gustavson SpGEMM.
+//
+// Both accumulators consume the contributions of one output row — the
+// products a_ij * b_jc emitted while walking A's row i in ascending-j
+// order and each B row j in ascending-c order — and emit the row's
+// distinct columns sorted ascending with their summed values.
+//
+// The determinism contract (what makes hash-vs-sort bitwise equality
+// hold): for a fixed output column c, both accumulators add the
+// contributions in exactly their arrival order. The hash accumulator
+// adds each product into the column's slot as it arrives; the sort
+// accumulator records (column, product) pairs and stable-sorts them by
+// column, which preserves arrival order within a column, then reduces
+// each run left to right. Same addends, same order, same float rounding
+// — identical bits. (The spgemm library is compiled with
+// -ffp-contract=off so the compiler cannot fuse a product into one
+// accumulator's addition but not the other's.)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace rrspmm::spgemm {
+
+/// Open-addressing hash map keyed by output column. O(1) amortised per
+/// contribution regardless of the row's upper bound; flush sorts only
+/// the distinct columns. The right choice for long, collision-heavy
+/// rows.
+class HashAccumulator {
+ public:
+  /// Prepares for a row with at most `upper_bound` contributions.
+  /// Buffers are reused across rows; only previously occupied slots are
+  /// cleared.
+  void reset(offset_t upper_bound) {
+    std::size_t cap = 16;
+    while (cap < static_cast<std::size_t>(upper_bound) * 2) cap <<= 1;
+    if (keys_.size() != cap) {
+      keys_.assign(cap, -1);
+      vals_.assign(cap, value_t{0});
+    } else {
+      for (const std::uint32_t s : used_) keys_[s] = -1;
+    }
+    used_.clear();
+    mask_ = static_cast<std::uint32_t>(cap - 1);
+  }
+
+  void add(index_t col, value_t v) {
+    std::uint32_t slot = (static_cast<std::uint32_t>(col) * 2654435769u) & mask_;
+    for (;;) {
+      if (keys_[slot] == col) {
+        vals_[slot] += v;
+        return;
+      }
+      if (keys_[slot] < 0) {
+        keys_[slot] = col;
+        vals_[slot] = v;
+        used_.push_back(slot);
+        return;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Writes the distinct columns (ascending) and their sums; returns the
+  /// count. The accumulator is left ready for the next reset().
+  offset_t flush(index_t* cols_out, value_t* vals_out) {
+    std::sort(used_.begin(), used_.end(),
+              [this](std::uint32_t a, std::uint32_t b) { return keys_[a] < keys_[b]; });
+    for (std::size_t i = 0; i < used_.size(); ++i) {
+      cols_out[i] = keys_[used_[i]];
+      vals_out[i] = vals_[used_[i]];
+    }
+    const offset_t n = static_cast<offset_t>(used_.size());
+    for (const std::uint32_t s : used_) keys_[s] = -1;
+    used_.clear();
+    return n;
+  }
+
+ private:
+  std::vector<index_t> keys_;         ///< -1 = empty slot
+  std::vector<value_t> vals_;
+  std::vector<std::uint32_t> used_;   ///< occupied slots, insertion order
+  std::uint32_t mask_ = 0;
+};
+
+/// Dense list of (column, product) pairs reduced after a stable sort.
+/// O(ub log ub) per row but with tiny constants and no hashing; the
+/// right choice for short rows, and the accumulator the degraded
+/// sequential path uses.
+class SortAccumulator {
+ public:
+  void reset(offset_t upper_bound) {
+    entries_.clear();
+    entries_.reserve(static_cast<std::size_t>(upper_bound));
+  }
+
+  void add(index_t col, value_t v) { entries_.emplace_back(col, v); }
+
+  offset_t flush(index_t* cols_out, value_t* vals_out) {
+    std::stable_sort(
+        entries_.begin(), entries_.end(),
+        [](const std::pair<index_t, value_t>& a, const std::pair<index_t, value_t>& b) {
+          return a.first < b.first;
+        });
+    offset_t n = 0;
+    std::size_t i = 0;
+    while (i < entries_.size()) {
+      const index_t c = entries_[i].first;
+      value_t acc = entries_[i].second;  // first contribution initialises,
+      ++i;                               // the rest add in arrival order
+      while (i < entries_.size() && entries_[i].first == c) {
+        acc += entries_[i].second;
+        ++i;
+      }
+      cols_out[n] = c;
+      vals_out[n] = acc;
+      ++n;
+    }
+    entries_.clear();
+    return n;
+  }
+
+ private:
+  std::vector<std::pair<index_t, value_t>> entries_;
+};
+
+}  // namespace rrspmm::spgemm

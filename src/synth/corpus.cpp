@@ -48,7 +48,7 @@ std::vector<CorpusEntry> build_corpus(const CorpusConfig& cfg) {
     const int variant = i / 10;  // grows matrices as the corpus grows
     const double grow = 1.0 + 0.2 * variant;
     const double s = cfg.scale * grow;
-    switch (i % 10) {
+    switch (i % 12) {
       case 0: {  // scattered clustered — the paper's motivating population
         ClusteredParams p;
         p.rows = scaled(s, 10240);
@@ -150,6 +150,36 @@ std::vector<CorpusEntry> build_corpus(const CorpusConfig& cfg) {
                           clustered_rows(p, seed)});
         break;
       }
+      case 10: {  // graph adjacency destined for squaring (A·A): square,
+                  // disjoint per-group column blocks, scattered row order
+                  // — the SpGEMM effectiveness family
+        ClusteredParams p;
+        p.rows = scaled(s, 10240);
+        p.cols = p.rows;
+        p.num_groups = static_cast<index_t>(48 + 16 * (variant % 4));
+        p.group_cols = static_cast<index_t>(p.cols / p.num_groups);
+        p.row_nnz = static_cast<index_t>(14 + 2 * (variant % 4));
+        p.noise_nnz = static_cast<index_t>(variant % 2);
+        p.scatter = true;
+        p.disjoint_pools = true;
+        corpus.push_back({"adj_square_" + two_digits(i), "adj_square",
+                          clustered_rows(p, seed)});
+        break;
+      }
+      case 11: {  // sampled GNN frontier: community blocks + global hubs.
+                  // Block width ~40-48 columns at fanout 16-22 keeps
+                  // intra-community Jaccard high enough for the LSH
+                  // rounds to recover the communities.
+        GnnFrontierParams p;
+        p.nodes = scaled(s, 12288);
+        p.communities = static_cast<index_t>(p.nodes / (40 + 4 * (variant % 3)));
+        p.fanout = static_cast<index_t>(16 + 2 * (variant % 4));
+        p.hub_cols = static_cast<index_t>(16 + 8 * (variant % 3));
+        p.hub_prob = 0.1 + 0.05 * (variant % 3);
+        corpus.push_back({"gnn_frontier_" + two_digits(i), "gnn_frontier",
+                          gnn_frontier(p, seed)});
+        break;
+      }
       default: break;
     }
     ++i;
@@ -181,6 +211,19 @@ std::vector<CorpusEntry> build_test_corpus() {
   corpus.push_back({"t_rmat", "rmat", rmat(9, 8192, 17)});
   corpus.push_back({"t_chung_lu", "chung_lu", chung_lu(512, 512, 12.0, 2.3, 18)});
   corpus.push_back({"t_diagonal", "diagonal", diagonal(512)});
+
+  ClusteredParams adj = scat;
+  adj.noise_nnz = 0;
+  adj.disjoint_pools = true;  // 16 groups * 32 cols == 512: exact blocks
+  corpus.push_back({"t_adj_square", "adj_square", clustered_rows(adj, 19)});
+
+  GnnFrontierParams gnn;
+  gnn.nodes = 512;
+  gnn.communities = 16;
+  gnn.fanout = 8;
+  gnn.hub_cols = 8;
+  gnn.hub_prob = 0.2;
+  corpus.push_back({"t_gnn_frontier", "gnn_frontier", gnn_frontier(gnn, 20)});
   return corpus;
 }
 

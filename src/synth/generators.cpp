@@ -172,6 +172,58 @@ CsrMatrix clustered_rows(const ClusteredParams& p, std::uint64_t seed) {
   return CsrMatrix::from_coo(coo);
 }
 
+CsrMatrix gnn_frontier(const GnnFrontierParams& p, std::uint64_t seed) {
+  Rng rng(seed);
+  if (p.nodes <= 0 || p.communities <= 0 || p.fanout <= 0) {
+    throw sparse::invalid_matrix("bad gnn_frontier params");
+  }
+  if (p.hub_cols < 0 || p.hub_cols >= p.nodes) {
+    throw sparse::invalid_matrix("gnn_frontier needs 0 <= hub_cols < nodes");
+  }
+
+  // Hubs occupy the first `hub_cols` columns; each community owns an
+  // equal contiguous block of the remainder.
+  const index_t block = std::max(index_t{1}, static_cast<index_t>((p.nodes - p.hub_cols) / p.communities));
+
+  // Community assignment: contiguous blocks scattered through the row
+  // order (same idiom as clustered_rows with scatter=true).
+  std::vector<index_t> community_of(static_cast<std::size_t>(p.nodes));
+  for (index_t i = 0; i < p.nodes; ++i) {
+    community_of[static_cast<std::size_t>(i)] =
+        static_cast<index_t>((static_cast<std::int64_t>(i) * p.communities) / p.nodes);
+  }
+  for (std::size_t i = community_of.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(community_of[i - 1], community_of[j]);
+  }
+
+  CooMatrix coo(p.nodes, p.nodes);
+  coo.reserve(static_cast<offset_t>(p.nodes) * p.fanout);
+  std::unordered_set<index_t> used;
+  for (index_t i = 0; i < p.nodes; ++i) {
+    const index_t base = static_cast<index_t>(
+        p.hub_cols + community_of[static_cast<std::size_t>(i)] * block);
+    used.clear();
+    index_t placed = 0;
+    // Cap the attempts so tiny blocks plus few hubs cannot spin forever.
+    const index_t attempts = static_cast<index_t>(8 * p.fanout + 64);
+    for (index_t t = 0; t < attempts && placed < p.fanout; ++t) {
+      index_t c;
+      if (p.hub_cols > 0 && rng.next_double() < p.hub_prob) {
+        c = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(p.hub_cols)));
+      } else {
+        c = static_cast<index_t>(base + rng.next_below(static_cast<std::uint64_t>(block)));
+      }
+      if (c >= p.nodes) c = static_cast<index_t>(p.nodes - 1);
+      if (used.insert(c).second) {
+        coo.add(i, c, rng.next_signed_float());
+        ++placed;
+      }
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
 CsrMatrix shuffle_rows(const CsrMatrix& m, std::uint64_t seed) {
   Rng rng(seed);
   std::vector<index_t> perm = sparse::identity_permutation(m.rows());

@@ -83,6 +83,24 @@ struct ClusteredParams {
 };
 CsrMatrix clustered_rows(const ClusteredParams& p, std::uint64_t seed);
 
+/// Sampled-GNN-frontier adjacency: a square nodes×nodes graph whose
+/// nodes belong to `communities`. Each node draws `fanout` neighbours,
+/// mostly from its own community's contiguous column block, but with
+/// probability `hub_prob` from a small set of `hub_cols` global hub
+/// columns — the popular nodes every sampled frontier touches. Node
+/// (row) order is scattered, so consecutive rows share nothing until a
+/// reorderer recovers the communities. Squaring such an adjacency
+/// (A·A, the two-hop frontier) is the SpGEMM workload whose B-row reuse
+/// the left-operand reordering concentrates.
+struct GnnFrontierParams {
+  index_t nodes = 4096;
+  index_t communities = 64;
+  index_t fanout = 12;
+  index_t hub_cols = 16;
+  double hub_prob = 0.15;
+};
+CsrMatrix gnn_frontier(const GnnFrontierParams& p, std::uint64_t seed);
+
 /// Random row permutation of an existing matrix — destroys consecutive-row
 /// locality while preserving the latent structure a reorderer can recover.
 CsrMatrix shuffle_rows(const CsrMatrix& m, std::uint64_t seed);

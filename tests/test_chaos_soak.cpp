@@ -20,6 +20,7 @@
 #include "dist/executor.hpp"
 #include "fault/fault.hpp"
 #include "runtime/runtime.hpp"
+#include "spgemm/spgemm.hpp"
 #include "synth/corpus.hpp"
 #include "test_util.hpp"
 
@@ -98,6 +99,21 @@ TEST(ChaosSoak, EveryServedRequestIsBitwiseEqualToTheFaultFreeReference) {
       core::run_spmm(plan, c.x, c.y_ref);
       spmm_cases.push_back(std::move(c));
     }
+    // SpGEMM traffic (A·A on the square corpus matrices): the chaos
+    // generator arms the spgemm.symbolic / spgemm.accumulate points, so
+    // these exercise the retry-then-degrade path alongside the sharded
+    // failover — and must stay bitwise-equal either way.
+    struct SpgemmCase {
+      const synth::CorpusEntry* entry;
+      sparse::CsrMatrix ref;
+    };
+    std::vector<SpgemmCase> spgemm_cases;
+    for (int i = 0; i < 6; ++i) {
+      const auto& e = i % 2 == 0 ? m0 : m1;
+      if (e.matrix.rows() != e.matrix.cols()) continue;
+      spgemm_cases.push_back({&e, spgemm::multiply(e.matrix, e.matrix)});
+    }
+
     std::vector<SddmmCase> sddmm_cases;
     for (int i = 0; i < 6; ++i) {
       const bool first = i % 2 == 0;
@@ -125,6 +141,10 @@ TEST(ChaosSoak, EveryServedRequestIsBitwiseEqualToTheFaultFreeReference) {
       for (const SddmmCase& c : sddmm_cases) {
         sddmm_futs.push_back(server.submit_sddmm(c.entry->name, c.x, c.y));
       }
+      std::vector<std::future<sparse::CsrMatrix>> spgemm_futs;
+      for (const SpgemmCase& c : spgemm_cases) {
+        spgemm_futs.push_back(server.submit_spgemm(c.entry->name, c.entry->name));
+      }
 
       for (std::size_t i = 0; i < spmm_futs.size(); ++i) {
         DenseMatrix y;
@@ -143,6 +163,14 @@ TEST(ChaosSoak, EveryServedRequestIsBitwiseEqualToTheFaultFreeReference) {
               << "chaos seed " << seed << " sddmm " << i << " nnz " << j;
         }
       }
+      for (std::size_t i = 0; i < spgemm_futs.size(); ++i) {
+        sparse::CsrMatrix c;
+        ASSERT_NO_THROW(c = spgemm_futs[i].get())
+            << "spgemm request " << i << " failed under chaos seed " << seed;
+        ASSERT_EQ(spgemm_cases[i].ref.rowptr(), c.rowptr()) << "seed " << seed << " spgemm " << i;
+        ASSERT_EQ(spgemm_cases[i].ref.colidx(), c.colidx()) << "seed " << seed << " spgemm " << i;
+        ASSERT_EQ(spgemm_cases[i].ref.values(), c.values()) << "seed " << seed << " spgemm " << i;
+      }
       server.stop();
 
       const runtime::Metrics& m = server.metrics();
@@ -151,7 +179,8 @@ TEST(ChaosSoak, EveryServedRequestIsBitwiseEqualToTheFaultFreeReference) {
       failovers = m.failovers.load();
       degradations = m.degradations.load();
       EXPECT_EQ(m.requests_failed.load(), 0u) << "seed " << seed;
-      EXPECT_EQ(m.requests_completed.load(), spmm_cases.size() + sddmm_cases.size())
+      EXPECT_EQ(m.requests_completed.load(),
+                spmm_cases.size() + sddmm_cases.size() + spgemm_cases.size())
           << "seed " << seed;
     }
 

@@ -1,0 +1,73 @@
+// Unit tests of the shared CSR validator every plan builder and
+// whole-matrix kernel entry point funnels through.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/validate.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using sparse::validate_csr;
+
+TEST(ValidateCsr, AcceptsWellFormedArrays) {
+  EXPECT_NO_THROW(validate_csr(2, 3, {0, 2, 3}, {0, 2, 1}, {1.0f, 2.0f, 3.0f}));
+  EXPECT_NO_THROW(validate_csr(0, 0, {0}, {}, {}));
+  EXPECT_NO_THROW(validate_csr(3, 4, {0, 0, 0, 0}, {}, {}));  // all rows empty
+}
+
+TEST(ValidateCsr, AcceptsAssembledMatrix) {
+  EXPECT_NO_THROW(validate_csr(test::alg3_matrix()));
+}
+
+TEST(ValidateCsr, RejectsBadRowptr) {
+  // Wrong length.
+  EXPECT_THROW(validate_csr(2, 3, {0, 1}, {0}, {1.0f}), invalid_matrix);
+  // Does not start at zero.
+  EXPECT_THROW(validate_csr(1, 3, {1, 1}, {}, {}), invalid_matrix);
+  // Does not end at nnz.
+  EXPECT_THROW(validate_csr(1, 3, {0, 2}, {0}, {1.0f}), invalid_matrix);
+  // Not monotone.
+  EXPECT_THROW(validate_csr(2, 3, {0, 2, 1}, {0}, {1.0f}), invalid_matrix);
+}
+
+TEST(ValidateCsr, RejectsBadColumns) {
+  // Out of range.
+  EXPECT_THROW(validate_csr(1, 3, {0, 1}, {3}, {1.0f}), invalid_matrix);
+  EXPECT_THROW(validate_csr(1, 3, {0, 1}, {-1}, {1.0f}), invalid_matrix);
+  // Not strictly increasing within a row (unsorted).
+  EXPECT_THROW(validate_csr(1, 3, {0, 2}, {2, 0}, {1.0f, 1.0f}), invalid_matrix);
+  // Duplicate column.
+  EXPECT_THROW(validate_csr(1, 3, {0, 2}, {1, 1}, {1.0f, 1.0f}), invalid_matrix);
+}
+
+TEST(ValidateCsr, RejectsColidxValuesMismatch) {
+  EXPECT_THROW(validate_csr(1, 3, {0, 1}, {0}, {}), invalid_matrix);
+  EXPECT_THROW(validate_csr(1, 3, {0, 1}, {0}, {1.0f, 2.0f}), invalid_matrix);
+}
+
+TEST(ValidateCsr, RejectsNegativeDimensions) {
+  EXPECT_THROW(validate_csr(-1, 3, {0}, {}, {}), invalid_matrix);
+  EXPECT_THROW(validate_csr(3, -1, {0, 0, 0, 0}, {}, {}), invalid_matrix);
+}
+
+TEST(ValidateCsr, MessageNamesTheCaller) {
+  try {
+    validate_csr(1, 3, {0, 1}, {3}, {1.0f}, "spgemm::multiply A");
+    FAIL() << "expected invalid_matrix";
+  } catch (const invalid_matrix& e) {
+    EXPECT_NE(std::string(e.what()).find("spgemm::multiply A"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ValidateCsr, CsrMatrixConstructionFunnelsThroughValidator) {
+  EXPECT_THROW(sparse::CsrMatrix(1, 3, {0, 2}, {1, 1}, {1.0f, 1.0f}), invalid_matrix);
+  EXPECT_NO_THROW(sparse::CsrMatrix(1, 3, {0, 2}, {0, 2}, {1.0f, 1.0f}));
+}
+
+}  // namespace
+}  // namespace rrspmm
