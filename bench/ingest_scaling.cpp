@@ -1,0 +1,195 @@
+// Out-of-core ingestion bench: MB/s of the chunked Matrix Market reader
+// into the budgeted streaming builder, swept over chunk sizes from 4 KiB
+// to whole-file, on matrices whose COO footprint is several times the
+// staging budget. Prints a fixed-width table plus PASS/FAIL checks and
+// writes BENCH_ingest.json.
+//
+// Checks (all host-independent, so nothing is gated on core count):
+//   * bitwise identity — at every chunk size the streamed CSR must equal
+//     the resident reader's result, and the .mtx -> .rrsb -> CSR round
+//     trip must too.
+//   * memory budget — peak_staging_bytes stays within the configured
+//     budget plus one entry of slack, on inputs >= 4x the budget, with
+//     no degraded (in-memory) runs.
+//
+//   RRSPMM_CORPUS_N — number of matrices (default 2, capped at 4)
+//   RRSPMM_SCALE    — linear multiplier on matrix rows (default 1)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/render.hpp"
+#include "io/mm_stream.hpp"
+#include "io/rrsb.hpp"
+#include "sparse/io_mm.hpp"
+#include "synth/corpus.hpp"
+#include "synth/generators.hpp"
+
+namespace rrspmm {
+namespace {
+
+// 4 KiB (forced-minimum window), page-ish, the default, whole-file.
+constexpr std::size_t kChunkBytes[] = {4096, 65536, 1u << 20, ~std::size_t{0} >> 1};
+constexpr std::size_t kBudget = 1u << 19;  // 512 KiB staging budget
+
+struct Subject {
+  std::string name;
+  std::string path;        ///< .mtx on disk
+  sparse::CsrMatrix resident;
+  std::uint64_t file_bytes = 0;
+};
+
+std::vector<Subject> build_subjects() {
+  const synth::CorpusConfig cc = synth::corpus_config_from_env();
+  int count = cc.count;
+  if (const char* env = std::getenv("RRSPMM_CORPUS_N"); env == nullptr) count = 2;
+  if (count > 4) count = 4;
+  if (count < 1) count = 1;
+
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  std::vector<Subject> subjects;
+  for (int i = 0; i < count; ++i) {
+    // ~720K entries at scale 1: COO footprint ~8.6 MB, 16x the budget.
+    const auto rows = static_cast<index_t>(static_cast<double>(24000 + 8000 * i) * cc.scale);
+    const offset_t nnz = static_cast<offset_t>(rows) * 30;
+    Subject s;
+    s.name = "er_" + std::to_string(i);
+    s.path = dir + "/rrspmm_bench_ingest_" + std::to_string(i) + ".mtx";
+    sparse::write_matrix_market(
+        synth::erdos_renyi(rows, rows / 2, nnz, cc.seed + static_cast<std::uint64_t>(i)), s.path);
+    s.file_bytes = std::filesystem::file_size(s.path);
+    // The identity baseline is the resident reader on the same file —
+    // the text round trip itself is lossy at the last float digit.
+    s.resident = sparse::read_matrix_market(s.path);
+    subjects.push_back(std::move(s));
+  }
+  return subjects;
+}
+
+struct Point {
+  std::string matrix;
+  std::size_t chunk_bytes = 0;
+  double wall_ms = 0.0;
+  double mb_per_s = 0.0;
+  int spilled_runs = 0;
+  std::size_t peak_bytes = 0;
+  bool identical = true;
+  bool within_budget = true;
+};
+
+std::string to_json(const std::vector<Point>& points) {
+  std::ostringstream js;
+  js << "{\"bench\":\"ingest_scaling\",\"budget_bytes\":" << kBudget << ",\"results\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    if (i) js << ',';
+    js << "{\"matrix\":\"" << p.matrix << "\",\"chunk_bytes\":" << p.chunk_bytes
+       << ",\"wall_ms\":" << p.wall_ms << ",\"mb_per_s\":" << p.mb_per_s
+       << ",\"spilled_runs\":" << p.spilled_runs << ",\"peak_bytes\":" << p.peak_bytes
+       << ",\"identical\":" << (p.identical ? "true" : "false")
+       << ",\"within_budget\":" << (p.within_budget ? "true" : "false") << "}";
+  }
+  js << "]}";
+  return js.str();
+}
+
+}  // namespace
+}  // namespace rrspmm
+
+int main() {
+  using namespace rrspmm;
+  using Clock = std::chrono::steady_clock;
+
+  const auto subjects = build_subjects();
+  std::printf("== ingest scaling: %zu matrices, %zu KiB staging budget ==\n", subjects.size(),
+              kBudget / 1024);
+
+  int failures = 0;
+  std::vector<Point> points;
+  for (const Subject& s : subjects) {
+    for (const std::size_t chunk : kChunkBytes) {
+      // The bench measures the full out-of-core pipeline: chunked parse
+      // into the budgeted builder, spill runs on disk, k-way merge out.
+      io::StreamingBuildConfig cfg;
+      cfg.budget_bytes = kBudget;
+      io::MmChunkReader reader(s.path, chunk);
+      io::StreamingCsrBuilder builder(reader.header().rows, reader.header().cols, cfg);
+      const auto t0 = Clock::now();
+      std::vector<sparse::CooEntry> batch;
+      while (reader.next_chunk(batch)) builder.add_entries(batch);
+      const int spilled = builder.spilled_runs();
+      const std::size_t peak = builder.peak_staging_bytes();
+      const int degraded = builder.degraded_runs();
+      const sparse::CsrMatrix streamed = builder.finish();
+      const double ms =
+          std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(Clock::now() - t0)
+              .count();
+
+      Point p;
+      p.matrix = s.name;
+      p.chunk_bytes = chunk;
+      p.wall_ms = ms;
+      p.mb_per_s = ms > 0.0 ? static_cast<double>(s.file_bytes) / 1048576.0 / (ms / 1000.0) : 0.0;
+      p.spilled_runs = spilled;
+      p.peak_bytes = peak;
+      p.identical = streamed == s.resident;
+      p.within_budget = peak <= kBudget + sizeof(sparse::CooEntry) && degraded == 0;
+      if (!p.identical) {
+        ++failures;
+        std::printf("FAIL: %s chunk=%zu streamed CSR differs from resident reader\n",
+                    s.name.c_str(), chunk);
+      }
+      if (!p.within_budget) {
+        ++failures;
+        std::printf("FAIL: %s chunk=%zu peak staging %zu bytes exceeds budget %zu (+slack)\n",
+                    s.name.c_str(), chunk, peak, kBudget);
+      }
+      points.push_back(std::move(p));
+    }
+
+    // End-to-end .mtx -> .rrsb -> CSR identity at the default chunking.
+    const std::string shard_path = s.path + ".rrsb";
+    io::StreamingBuildConfig cfg;
+    cfg.budget_bytes = kBudget;
+    io::ingest_to_rrsb(s.path, shard_path, cfg);
+    const io::RrsbReader shard(shard_path);
+    const bool ok = shard.read_range(0, shard.rows()) == s.resident;
+    if (!ok) ++failures;
+    std::printf("%s: %s .mtx -> .rrsb -> CSR round trip identical\n", ok ? "PASS" : "FAIL",
+                s.name.c_str());
+    std::remove(shard_path.c_str());
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Point& p : points) {
+    rows.push_back({p.matrix,
+                    p.chunk_bytes > (1u << 20) ? "whole" : std::to_string(p.chunk_bytes / 1024),
+                    harness::fmt(p.wall_ms, 2), harness::fmt(p.mb_per_s, 1),
+                    std::to_string(p.spilled_runs), std::to_string(p.peak_bytes / 1024),
+                    p.identical ? "yes" : "NO", p.within_budget ? "yes" : "NO"});
+  }
+  std::printf("%s\n",
+              harness::render_table({"matrix", "chunk_KiB", "wall_ms", "MB_per_s", "spills",
+                                     "peak_KiB", "identical", "in_budget"},
+                                    rows)
+                  .c_str());
+
+  const std::string json = to_json(points);
+  std::ofstream out("BENCH_ingest.json", std::ios::trunc);
+  out << json << '\n';
+  std::printf("wrote BENCH_ingest.json\n");
+
+  for (const Subject& s : subjects) std::remove(s.path.c_str());
+
+  if (failures > 0) {
+    std::printf("%d ingest check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("all ingest checks passed\n");
+  return 0;
+}

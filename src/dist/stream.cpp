@@ -1,0 +1,95 @@
+#include "dist/stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "kernels/spmm.hpp"
+#include "runtime/worker_pool.hpp"
+
+namespace rrspmm::dist {
+
+using sparse::DenseMatrix;
+using sparse::invalid_matrix;
+
+core::ShardPlan plan_stream_rows(const io::RrsbReader& shard, int num_devices) {
+  if (num_devices <= 0) throw invalid_matrix("plan_stream_rows: num_devices must be positive");
+  core::ShardPlan plan;
+  plan.mode = core::ShardMode::row;
+  plan.strategy = core::ShardStrategy::nnz_balanced;
+  plan.num_devices = num_devices;
+  plan.rows = shard.rows();
+  plan.cols = shard.cols();
+  plan.row_shards.resize(static_cast<std::size_t>(num_devices));
+
+  // Greedy sweep over block boundaries: device d's shard ends at the
+  // first boundary whose cumulative nnz reaches the ideal cumulative
+  // share (d+1)/num_devices, leaving the remaining blocks to later
+  // devices. Pure function of the index, so the plan is deterministic.
+  const offset_t total = shard.nnz();
+  index_t block = 0;
+  index_t row_begin = 0;
+  for (int d = 0; d < num_devices; ++d) {
+    const offset_t target = total <= 0 ? 0 : (total * (d + 1)) / num_devices;
+    if (d + 1 == num_devices) {
+      block = shard.num_blocks();
+    } else {
+      while (block < shard.num_blocks() &&
+             (block + 1 < shard.num_blocks() ? shard.nnz_before(block + 1) : total) < target) {
+        ++block;
+      }
+      if (block < shard.num_blocks()) ++block;  // include the crossing block
+    }
+    const index_t row_end = block >= shard.num_blocks() ? shard.rows() : shard.block_begin(block);
+    auto& s = plan.row_shards[static_cast<std::size_t>(d)];
+    s.row_begin = row_begin;
+    s.row_end = row_end;
+    const offset_t lo = row_begin >= shard.rows() || shard.num_blocks() == 0
+                            ? total
+                            : shard.nnz_before(row_begin / shard.block_rows());
+    const offset_t hi =
+        row_end >= shard.rows() || shard.num_blocks() == 0
+            ? total
+            : shard.nnz_before(row_end / shard.block_rows());
+    s.nnz = hi - lo;
+    row_begin = row_end;
+  }
+  plan.validate();
+  return plan;
+}
+
+void sharded_spmm_stream(const io::RrsbReader& shard, const DenseMatrix& x, DenseMatrix& y,
+                         const core::ShardPlan& plan, runtime::WorkerPool* pool) {
+  if (plan.mode != core::ShardMode::row) {
+    throw invalid_matrix("sharded_spmm_stream requires a row-mode plan");
+  }
+  if (plan.rows != shard.rows() || plan.cols != shard.cols()) {
+    throw invalid_matrix("shard plan dimensions disagree with the shard file");
+  }
+  if (x.rows() != shard.cols() || y.rows() != shard.rows() || y.cols() != x.cols()) {
+    throw invalid_matrix("sharded_spmm_stream operand shape mismatch");
+  }
+
+  // One shard = one unit of work: slice, multiply into a local Y, then
+  // scatter the rows. The row-range kernel accumulates per row exactly
+  // like the full kernel, and the scatter is a byte copy, so any shard
+  // partition (and any worker interleaving) produces identical Y bits.
+  const auto run_shard = [&](const core::RowShard& s) {
+    if (s.rows() <= 0) return;
+    const sparse::CsrMatrix slice = shard.read_range(s.row_begin, s.row_end);
+    DenseMatrix y_local(slice.rows(), x.cols());
+    kernels::spmm_rowwise(slice, x, y_local, 0, slice.rows());
+    for (index_t r = 0; r < slice.rows(); ++r) {
+      std::memcpy(y.row(s.row_begin + r).data(), y_local.row(r).data(),
+                  static_cast<std::size_t>(x.cols()) * sizeof(value_t));
+    }
+  };
+
+  if (pool != nullptr && pool->size() > 1 && plan.row_shards.size() > 1) {
+    pool->parallel_for(plan.row_shards.size(),
+                       [&](std::size_t i) { run_shard(plan.row_shards[i]); });
+  } else {
+    for (const core::RowShard& s : plan.row_shards) run_shard(s);
+  }
+}
+
+}  // namespace rrspmm::dist

@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <string>
 
+#include <cstdlib>
+
+#include "harness/corpus_dir.hpp"
 #include "kernels/simd/dispatch.hpp"
 #include "runtime/worker_pool.hpp"
 
@@ -116,6 +119,17 @@ std::vector<MatrixRecord> run_experiment(const std::vector<synth::CorpusEntry>& 
 }
 
 std::vector<MatrixRecord> run_default_experiment(const ExperimentConfig& cfg) {
+  // RRSPMM_CORPUS_DIR swaps the synthetic corpus for real matrices
+  // (.mtx streamed in under the io budget, .rrsb sliced); everything
+  // downstream of the corpus is unchanged.
+  if (const char* dir = std::getenv("RRSPMM_CORPUS_DIR"); dir != nullptr && dir[0] != '\0') {
+    const std::vector<synth::CorpusEntry> corpus = load_corpus_dir(dir);
+    if (cfg.verbose) {
+      std::fprintf(stderr, "corpus: %zu external matrices from %s\n", corpus.size(), dir);
+    }
+    return run_experiment(corpus, cfg);
+  }
+
   const synth::CorpusConfig ccfg = synth::corpus_config_from_env();
   if (cfg.verbose) {
     std::fprintf(stderr, "corpus: %d matrices, scale %.2f, seed %llu\n", ccfg.count, ccfg.scale,

@@ -1,0 +1,88 @@
+#include "io/byte_reader.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "fault/fault.hpp"
+#include "sparse/types.hpp"
+
+namespace rrspmm::io {
+
+using sparse::io_error;
+
+ByteReader::ByteReader(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) throw io_error("cannot open " + path + ": " + std::strerror(errno));
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw io_error("cannot stat " + path + ": " + std::strerror(err));
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+  if (size_ > 0) {
+    void* m = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+    if (m != MAP_FAILED) {
+      map_ = static_cast<const std::byte*>(m);
+    } else {
+      buffered_.store(true, std::memory_order_relaxed);
+    }
+  } else {
+    buffered_.store(true, std::memory_order_relaxed);
+  }
+}
+
+ByteReader::~ByteReader() {
+  if (map_ != nullptr) ::munmap(const_cast<std::byte*>(map_), size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ByteReader::read_raw(std::uint64_t off, void* dst, std::size_t n) const {
+  if (map_ != nullptr && !buffered_.load(std::memory_order_relaxed)) {
+    std::memcpy(dst, map_ + off, n);
+    return;
+  }
+  char* out = static_cast<char*>(dst);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::pread(fd_, out + done, n - done, static_cast<off_t>(off + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw io_error("read failed on " + path_ + ": " + std::strerror(errno));
+    }
+    if (got == 0) throw io_error("unexpected EOF reading " + path_);
+    done += static_cast<std::size_t>(got);
+  }
+}
+
+void ByteReader::read_at(std::uint64_t off, void* dst, std::size_t n) const {
+  if (off + n > size_ || off + n < off) {
+    throw io_error("read past end of " + path_ + " (offset " + std::to_string(off) + " + " +
+                   std::to_string(n) + " > " + std::to_string(size_) + ")");
+  }
+  if (n == 0) return;
+  for (int failures = 0;;) {
+    try {
+      fault::hit(fault::points::kIoRead);
+      read_raw(off, dst, n);
+      return;
+    } catch (const fault::injected_fault&) {
+      // First failure drops the mmap fast path for good; up to two
+      // retries total, then the failure is surfaced as a plain io_error
+      // so callers need no knowledge of the fault framework.
+      buffered_.store(true, std::memory_order_relaxed);
+      if (++failures >= 3) {
+        throw io_error("injected read failure persisted on " + path_ + " at offset " +
+                       std::to_string(off));
+      }
+    }
+  }
+}
+
+}  // namespace rrspmm::io

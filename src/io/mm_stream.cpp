@@ -1,0 +1,171 @@
+#include "io/mm_stream.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <sstream>
+
+namespace rrspmm::io {
+
+using sparse::CooEntry;
+using sparse::io_error;
+
+namespace {
+
+/// A numeric token is never longer than this; when fewer bytes remain
+/// in the window and the file has more, the window slides first so
+/// tokens are never split across a refill.
+constexpr std::size_t kTokenSlack = 64;
+
+}  // namespace
+
+MmChunkReader::MmChunkReader(const std::string& path, std::size_t chunk_bytes)
+    : bytes_(path), chunk_bytes_(std::max<std::size_t>(chunk_bytes, 2 * kTokenSlack)) {
+  window_.resize(std::clamp<std::size_t>(chunk_bytes_, 4096, 256u << 10));
+
+  // Header: banner line, comment lines, size line — line-oriented, with
+  // the same acceptance rules as the resident reader.
+  std::string line;
+  const auto read_line = [&](std::string& out) {
+    out.clear();
+    for (;;) {
+      while (wpos_ < wlen_) {
+        const char ch = window_[wpos_++];
+        if (ch == '\n') return true;
+        out.push_back(ch);
+      }
+      if (fpos_ >= bytes_.size()) return !out.empty();
+      refill();
+    }
+  };
+  const auto strip_cr = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+
+  if (!read_line(line)) throw io_error("empty Matrix Market stream");
+  strip_cr(line);
+  const sparse::MmBanner banner = sparse::parse_mm_banner(line);
+
+  bool have_size = false;
+  while (read_line(line)) {
+    strip_cr(line);
+    if (!line.empty() && line[0] != '%') {
+      have_size = true;
+      break;
+    }
+  }
+  if (!have_size) throw io_error("missing Matrix Market size line");
+  std::istringstream ss(line);
+  std::int64_t rows = 0, cols = 0, nnz = 0;
+  if (!(ss >> rows >> cols >> nnz)) throw io_error("malformed size line: " + line);
+  sparse::check_mm_sizes(rows, cols, nnz);
+
+  hdr_.rows = static_cast<index_t>(rows);
+  hdr_.cols = static_cast<index_t>(cols);
+  hdr_.declared_entries = nnz;
+  hdr_.pattern = banner.pattern;
+  hdr_.symmetric = banner.symmetric;
+}
+
+bool MmChunkReader::refill() {
+  const std::size_t rem = wlen_ - wpos_;
+  if (rem > 0) std::memmove(window_.data(), window_.data() + wpos_, rem);
+  wpos_ = 0;
+  wlen_ = rem;
+  const std::size_t want =
+      std::min<std::uint64_t>(window_.size() - wlen_, bytes_.size() - fpos_);
+  if (want == 0) return false;
+  bytes_.read_at(fpos_, window_.data() + wlen_, want);
+  wlen_ += want;
+  fpos_ += want;
+  return true;
+}
+
+void MmChunkReader::skip_ws() {
+  for (;;) {
+    while (wpos_ < wlen_ && std::isspace(static_cast<unsigned char>(window_[wpos_]))) ++wpos_;
+    if (wpos_ < wlen_ || fpos_ >= bytes_.size()) return;
+    refill();
+  }
+}
+
+std::int64_t MmChunkReader::parse_int(const char* what) {
+  skip_ws();
+  if (wlen_ - wpos_ < kTokenSlack && fpos_ < bytes_.size()) refill();
+  std::int64_t v = 0;
+  const auto [p, ec] = std::from_chars(window_.data() + wpos_, window_.data() + wlen_, v);
+  if (ec != std::errc{}) throw io_error(what);
+  wpos_ = static_cast<std::size_t>(p - window_.data());
+  return v;
+}
+
+double MmChunkReader::parse_value() {
+  skip_ws();
+  if (wlen_ - wpos_ < kTokenSlack && fpos_ < bytes_.size()) refill();
+  double v = 0.0;
+  const auto [p, ec] = std::from_chars(window_.data() + wpos_, window_.data() + wlen_, v);
+  if (ec != std::errc{}) throw io_error("malformed value");
+  wpos_ = static_cast<std::size_t>(p - window_.data());
+  return v;
+}
+
+bool MmChunkReader::next_chunk(std::vector<CooEntry>& out) {
+  out.clear();
+  if (parsed_ >= hdr_.declared_entries) return false;
+
+  const std::uint64_t start = fpos_ - (wlen_ - wpos_);
+  while (parsed_ < hdr_.declared_entries) {
+    const std::string at = "at entry " + std::to_string(parsed_ + 1) + " of " +
+                           std::to_string(hdr_.declared_entries);
+    const std::int64_t r = parse_int(("malformed or truncated entry list " + at).c_str());
+    const std::int64_t c = parse_int(("malformed or truncated entry list " + at).c_str());
+    double v = 1.0;
+    if (!hdr_.pattern) {
+      try {
+        v = parse_value();
+      } catch (const io_error&) {
+        throw io_error("malformed or truncated value " + at);
+      }
+    }
+    if (r < 1 || r > hdr_.rows || c < 1 || c > hdr_.cols) {
+      throw io_error("entry " + std::to_string(parsed_ + 1) + ": index (" + std::to_string(r) +
+                     ", " + std::to_string(c) + ") out of range for " + std::to_string(hdr_.rows) +
+                     " x " + std::to_string(hdr_.cols));
+    }
+    const auto ri = static_cast<index_t>(r - 1);
+    const auto ci = static_cast<index_t>(c - 1);
+    out.push_back(CooEntry{ri, ci, static_cast<value_t>(v)});
+    ++emitted_;
+    if (hdr_.symmetric && ri != ci) {
+      out.push_back(CooEntry{ci, ri, static_cast<value_t>(v)});
+      ++emitted_;
+    }
+    ++parsed_;
+    const std::uint64_t consumed = fpos_ - (wlen_ - wpos_) - start;
+    if (consumed >= chunk_bytes_) break;
+  }
+  return !out.empty();
+}
+
+sparse::CsrMatrix read_matrix_market_streamed(const std::string& path,
+                                              const StreamingBuildConfig& cfg,
+                                              std::size_t chunk_bytes) {
+  MmChunkReader reader(path, chunk_bytes);
+  StreamingCsrBuilder builder(reader.header().rows, reader.header().cols, cfg);
+  std::vector<CooEntry> chunk;
+  while (reader.next_chunk(chunk)) builder.add_entries(chunk);
+  return builder.finish();
+}
+
+void ingest_to_rrsb(const std::string& mm_path, const std::string& rrsb_path,
+                    const StreamingBuildConfig& cfg, index_t block_rows,
+                    std::size_t chunk_bytes) {
+  MmChunkReader reader(mm_path, chunk_bytes);
+  StreamingCsrBuilder builder(reader.header().rows, reader.header().cols, cfg);
+  std::vector<CooEntry> chunk;
+  while (reader.next_chunk(chunk)) builder.add_entries(chunk);
+  builder.finish_to_rrsb(rrsb_path, block_rows);
+}
+
+}  // namespace rrspmm::io

@@ -1,0 +1,94 @@
+// Chunked Matrix Market reader — the acquisition half of the
+// out-of-core ingestion path.
+//
+// Parses the same dialect as sparse/io_mm (`matrix coordinate
+// (real|integer|pattern) (general|symmetric)`, via the shared banner
+// parser) but never holds more than a bounded window of the file:
+// next_chunk() emits batches of COO entries in file order, with
+// symmetric expansion applied inline (each off-diagonal entry is
+// immediately followed by its mirror — the exact arrival order the
+// resident reader produces, so feeding the chunks to
+// StreamingCsrBuilder yields a bit-identical CSR at any chunk size).
+//
+// Reads go through ByteReader: mmap fast path, io.read fault probe,
+// degrade to buffered pread. Numbers are parsed with std::from_chars,
+// which rounds identically to the istream extraction the resident
+// reader uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/byte_reader.hpp"
+#include "io/streaming_builder.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/io_mm.hpp"
+
+namespace rrspmm::io {
+
+struct MmStreamHeader {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::int64_t declared_entries = 0;  ///< size-line count, pre-expansion
+  bool pattern = false;
+  bool symmetric = false;
+};
+
+class MmChunkReader {
+ public:
+  /// Opens and parses the banner, comments and size line (with the same
+  /// hardening as the resident reader: typed io_error for malformed or
+  /// truncated headers, negative or overflowing sizes). `chunk_bytes`
+  /// bounds how much of the entry section one next_chunk call consumes;
+  /// it is clamped up so a chunk always holds at least one entry.
+  explicit MmChunkReader(const std::string& path, std::size_t chunk_bytes = 1u << 20);
+
+  const MmStreamHeader& header() const { return hdr_; }
+
+  /// Clears `out` and fills it with the next batch of entries
+  /// (0-based, symmetric-expanded, file order). Returns false — with
+  /// `out` empty — once every declared entry has been emitted. Throws
+  /// io_error on a truncated or malformed entry list, or indices
+  /// outside the declared dimensions (reported with their 1-based
+  /// entry ordinal).
+  bool next_chunk(std::vector<sparse::CooEntry>& out);
+
+  /// Entries emitted so far, post-expansion.
+  std::int64_t entries_emitted() const { return emitted_; }
+  /// True once reads degraded from mmap to buffered.
+  bool buffered() const { return bytes_.buffered(); }
+
+ private:
+  bool refill();  ///< slides the window; false when the file is drained
+  void skip_ws();
+  std::int64_t parse_int(const char* what);
+  double parse_value();
+
+  ByteReader bytes_;
+  MmStreamHeader hdr_;
+  std::size_t chunk_bytes_;
+  std::vector<char> window_;
+  std::size_t wpos_ = 0;   ///< cursor into window_
+  std::size_t wlen_ = 0;   ///< valid bytes in window_
+  std::uint64_t fpos_ = 0; ///< file offset of window_[wlen_]
+  std::int64_t parsed_ = 0;   ///< entries parsed, pre-expansion
+  std::int64_t emitted_ = 0;  ///< entries emitted, post-expansion
+};
+
+/// End-to-end streaming ingest: chunked parse into a budgeted builder,
+/// returning the resident CSR. Bit-identical to
+/// sparse::read_matrix_market for any chunk size and budget.
+sparse::CsrMatrix read_matrix_market_streamed(const std::string& path,
+                                              const StreamingBuildConfig& cfg = {},
+                                              std::size_t chunk_bytes = 1u << 20);
+
+/// Out-of-core ingest: .mtx to .rrsb without ever holding the matrix
+/// resident (peak memory is the builder budget plus one output block).
+void ingest_to_rrsb(const std::string& mm_path, const std::string& rrsb_path,
+                    const StreamingBuildConfig& cfg = {},
+                    index_t block_rows = kDefaultBlockRows, std::size_t chunk_bytes = 1u << 20);
+
+}  // namespace rrspmm::io

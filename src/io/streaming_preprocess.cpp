@@ -1,0 +1,128 @@
+#include "io/streaming_preprocess.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "fault/fault.hpp"
+#include "runtime/worker_pool.hpp"
+#include "sparse/stats.hpp"
+
+namespace rrspmm::io {
+
+using sparse::CsrMatrix;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// The LSH stage of one streaming round: chunk-fed signatures and
+/// liveness, mask banding, RowSource-backed exact scoring. Identical
+/// output to lsh::find_candidate_pairs on the resident matrix.
+std::vector<lsh::CandidatePair> streaming_candidates(const RrsbReader& shard,
+                                                     const lsh::LshConfig& cfg,
+                                                     runtime::WorkerPool* pool,
+                                                     lsh::PhaseTimings* timings) {
+  auto t0 = Clock::now();
+  lsh::SignatureMatrix sig(shard.rows(), cfg.siglen);
+  std::vector<std::uint8_t> live(static_cast<std::size_t>(shard.rows()), 0);
+  for (index_t b = 0; b < shard.num_blocks(); ++b) {
+    const index_t lo = shard.block_begin(b);
+    const CsrMatrix slice = shard.read_range(lo, shard.block_end(b));
+    if (cfg.scheme == lsh::MinHashScheme::kOnePermutation) {
+      lsh::compute_signatures_oph_into(slice, lo, cfg.seed, sig, pool);
+    } else {
+      lsh::compute_signatures_into(slice, lo, cfg.seed, sig, pool);
+    }
+    for (index_t i = 0; i < slice.rows(); ++i) {
+      live[static_cast<std::size_t>(lo + i)] = slice.row_nnz(i) > 0 ? 1 : 0;
+    }
+  }
+  if (timings) timings->sig_ms = ms_since(t0);
+
+  t0 = Clock::now();
+  const std::vector<std::uint64_t> keys = lsh::band_pair_keys(sig, live, cfg, pool);
+  if (timings) timings->band_ms = ms_since(t0);
+
+  // Exact verification. Chunks write disjoint slices of a preallocated
+  // output (bitwise equal to the sequential fill); each chunk builds
+  // its own RrsbRowSource, since the two-block cache is stateful — the
+  // underlying reader is shared and safe for concurrent slicing.
+  t0 = Clock::now();
+  std::vector<lsh::CandidatePair> out(keys.size());
+  const auto score_range = [&](sparse::RowSource& rows, std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const auto a = static_cast<index_t>(keys[idx] >> 32);
+      const auto b = static_cast<index_t>(keys[idx] & 0xFFFFFFFFULL);
+      out[idx] = lsh::CandidatePair{a, b, sparse::jaccard(rows.row_cols(a), rows.row_cols(b))};
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && keys.size() >= 1024) {
+    constexpr std::size_t kChunk = 512;
+    const std::size_t nchunks = (keys.size() + kChunk - 1) / kChunk;
+    pool->parallel_for(nchunks, [&](std::size_t c) {
+      fault::hit(fault::points::kPreprocScore);
+      RrsbRowSource rows(shard);
+      score_range(rows, c * kChunk, std::min((c + 1) * kChunk, keys.size()));
+    });
+  } else {
+    RrsbRowSource rows(shard);
+    score_range(rows, 0, keys.size());
+  }
+  std::erase_if(out,
+                [&](const lsh::CandidatePair& p) { return p.similarity < cfg.min_similarity; });
+  if (timings) timings->score_ms = ms_since(t0);
+  return out;
+}
+
+core::ReorderResult run_streaming_round(const RrsbReader& shard, const core::ReorderConfig& cfg,
+                                        runtime::WorkerPool* pool) {
+  core::ReorderResult out;
+  std::vector<lsh::CandidatePair> pairs;
+  if (pool != nullptr) {
+    try {
+      pairs = streaming_candidates(shard, cfg.lsh, pool, &out.timings);
+    } catch (const std::exception&) {
+      // Same degradation contract as the resident engine: any failure
+      // in the pooled phases redoes the round sequentially, which is
+      // bitwise identical and carries no parallel-phase probes.
+      out.timings = {};
+      out.degraded_to_sequential = true;
+      pairs = streaming_candidates(shard, cfg.lsh, nullptr, &out.timings);
+    }
+  } else {
+    pairs = streaming_candidates(shard, cfg.lsh, nullptr, &out.timings);
+  }
+
+  const auto t0 = Clock::now();
+  RrsbRowSource rows(shard);
+  const cluster::ClusterResult cl = cluster::cluster_reorder(rows, pairs, cfg.cluster);
+  out.timings.merge_ms = ms_since(t0);
+  out.order = cl.order;
+  out.candidate_pairs = pairs.size();
+  out.clusters = cl.num_clusters;
+  out.merges = cl.merges;
+  return out;
+}
+
+}  // namespace
+
+core::ReorderResult streaming_reorder_rows(const RrsbReader& shard, const core::ReorderConfig& cfg,
+                                           runtime::WorkerPool* pool) {
+  return run_streaming_round(shard, cfg, pool != nullptr && pool->size() > 1 ? pool : nullptr);
+}
+
+core::ReorderResult streaming_reorder_rows(const RrsbReader& shard,
+                                           const core::ReorderConfig& cfg) {
+  const int threads =
+      cfg.threads > 0 ? cfg.threads : static_cast<int>(runtime::WorkerPool::default_threads());
+  if (threads <= 1) return run_streaming_round(shard, cfg, nullptr);
+  runtime::WorkerPool pool(static_cast<unsigned>(threads));
+  return run_streaming_round(shard, cfg, &pool);
+}
+
+}  // namespace rrspmm::io

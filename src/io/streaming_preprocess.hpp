@@ -1,0 +1,43 @@
+// Out-of-core row-reordering preprocessing: the paper's LSH + Alg 3
+// pipeline fed block-at-a-time from a .rrsb shard file, producing a
+// ReorderResult bitwise identical to core::reorder_rows on the resident
+// matrix.
+//
+// Decomposition by what each stage actually needs:
+//   * signatures — per-row independent, so each block slice feeds
+//     lsh::compute_signatures_into at its row offset; only the
+//     signature matrix (rows x siglen u32) stays resident.
+//   * banding — needs the signatures plus a per-row liveness mask,
+//     which the signature pass collects; the matrix is not touched
+//     (lsh::band_pair_keys mask overload).
+//   * exact scoring and Alg 3 re-keying — pairwise row access, served
+//     by RrsbRowSource's two-block cache over the shard file.
+// At no point is the whole matrix resident.
+//
+// Parallelism degrades exactly like the resident engine: a failure in
+// the pooled phases (injected fault, worker death) rethrows into the
+// caller, which recomputes sequentially — bit-identical — and sets
+// degraded_to_sequential.
+#pragma once
+
+#include "core/reorder_engine.hpp"
+#include "io/rrsb.hpp"
+
+namespace rrspmm::runtime {
+class WorkerPool;
+}
+
+namespace rrspmm::io {
+
+/// Streaming counterpart of core::reorder_rows(m, cfg): resolves
+/// cfg.threads (0 = RRSPMM_THREADS) and runs on an internal pool when
+/// it is > 1.
+core::ReorderResult streaming_reorder_rows(const RrsbReader& shard,
+                                           const core::ReorderConfig& cfg);
+
+/// Caller-owned pool variant (nullptr = sequential); cfg.threads is
+/// ignored.
+core::ReorderResult streaming_reorder_rows(const RrsbReader& shard, const core::ReorderConfig& cfg,
+                                           runtime::WorkerPool* pool);
+
+}  // namespace rrspmm::io

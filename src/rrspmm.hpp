@@ -16,6 +16,7 @@
 #include "core/vertex_reorder.hpp"
 #include "fault/fault.hpp"
 #include "gpusim/device.hpp"
+#include "io/io.hpp"
 #include "gpusim/traffic.hpp"
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm.hpp"

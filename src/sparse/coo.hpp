@@ -36,9 +36,10 @@ class CooMatrix {
   /// Reserves space for n entries.
   void reserve(offset_t n) { entries_.reserve(static_cast<std::size_t>(n)); }
 
-  /// Sorts entries by (row, col) and sums duplicates in place.
-  /// Idempotent; required before CSR conversion when the producer may
-  /// emit duplicates (e.g. RMAT).
+  /// Sorts entries by (row, col) — stably, so duplicates sum in arrival
+  /// order — and combines duplicates in place. Idempotent; required
+  /// before CSR conversion when the producer may emit duplicates
+  /// (e.g. RMAT).
   void sort_and_combine();
 
  private:

@@ -1,0 +1,51 @@
+// Random access to the column sets of a logically-CSR matrix without
+// requiring the matrix to be resident.
+//
+// The LSH scoring loop and the clustering heap (Alg 3) only ever look at
+// the column sets of two rows at a time — jaccard(row a, row b). Routing
+// those lookups through this interface lets the out-of-core path
+// (src/io) serve them from a bounded block cache over an on-disk shard
+// file, while the in-memory path keeps handing out spans into the
+// resident CsrMatrix. Both produce the same bytes, so everything built
+// on top stays bitwise identical.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace rrspmm::sparse {
+
+/// Abstract row accessor. Lifetime contract: a span returned by
+/// row_cols(i) stays valid until the SECOND subsequent row_cols call on
+/// the same source (a two-row working set — exactly what a pairwise
+/// Jaccard needs), not indefinitely. Out-of-core implementations back
+/// spans with a block cache that always pins the two most recently
+/// touched blocks; the in-memory implementation's spans never move.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+
+  virtual index_t rows() const = 0;
+  virtual index_t cols() const = 0;
+
+  /// Sorted column indices of row i (the CSR row invariant).
+  virtual std::span<const index_t> row_cols(index_t i) = 0;
+};
+
+/// Trivial RowSource over a resident CsrMatrix (spans are stable for the
+/// matrix's whole lifetime, which trivially satisfies the contract).
+class CsrRowSource final : public RowSource {
+ public:
+  explicit CsrRowSource(const CsrMatrix& m) : m_(m) {}
+
+  index_t rows() const override { return m_.rows(); }
+  index_t cols() const override { return m_.cols(); }
+  std::span<const index_t> row_cols(index_t i) override { return m_.row_cols(i); }
+
+ private:
+  const CsrMatrix& m_;
+};
+
+}  // namespace rrspmm::sparse

@@ -1,5 +1,6 @@
 #include "synth/corpus.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
@@ -48,7 +49,7 @@ std::vector<CorpusEntry> build_corpus(const CorpusConfig& cfg) {
     const int variant = i / 10;  // grows matrices as the corpus grows
     const double grow = 1.0 + 0.2 * variant;
     const double s = cfg.scale * grow;
-    switch (i % 12) {
+    switch (i % 14) {
       case 0: {  // scattered clustered — the paper's motivating population
         ClusteredParams p;
         p.rows = scaled(s, 10240);
@@ -180,6 +181,33 @@ std::vector<CorpusEntry> build_corpus(const CorpusConfig& cfg) {
                           gnn_frontier(p, seed)});
         break;
       }
+      case 12: {  // tall-skinny scRNA-like expression matrix: cells >>
+                  // genes, scattered cell types, housekeeping hubs. Pool
+                  // sizes derive from the actual gene count so the family
+                  // stays well-formed at any corpus scale.
+        ScrnaParams p;
+        p.cells = scaled(s, 24576);
+        p.genes = scaled(s, 2048);
+        p.cell_types = static_cast<index_t>(12 + 4 * (variant % 3));
+        p.housekeeping = std::max<index_t>(4, p.genes / 42);
+        p.markers_per_type = std::max<index_t>(8, p.genes / 21);
+        p.expr_per_cell = std::max<index_t>(8, p.genes / 64);
+        p.housekeeping_prob = 0.25 + 0.05 * (variant % 3);
+        corpus.push_back({"scrna_cells_" + two_digits(i), "scrna_cells",
+                          scrna_cells(p, seed)});
+        break;
+      }
+      case 13: {  // DLMC-like magnitude-pruned weights: unstructured,
+                  // column-popularity skew only
+        DlmcParams p;
+        p.rows = scaled(s, 6144);
+        p.cols = scaled(s, 2048);
+        p.density = 0.012 + 0.004 * (variant % 3);
+        p.skew = 2.0 + 0.5 * (variant % 3);
+        corpus.push_back({"dlmc_pruned_" + two_digits(i), "dlmc_pruned",
+                          dlmc_pruned(p, seed)});
+        break;
+      }
       default: break;
     }
     ++i;
@@ -224,6 +252,23 @@ std::vector<CorpusEntry> build_test_corpus() {
   gnn.hub_cols = 8;
   gnn.hub_prob = 0.2;
   corpus.push_back({"t_gnn_frontier", "gnn_frontier", gnn_frontier(gnn, 20)});
+
+  // Every test-corpus matrix has 512 rows (asserted by the integration
+  // suite); scrna stays tall-skinny via the narrow gene dimension.
+  ScrnaParams scrna;
+  scrna.cells = 512;
+  scrna.genes = 128;
+  scrna.cell_types = 8;
+  scrna.markers_per_type = 24;
+  scrna.housekeeping = 8;
+  scrna.expr_per_cell = 10;
+  corpus.push_back({"t_scrna", "scrna_cells", scrna_cells(scrna, 21)});
+
+  DlmcParams dlmc;
+  dlmc.rows = 512;
+  dlmc.cols = 256;
+  dlmc.density = 0.04;
+  corpus.push_back({"t_dlmc", "dlmc_pruned", dlmc_pruned(dlmc, 22)});
   return corpus;
 }
 

@@ -224,6 +224,99 @@ CsrMatrix gnn_frontier(const GnnFrontierParams& p, std::uint64_t seed) {
   return CsrMatrix::from_coo(coo);
 }
 
+CsrMatrix scrna_cells(const ScrnaParams& p, std::uint64_t seed) {
+  Rng rng(seed);
+  if (p.cells <= 0 || p.genes <= 0 || p.cell_types <= 0 || p.expr_per_cell <= 0) {
+    throw sparse::invalid_matrix("bad scrna params");
+  }
+  if (p.housekeeping < 0 || p.housekeeping >= p.genes ||
+      p.markers_per_type <= 0 || p.markers_per_type > p.genes - p.housekeeping) {
+    throw sparse::invalid_matrix("scrna needs 0 <= housekeeping and markers within the gene range");
+  }
+
+  // Marker pools: markers_per_type genes per type, sampled without
+  // replacement from the non-housekeeping columns (pools may overlap —
+  // related cell lineages share markers).
+  std::vector<std::vector<index_t>> markers(static_cast<std::size_t>(p.cell_types));
+  std::unordered_set<index_t> taken;
+  for (auto& pool : markers) {
+    taken.clear();
+    pool.reserve(static_cast<std::size_t>(p.markers_per_type));
+    while (static_cast<index_t>(pool.size()) < p.markers_per_type) {
+      const auto c = static_cast<index_t>(
+          p.housekeeping + rng.next_below(static_cast<std::uint64_t>(p.genes - p.housekeeping)));
+      if (taken.insert(c).second) pool.push_back(c);
+    }
+  }
+
+  // Type assignment: contiguous blocks scattered through the row order
+  // (same idiom as clustered_rows with scatter=true).
+  std::vector<index_t> type_of(static_cast<std::size_t>(p.cells));
+  for (index_t i = 0; i < p.cells; ++i) {
+    type_of[static_cast<std::size_t>(i)] =
+        static_cast<index_t>((static_cast<std::int64_t>(i) * p.cell_types) / p.cells);
+  }
+  for (std::size_t i = type_of.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(type_of[i - 1], type_of[j]);
+  }
+
+  CooMatrix coo(p.cells, p.genes);
+  coo.reserve(static_cast<offset_t>(p.cells) * p.expr_per_cell);
+  std::unordered_set<index_t> used;
+  for (index_t i = 0; i < p.cells; ++i) {
+    const auto& pool = markers[static_cast<std::size_t>(type_of[static_cast<std::size_t>(i)])];
+    used.clear();
+    index_t placed = 0;
+    // Cap the attempts so tiny gene pools cannot spin forever.
+    const index_t attempts = static_cast<index_t>(8 * p.expr_per_cell + 64);
+    for (index_t t = 0; t < attempts && placed < p.expr_per_cell; ++t) {
+      index_t c;
+      if (p.housekeeping > 0 && rng.next_double() < p.housekeeping_prob) {
+        c = static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(p.housekeeping)));
+      } else {
+        c = pool[rng.next_below(pool.size())];
+      }
+      if (used.insert(c).second) {
+        // UMI-style small positive counts.
+        coo.add(i, c, static_cast<float>(1 + rng.next_below(8)));
+        ++placed;
+      }
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+CsrMatrix dlmc_pruned(const DlmcParams& p, std::uint64_t seed) {
+  Rng rng(seed);
+  if (p.rows <= 0 || p.cols <= 0 || p.density <= 0.0 || p.density > 1.0 || p.skew < 1.0) {
+    throw sparse::invalid_matrix("bad dlmc params");
+  }
+
+  const auto row_nnz = std::max<index_t>(
+      1, static_cast<index_t>(static_cast<double>(p.cols) * p.density));
+  CooMatrix coo(p.rows, p.cols);
+  coo.reserve(static_cast<offset_t>(p.rows) * row_nnz);
+  std::unordered_set<index_t> used;
+  for (index_t i = 0; i < p.rows; ++i) {
+    used.clear();
+    index_t placed = 0;
+    const index_t attempts = static_cast<index_t>(8 * row_nnz + 64);
+    for (index_t t = 0; t < attempts && placed < row_nnz; ++t) {
+      // Inverse-transform draw from the popularity law: low columns
+      // (important output neurons) are kept by many rows.
+      const double u = rng.next_double();
+      auto c = static_cast<index_t>(static_cast<double>(p.cols) * std::pow(u, p.skew));
+      if (c >= p.cols) c = static_cast<index_t>(p.cols - 1);
+      if (used.insert(c).second) {
+        coo.add(i, c, rng.next_signed_float());
+        ++placed;
+      }
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
 CsrMatrix shuffle_rows(const CsrMatrix& m, std::uint64_t seed) {
   Rng rng(seed);
   std::vector<index_t> perm = sparse::identity_permutation(m.rows());

@@ -101,6 +101,48 @@ struct GnnFrontierParams {
 };
 CsrMatrix gnn_frontier(const GnnFrontierParams& p, std::uint64_t seed);
 
+/// Tall-skinny single-cell expression matrix: cells × genes with
+/// cells >> genes. Each cell belongs to one of `cell_types` latent types
+/// and expresses mostly its type's marker-gene program, plus a small set
+/// of housekeeping genes (the first `housekeeping` columns) every cell
+/// expresses — the global hub columns of this family. Values are small
+/// positive counts. Cell (row) order is scattered, so the types are
+/// invisible to consecutive-row tiling until a reorderer groups the
+/// cells — and the extreme aspect ratio stresses exactly the code paths
+/// square generators never do (row blocks vastly outnumber column
+/// range, signatures much wider than rows are long).
+struct ScrnaParams {
+  index_t cells = 24576;
+  index_t genes = 2048;
+  index_t cell_types = 16;
+  /// Marker genes per type, sampled from the non-housekeeping columns
+  /// (pools may overlap, like related cell lineages). Requires
+  /// markers_per_type <= genes - housekeeping.
+  index_t markers_per_type = 96;
+  index_t housekeeping = 48;
+  index_t expr_per_cell = 32;  ///< expressed genes (nonzeros) per cell
+  double housekeeping_prob = 0.3;
+};
+CsrMatrix scrna_cells(const ScrnaParams& p, std::uint64_t seed);
+
+/// Magnitude-pruned dense-layer weights in the style of the DLMC
+/// corpus: unstructured sparsity at a fixed density, but with skewed
+/// column (output-neuron) popularity — important neurons keep many
+/// incoming weights, unimportant ones few. Rows share the popular
+/// columns, giving moderate, hub-concentrated similarity with no block
+/// structure at all: the regime between clustered (reordering wins big)
+/// and Erdős–Rényi (nothing to find).
+struct DlmcParams {
+  index_t rows = 6144;
+  index_t cols = 2048;
+  double density = 0.015;  ///< surviving-weight fraction per row
+  /// Column popularity exponent: a column is drawn as cols * u^skew for
+  /// uniform u, so skew 1 is uniform and larger values concentrate mass
+  /// on the low columns.
+  double skew = 2.5;
+};
+CsrMatrix dlmc_pruned(const DlmcParams& p, std::uint64_t seed);
+
 /// Random row permutation of an existing matrix — destroys consecutive-row
 /// locality while preserving the latent structure a reorderer can recover.
 CsrMatrix shuffle_rows(const CsrMatrix& m, std::uint64_t seed);

@@ -1,0 +1,155 @@
+// .rrsb shard format tests: round trips, row-range slices against the
+// resident matrix, index arithmetic, corruption and version rejection,
+// the RowSource block cache, and io.read fault degrade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "io/rrsb.hpp"
+#include "sparse/row_source.hpp"
+#include "synth/generators.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using sparse::CsrMatrix;
+
+const std::string kPath = "/tmp/rrspmm_test_iorrsb.rrsb";
+
+CsrMatrix sample(index_t rows = 257, index_t cols = 64) {
+  return synth::erdos_renyi(rows, cols, static_cast<offset_t>(rows) * 6, 42);
+}
+
+void flip_byte(const std::string& path, std::streamoff off, bool from_end = false) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(off, from_end ? std::ios::end : std::ios::beg);
+  const char b = static_cast<char>(f.get());
+  f.seekp(off, from_end ? std::ios::end : std::ios::beg);
+  f.put(static_cast<char>(b ^ 0x5a));
+}
+
+TEST(IoRrsb, RoundTripsWholeMatrix) {
+  const CsrMatrix m = sample();
+  io::write_rrsb(m, kPath, /*block_rows=*/32);
+  const io::RrsbReader r(kPath);
+  EXPECT_EQ(r.rows(), m.rows());
+  EXPECT_EQ(r.cols(), m.cols());
+  EXPECT_EQ(r.nnz(), m.nnz());
+  EXPECT_EQ(r.read_range(0, r.rows()), m);
+}
+
+TEST(IoRrsb, SlicesMatchResidentRows) {
+  const CsrMatrix m = sample();
+  io::write_rrsb(m, kPath, 32);
+  const io::RrsbReader r(kPath);
+  // Within a block, across block seams, block-aligned, and the ragged
+  // final block (257 rows at block_rows 32).
+  const std::pair<index_t, index_t> ranges[] = {{3, 7}, {30, 70}, {64, 96}, {250, 257}, {0, 1}};
+  for (const auto& [lo, hi] : ranges) {
+    const CsrMatrix s = r.read_range(lo, hi);
+    ASSERT_EQ(s.rows(), hi - lo);
+    EXPECT_EQ(s.cols(), m.cols());
+    for (index_t i = 0; i < s.rows(); ++i) {
+      ASSERT_TRUE(std::ranges::equal(s.row_cols(i), m.row_cols(lo + i))) << lo + i;
+      ASSERT_TRUE(std::ranges::equal(s.row_vals(i), m.row_vals(lo + i))) << lo + i;
+    }
+  }
+  EXPECT_EQ(r.read_range(40, 40).rows(), 0);
+  EXPECT_EQ(r.read_range(40, 40).nnz(), 0);
+}
+
+TEST(IoRrsb, IndexArithmeticIsConsistent) {
+  const CsrMatrix m = sample();
+  io::write_rrsb(m, kPath, 32);
+  const io::RrsbReader r(kPath);
+  ASSERT_EQ(r.num_blocks(), (m.rows() + 31) / 32);
+  offset_t sum = 0;
+  for (index_t b = 0; b < r.num_blocks(); ++b) {
+    EXPECT_EQ(r.nnz_before(b), sum);
+    EXPECT_EQ(r.block_end(b) - r.block_begin(b), b + 1 < r.num_blocks() ? 32 : m.rows() - 32 * b);
+    sum += r.block_nnz(b);
+  }
+  EXPECT_EQ(sum, m.nnz());
+}
+
+TEST(IoRrsb, RejectsCorruptIndexAtOpen) {
+  io::write_rrsb(sample(), kPath, 32);
+  // The index lives at the end of the file; flip a byte in it.
+  flip_byte(kPath, -4, /*from_end=*/true);
+  EXPECT_THROW(io::RrsbReader{kPath}, sparse::io_error);
+}
+
+TEST(IoRrsb, RejectsCorruptBlockOnRead) {
+  io::write_rrsb(sample(), kPath, 32);
+  // Blocks start right after the 64-byte header; the open-time index
+  // check does not touch them, the per-load checksum does.
+  flip_byte(kPath, 80);
+  const io::RrsbReader r(kPath);
+  EXPECT_THROW(r.read_range(0, 8), sparse::io_error);
+}
+
+TEST(IoRrsb, RejectsUnknownVersion) {
+  io::write_rrsb(sample(), kPath, 32);
+  flip_byte(kPath, 4);  // header offset 4: u32 version
+  EXPECT_THROW(io::RrsbReader{kPath}, sparse::io_error);
+}
+
+TEST(IoRrsb, RowSourceServesRowsWithTwoBlockCache) {
+  const CsrMatrix m = sample();
+  io::write_rrsb(m, kPath, 32);
+  const io::RrsbReader r(kPath);
+  io::RrsbRowSource src(r);
+  ASSERT_EQ(src.rows(), m.rows());
+  for (index_t i = 0; i < m.rows(); ++i) {
+    ASSERT_TRUE(std::ranges::equal(src.row_cols(i), m.row_cols(i))) << i;
+  }
+  // A sequential scan touches each block exactly once.
+  EXPECT_EQ(src.block_loads(), r.num_blocks());
+  // Alternating between two adjacent blocks stays inside the cache; the
+  // RowSource span contract (valid until the second subsequent call) is
+  // exactly what pairwise-Jaccard consumers rely on.
+  for (int k = 0; k < 16; ++k) {
+    src.row_cols(0);
+    src.row_cols(40);
+  }
+  EXPECT_EQ(src.block_loads(), r.num_blocks() + 2);
+}
+
+TEST(IoRrsb, InjectedReadFaultDegradesToBufferedAndRetries) {
+  const CsrMatrix m = sample();
+  io::write_rrsb(m, kPath, 32);
+  fault::FaultPlan plan;
+  plan.seed = 99;
+  fault::FaultRule rule;
+  rule.point = fault::points::kIoRead;
+  rule.kind = fault::FaultKind::throw_error;
+  rule.probability = 1.0;
+  rule.max_triggers = 2;
+  plan.rules.push_back(rule);
+  fault::ScopedFaultPlan armed(std::move(plan));
+
+  const io::RrsbReader r(kPath);  // open survives the injected faults
+  EXPECT_EQ(r.read_range(0, r.rows()), m);
+  EXPECT_TRUE(r.buffered());  // mmap path permanently degraded
+}
+
+TEST(IoRrsb, WriterRemovesUnfinishedFile) {
+  const CsrMatrix m = sample(64, 16);
+  {
+    io::RrsbWriter w(kPath, m.rows(), m.cols(), 32);
+    // No finish(): the partial file must not survive.
+  }
+  EXPECT_THROW(io::RrsbReader{kPath}, sparse::io_error);
+  std::remove(kPath.c_str());
+}
+
+}  // namespace
+}  // namespace rrspmm

@@ -98,6 +98,83 @@ TEST(MatrixMarket, RejectsMissingFile) {
   EXPECT_THROW(sparse::read_matrix_market("/nonexistent/path.mtx"), io_error);
 }
 
+TEST(MatrixMarket, BannerParserIsExposed) {
+  const sparse::MmBanner plain =
+      sparse::parse_mm_banner("%%MatrixMarket matrix coordinate real general");
+  EXPECT_FALSE(plain.pattern);
+  EXPECT_FALSE(plain.symmetric);
+  const sparse::MmBanner sym =
+      sparse::parse_mm_banner("%%MatrixMarket matrix coordinate pattern symmetric");
+  EXPECT_TRUE(sym.pattern);
+  EXPECT_TRUE(sym.symmetric);
+  EXPECT_THROW(sparse::parse_mm_banner("%%MatrixMarket matrix coordinate"), io_error);
+  EXPECT_THROW(sparse::parse_mm_banner("%%MatrixMarket tensor coordinate real general"),
+               io_error);
+}
+
+TEST(MatrixMarket, SizeCheckerRejectsBadDeclarations) {
+  EXPECT_NO_THROW(sparse::check_mm_sizes(3, 4, 12));
+  EXPECT_NO_THROW(sparse::check_mm_sizes(0, 0, 0));
+  EXPECT_THROW(sparse::check_mm_sizes(-1, 4, 0), io_error);
+  EXPECT_THROW(sparse::check_mm_sizes(3, -4, 0), io_error);
+  EXPECT_THROW(sparse::check_mm_sizes(3, 4, -1), io_error);
+  EXPECT_THROW(sparse::check_mm_sizes(3, 4, 13), io_error);  // > rows*cols
+  // Dimensions past index_t must fail as a typed io_error, not wrap.
+  EXPECT_THROW(sparse::check_mm_sizes(1LL << 40, 4, 0), io_error);
+  // Huge-but-legal dimensions must not overflow the rows*cols product.
+  EXPECT_NO_THROW(sparse::check_mm_sizes(2000000000, 2000000000, 1000000));
+}
+
+TEST(MatrixMarket, RejectsEntriesExceedingDimensionProduct) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 5\n"
+      "1 1 1\n1 2 1\n2 1 1\n2 2 1\n1 1 1\n");
+  EXPECT_THROW(sparse::read_matrix_market(ss), io_error);
+}
+
+TEST(MatrixMarket, RejectsMissingSizeLine) {
+  std::stringstream ss("%%MatrixMarket matrix coordinate real general\n% only comments\n");
+  EXPECT_THROW(sparse::read_matrix_market(ss), io_error);
+}
+
+TEST(MatrixMarket, ReportsOutOfRangeEntryWithOrdinal) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 2\n"
+      "1 1 1.0\n"
+      "4 1 1.0\n");
+  try {
+    sparse::read_matrix_market(ss);
+    FAIL() << "expected io_error";
+  } catch (const io_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("entry 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+  }
+}
+
+TEST(MatrixMarket, RejectsGarbageValues) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 pancake\n");
+  EXPECT_THROW(sparse::read_matrix_market(ss), io_error);
+}
+
+TEST(MatrixMarket, SymmetricMirrorsUpperTriangleEntriesOnce) {
+  // Symmetric files conventionally store the lower triangle, but an
+  // upper-triangle entry mirrors exactly once rather than doubling.
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 1\n"
+      "1 3 1.0\n");
+  const CsrMatrix m = sparse::read_matrix_market(ss);
+  EXPECT_EQ(m.nnz(), 2);  // mirrored exactly once either way
+  EXPECT_FLOAT_EQ(m.to_dense()[0][2], 1.0f);
+  EXPECT_FLOAT_EQ(m.to_dense()[2][0], 1.0f);
+}
+
 TEST(MatrixMarket, OneBasedIndicesOnDisk) {
   const CsrMatrix m = test::csr({{0, 3}, {0, 0}});
   std::stringstream ss;

@@ -27,7 +27,7 @@ TEST(Corpus, NamesAreUniqueAndFamiliesDiverse) {
     EXPECT_TRUE(names.insert(e.name).second) << "duplicate name " << e.name;
     families.insert(e.family);
   }
-  EXPECT_GE(families.size(), 12u);  // all twelve generator families present
+  EXPECT_GE(families.size(), 14u);  // all fourteen generator families present
 }
 
 TEST(Corpus, IsDeterministicInConfig) {
