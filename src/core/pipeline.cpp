@@ -71,6 +71,8 @@ ExecutionPlan build_plan_nr(const CsrMatrix& m, const PipelineConfig& cfg) {
   plan.stats.dense_ratio_after = plan.stats.dense_ratio_before;
   plan.stats.avg_sim_before = avg_sim_nonempty(plan.tiled.sparse_part(), plan.sparse_order);
   plan.stats.avg_sim_after = plan.stats.avg_sim_before;
+  plan.spec = std::make_shared<kernels::simd::SpecializationPlan>(
+      kernels::simd::specialize_plan(plan.tiled));
   plan.stats.preprocess_seconds = seconds_since(t0);
   return plan;
 }
@@ -134,6 +136,8 @@ ExecutionPlan build_plan(const CsrMatrix& m, const PipelineConfig& cfg) {
     plan.stats.avg_sim_after = plan.stats.avg_sim_before;
   }
 
+  plan.spec = std::make_shared<kernels::simd::SpecializationPlan>(
+      kernels::simd::specialize_plan(plan.tiled));
   plan.stats.preprocess_seconds = seconds_since(t0);
   return plan;
 }
@@ -168,13 +172,23 @@ ExecutionPlan autotune_plan_measured(const CsrMatrix& m, const DenseMatrix& x,
   return t_rr <= t_nr ? std::move(rr) : std::move(nr);
 }
 
+/// The process-wide kernel config with the plan's specialization record
+/// attached — the single funnel through which every plan-driven
+/// execution (including the Server's degrade path) picks it up.
+static kernels::simd::KernelConfig plan_kernel_config(const ExecutionPlan& plan) {
+  kernels::simd::KernelConfig cfg = kernels::simd::active_config();
+  cfg.spec = plan.spec;
+  return cfg;
+}
+
 void run_spmm(const ExecutionPlan& plan, const DenseMatrix& x, DenseMatrix& y) {
+  const kernels::simd::KernelConfig cfg = plan_kernel_config(plan);
   if (is_identity(plan.row_perm)) {
-    kernels::spmm_aspt(plan.tiled, x, y, &plan.sparse_order);
+    kernels::spmm_aspt(plan.tiled, x, y, &plan.sparse_order, cfg);
     return;
   }
   DenseMatrix yp(plan.tiled.rows(), x.cols());
-  kernels::spmm_aspt(plan.tiled, x, yp, &plan.sparse_order);
+  kernels::spmm_aspt(plan.tiled, x, yp, &plan.sparse_order, cfg);
   y = sparse::unpermute_dense_rows(yp, plan.row_perm);
 }
 
@@ -183,15 +197,16 @@ void run_sddmm(const ExecutionPlan& plan, const CsrMatrix& m, const DenseMatrix&
   if (m.rows() != plan.tiled.rows() || m.nnz() != plan.tiled.stats().nnz_total) {
     throw sparse::invalid_matrix("run_sddmm: matrix does not match the plan");
   }
+  const kernels::simd::KernelConfig cfg = plan_kernel_config(plan);
   if (is_identity(plan.row_perm)) {
-    kernels::sddmm_aspt(plan.tiled, x, y, out, &plan.sparse_order);
+    kernels::sddmm_aspt(plan.tiled, x, y, out, &plan.sparse_order, cfg);
     return;
   }
   // The tiled matrix lives in permuted row space; permute the Y operand
   // in, then scatter per-row output segments back to the caller's layout.
   const DenseMatrix yp = sparse::permute_dense_rows(y, plan.row_perm);
   std::vector<value_t> outp;
-  kernels::sddmm_aspt(plan.tiled, x, yp, outp, &plan.sparse_order);
+  kernels::sddmm_aspt(plan.tiled, x, yp, outp, &plan.sparse_order, cfg);
 
   out.resize(static_cast<std::size_t>(m.nnz()));
   offset_t ppos = 0;  // cursor into the permuted nonzero order

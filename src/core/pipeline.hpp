@@ -15,10 +15,12 @@
 // preprocessing time) the paper's evaluation reports.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "aspt/aspt.hpp"
 #include "core/reorder_engine.hpp"
+#include "kernels/simd/specialize.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/traffic.hpp"
 #include "sparse/csr.hpp"
@@ -99,6 +101,12 @@ struct ExecutionPlan {
   /// permuted row space (identity when skipped).
   std::vector<index_t> sparse_order;
   PipelineStats stats;
+  /// AOT kernel-specialization record built from the tiling's row-length
+  /// and panel statistics (kernels/simd/specialize.hpp). Shared so the
+  /// PlanCache drops it together with an evicted plan while in-flight
+  /// executions keep theirs alive; plan-aware execution paths attach it
+  /// to the KernelConfig they hand the kernels.
+  std::shared_ptr<const kernels::simd::SpecializationPlan> spec;
 };
 
 /// Full ASpT-RR pipeline.

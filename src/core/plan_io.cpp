@@ -14,8 +14,11 @@ namespace {
 constexpr char kMagic[10] = {'R', 'R', 'S', 'P', 'M', 'M', 'P', 'L', 'A', 'N'};
 // Version 2 appends the per-phase preprocessing timings and the
 // degradation flag to the stats block; version 1 files load with zeroed
-// timings (the same back-compat idiom as kShardVersion).
-constexpr std::uint32_t kVersion = 2;
+// timings (the same back-compat idiom as kShardVersion). Version 3
+// appends the kernel SpecializationPlan record after the tiled matrix;
+// loading an older file recomputes the record from the tiling, so every
+// loaded plan carries one.
+constexpr std::uint32_t kVersion = 3;
 
 constexpr char kShardMagic[10] = {'R', 'R', 'S', 'P', 'M', 'M', 'S', 'H', 'R', 'D'};
 // Version 2 appends the partitioned span [span_begin, span_end); version 1
@@ -132,6 +135,22 @@ void save_plan(const ExecutionPlan& plan, std::ostream& out) {
   put_vec(out, sp.colidx());
   put_vec(out, sp.values());
   put_vec(out, t.sparse_src_idx());
+
+  // Version 3: the specialization record. A plan assembled by hand may
+  // not carry one; serialize the recomputed record so files are uniform.
+  const kernels::simd::SpecializationPlan spec =
+      plan.spec ? *plan.spec : kernels::simd::specialize_plan(plan.tiled);
+  put<std::uint8_t>(out, spec.enabled ? 1 : 0);
+  put(out, spec.short_max);
+  put(out, spec.medium_max);
+  for (std::size_t c = 0; c < kernels::simd::kRowClassCount; ++c) {
+    put<std::uint64_t>(out, spec.rows_by_class[c]);
+  }
+  put<std::uint64_t>(out, spec.dense_panels);
+  put<std::uint64_t>(out, spec.dense_tile_rows);
+  for (std::size_t c = 0; c < kernels::simd::kRowClassCount; ++c) {
+    put<std::uint8_t>(out, spec.variant[c]);
+  }
   if (!out) throw io_error("failed writing plan");
 }
 
@@ -179,6 +198,32 @@ ExecutionPlan load_plan(std::istream& in) {
   sparse::CsrMatrix sp(rows, cols, std::move(rowptr), std::move(colidx), std::move(values));
   plan.tiled = aspt::AsptMatrix::from_parts(rows, cols, std::move(panels), std::move(sp),
                                             std::move(src_idx));
+
+  if (version >= 3) {
+    kernels::simd::SpecializationPlan spec;
+    spec.enabled = get<std::uint8_t>(in) != 0;
+    spec.short_max = get<index_t>(in);
+    spec.medium_max = get<index_t>(in);
+    for (std::size_t c = 0; c < kernels::simd::kRowClassCount; ++c) {
+      spec.rows_by_class[c] = get<std::uint64_t>(in);
+    }
+    spec.dense_panels = get<std::uint64_t>(in);
+    spec.dense_tile_rows = get<std::uint64_t>(in);
+    for (std::size_t c = 0; c < kernels::simd::kRowClassCount; ++c) {
+      spec.variant[c] = get<std::uint8_t>(in);
+      if (spec.variant[c] > static_cast<std::uint8_t>(kernels::simd::SpecVariant::kwidth)) {
+        throw io_error("plan specialization record is corrupt");
+      }
+    }
+    if (spec.short_max <= 0 || spec.medium_max < spec.short_max) {
+      throw io_error("plan specialization record is corrupt");
+    }
+    plan.spec = std::make_shared<kernels::simd::SpecializationPlan>(spec);
+  } else {
+    // Pre-v3 file: recompute so loaded plans behave like built ones.
+    plan.spec = std::make_shared<kernels::simd::SpecializationPlan>(
+        kernels::simd::specialize_plan(plan.tiled));
+  }
 
   if (!sparse::is_permutation(plan.row_perm, rows) ||
       !sparse::is_permutation(plan.sparse_order, rows)) {

@@ -22,20 +22,31 @@ bool is_identity(const std::vector<index_t>& perm) {
   return true;
 }
 
-simd::KernelConfig effective_config(const simd::KernelConfig* kernel) {
-  return kernel ? *kernel : simd::active_config();
+/// Caller's pinned config wins; otherwise the process-wide one. Either
+/// way the plan's specialization record rides along unless the caller
+/// attached its own.
+simd::KernelConfig effective_config(const simd::KernelConfig* kernel,
+                                    const core::ExecutionPlan& plan) {
+  simd::KernelConfig cfg = kernel ? *kernel : simd::active_config();
+  if (!cfg.spec) cfg.spec = plan.spec;
+  return cfg;
+}
+
+void count_selection(runtime::Metrics* metrics, const simd::KernelSelection& sel) {
+  metrics->count_kernel(sel.isa);
+  if (sel.specialized) metrics->count_specialized();
 }
 
 void spmm_shards(runtime::WorkerPool& pool, const aspt::AsptMatrix& a, const ShardPlan& sp,
                  const DenseMatrix& x, DenseMatrix& y, runtime::Metrics* metrics,
                  const simd::KernelConfig& cfg) {
-  const simd::Isa isa = simd::table(cfg).isa;
+  const simd::KernelSelection sel = simd::select_kernels(cfg, x.cols());
   pool.parallel_for(sp.row_shards.size(), [&](std::size_t si) {
     const core::RowShard& s = sp.row_shards[si];
     kernels::spmm_aspt_row_range(a, x, y, s.row_begin, s.row_end, cfg);
     if (metrics) {
       metrics->shards_executed.fetch_add(1, std::memory_order_relaxed);
-      metrics->count_kernel(isa);
+      count_selection(metrics, sel);
     }
   });
 }
@@ -52,7 +63,7 @@ void sharded_spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
   if (shard_plan.rows != plan.tiled.rows()) {
     throw sparse::invalid_matrix("sharded_spmm: shard plan rows do not match the plan");
   }
-  const simd::KernelConfig cfg = effective_config(kernel);
+  const simd::KernelConfig cfg = effective_config(kernel, plan);
   if (is_identity(plan.row_perm)) {
     spmm_shards(pool, plan.tiled, shard_plan, x, y, metrics, cfg);
     return;
@@ -119,8 +130,8 @@ void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan&
                            const DenseMatrix& x, DenseMatrix& y, runtime::Metrics* metrics) {
   const ShardPlan sp = planner_.plan_rows(plan, cfg_.num_devices, cfg_.strategy);
   if (metrics) metrics->sharded_batches.fetch_add(1, std::memory_order_relaxed);
-  const simd::KernelConfig kcfg = effective_config(cfg_.kernel ? &*cfg_.kernel : nullptr);
-  const simd::Isa isa = simd::table(kcfg).isa;
+  const simd::KernelConfig kcfg = effective_config(cfg_.kernel ? &*cfg_.kernel : nullptr, plan);
+  const simd::KernelSelection ksel = simd::select_kernels(kcfg, x.cols());
 
   // Execute in permuted row space; unpermute once at the end, after all
   // failover rounds, so recovery never perturbs the output ordering.
@@ -157,7 +168,7 @@ void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan&
         fault::hit(fault::points::kShardInterconnect);
         if (metrics) {
           metrics->shards_executed.fetch_add(1, std::memory_order_relaxed);
-          metrics->count_kernel(isa);
+          count_selection(metrics, ksel);
         }
       } catch (const fault::injected_fault&) {
         if (metrics) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 
+#include "kernels/simd/specialize.hpp"
 #include "kernels/spmm.hpp"
 #include "runtime/worker_pool.hpp"
 
@@ -73,11 +75,20 @@ void sharded_spmm_stream(const io::RrsbReader& shard, const DenseMatrix& x, Dens
   // scatter the rows. The row-range kernel accumulates per row exactly
   // like the full kernel, and the scatter is a byte copy, so any shard
   // partition (and any worker interleaving) produces identical Y bits.
+  // Streamed slices have no plan, so each shard builds its own
+  // specialization record from the slice's row lengths — cheap (one
+  // rowptr sweep) relative to the I/O that produced the slice.
+  namespace simd = kernels::simd;
+  const bool specialize = simd::specialization_compiled() && simd::specialization_enabled();
   const auto run_shard = [&](const core::RowShard& s) {
     if (s.rows() <= 0) return;
     const sparse::CsrMatrix slice = shard.read_range(s.row_begin, s.row_end);
     DenseMatrix y_local(slice.rows(), x.cols());
-    kernels::spmm_rowwise(slice, x, y_local, 0, slice.rows());
+    simd::KernelConfig cfg = simd::active_config();
+    if (specialize) {
+      cfg.spec = std::make_shared<const simd::SpecializationPlan>(simd::specialize_rows(slice));
+    }
+    kernels::spmm_rowwise(slice, x, y_local, 0, slice.rows(), cfg);
     for (index_t r = 0; r < slice.rows(); ++r) {
       std::memcpy(y.row(s.row_begin + r).data(), y_local.row(r).data(),
                   static_cast<std::size_t>(x.cols()) * sizeof(value_t));

@@ -30,8 +30,9 @@ void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& 
                    std::vector<value_t>& out, const simd::KernelConfig& cfg) {
   sparse::validate_csr(s, "sddmm_rowwise");
   check_sddmm_shapes(s.rows(), s.cols(), x, y);
-  const simd::KernelTable& t = simd::table(cfg);
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
   simd::count_invocation(t.isa);
+  if (t.specialized) simd::count_specialized(t.isa);
   const index_t k = x.cols();
   out.assign(static_cast<std::size_t>(s.nnz()), value_t{0});
   const index_t blocks = (s.rows() + kRowBlock - 1) / kRowBlock;
@@ -62,8 +63,9 @@ void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& 
   if (out.size() != static_cast<std::size_t>(s.nnz())) {
     throw sparse::invalid_matrix("SDDMM: out must be pre-sized to nnz for row-range calls");
   }
-  const simd::KernelTable& t = simd::table(cfg);
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
   simd::count_invocation(t.isa);
+  if (t.specialized) simd::count_specialized(t.isa);
   t.sddmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data(), x.ld(),
                y.data(), y.ld(), x.cols(), out.data(), /*src=*/nullptr, /*order=*/nullptr,
                row_begin, row_end);
@@ -78,8 +80,9 @@ void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
                 std::vector<value_t>& out, const std::vector<index_t>* sparse_order,
                 const simd::KernelConfig& cfg) {
   check_sddmm_shapes(a.rows(), a.cols(), x, y);
-  const simd::KernelTable& t = simd::table(cfg);
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
   simd::count_invocation(t.isa);
+  if (t.specialized) simd::count_specialized(t.isa);
   const index_t k = x.cols();
   out.assign(static_cast<std::size_t>(a.stats().nnz_total), value_t{0});
 
@@ -138,8 +141,9 @@ void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const Dense
   if (out.size() != static_cast<std::size_t>(a.stats().nnz_total)) {
     throw sparse::invalid_matrix("SDDMM: out must be pre-sized to nnz for row-range calls");
   }
-  const simd::KernelTable& t = simd::table(cfg);
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
   simd::count_invocation(t.isa);
+  if (t.specialized) simd::count_specialized(t.isa);
   const index_t k = x.cols();
 
   // Dense tiles of the panels intersecting the range, clipped to it; one

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "kernels/simd/backends.hpp"
+#include "kernels/simd/specialize.hpp"
 
 namespace rrspmm::kernels::simd {
 
@@ -13,12 +14,15 @@ namespace {
 
 // Active configuration in relaxed atomics (TSan-clean: concurrent kernel
 // calls only ever read whole values; there is no invariant across the
-// two cells). g_isa holds -1 for "auto", else static_cast<int>(Isa).
+// cells). g_isa holds -1 for "auto", else static_cast<int>(Isa).
 std::atomic<int> g_isa{-1};
 std::atomic<bool> g_fma{false};
+// 0 = off, 1 = on (row-wise substitutions), 2 = all (panel entries too).
+std::atomic<int> g_spec_mode{1};
 std::once_flag g_env_once;
 
 std::atomic<std::uint64_t> g_counts[kIsaCount]{};
+std::atomic<std::uint64_t> g_spec_counts[kIsaCount]{};
 
 const KernelTable* tables_for(Isa isa) {
   switch (isa) {
@@ -64,8 +68,18 @@ void load_env() {
     const std::string_view v(s);
     fma = v == "1" || v == "on" || v == "true" || v == "yes";
   }
+  int spec_mode = 1;
+  if (const char* s = std::getenv("RRSPMM_KERNEL_SPECIALIZE")) {
+    const std::string_view v(s);
+    if (v == "0" || v == "off" || v == "false" || v == "no") {
+      spec_mode = 0;
+    } else if (v == "all") {
+      spec_mode = 2;
+    }
+  }
   g_isa.store(isa ? static_cast<int>(*isa) : -1, std::memory_order_relaxed);
   g_fma.store(fma, std::memory_order_relaxed);
+  g_spec_mode.store(spec_mode, std::memory_order_relaxed);
 }
 
 void ensure_env_loaded() { std::call_once(g_env_once, load_env); }
@@ -92,6 +106,58 @@ Isa resolve_isa(std::optional<Isa> requested) {
 const KernelTable& table(const KernelConfig& cfg) {
   const KernelTable* tables = tables_for(resolve_isa(cfg.isa));
   return tables[cfg.allow_fma ? 1 : 0];
+}
+
+KernelSelection select_kernels(const KernelConfig& cfg, index_t k) {
+  const KernelTable& t = table(cfg);
+  KernelSelection sel;
+  sel.isa = t.isa;
+  sel.fma = t.fma;
+  sel.spmm_rows = t.spmm_rows;
+  sel.spmm_panel = t.spmm_panel;
+  sel.sddmm_rows = t.sddmm_rows;
+  sel.sddmm_panel = t.sddmm_panel;
+  if (!cfg.spec || !cfg.spec->enabled || !specialization_enabled()) return sel;
+  const int slot = spec_k_slot(k);
+  // K-width substitution is skipped for short-row-heavy plans at large K:
+  // the fully K-unrolled row body is front-end bound exactly when rows
+  // are tiny (a few percent slower at K=128), so those plans fall
+  // through to the runtime-K classed driver below instead.
+  const bool kw_profitable = k <= kSpecPanelKMax || !cfg.spec->wants_short_unroll();
+  if (slot >= 0 && kw_profitable && t.spmm_rows_kw[slot] != nullptr) {
+    sel.spmm_rows = t.spmm_rows_kw[slot];
+    sel.sddmm_rows = t.sddmm_rows_kw[slot];
+    // Panel entries are opt-in (RRSPMM_KERNEL_SPECIALIZE=all), and only
+    // up to kSpecPanelKMax (see table.hpp): the staged-panel loop nest
+    // is already tight, so constant-folding K into it is neutral at best
+    // and measurably slower at K=128 — unlike the row-wise drivers,
+    // which is where the default policy keeps the substitutions.
+    if (k <= kSpecPanelKMax && specialization_panels_enabled()) {
+      sel.spmm_panel = t.spmm_panel_kw[slot];
+      sel.sddmm_panel = t.sddmm_panel_kw[slot];
+    }
+    sel.specialized = true;
+  } else if (cfg.spec->wants_short_unroll() && t.spmm_rows_classed != nullptr) {
+    sel.spmm_rows = t.spmm_rows_classed;
+    sel.specialized = true;
+  }
+  return sel;
+}
+
+bool specialization_compiled() {
+  // The scalar backend is always present; its classed entry is null
+  // exactly when the build defined RRSPMM_SPECIALIZATION_DISABLED.
+  return scalar_tables()[0].spmm_rows_classed != nullptr;
+}
+
+bool specialization_enabled() {
+  ensure_env_loaded();
+  return g_spec_mode.load(std::memory_order_relaxed) != 0;
+}
+
+bool specialization_panels_enabled() {
+  ensure_env_loaded();
+  return g_spec_mode.load(std::memory_order_relaxed) == 2;
 }
 
 KernelConfig active_config() {
@@ -128,8 +194,21 @@ std::array<std::uint64_t, kIsaCount> invocation_counts() {
   return out;
 }
 
+void count_specialized(Isa isa) {
+  g_spec_counts[static_cast<std::size_t>(isa)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::array<std::uint64_t, kIsaCount> specialized_counts() {
+  std::array<std::uint64_t, kIsaCount> out{};
+  for (std::size_t i = 0; i < kIsaCount; ++i) {
+    out[i] = g_spec_counts[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void reset_invocation_counts() {
   for (auto& c : g_counts) c.store(0, std::memory_order_relaxed);
+  for (auto& c : g_spec_counts) c.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rrspmm::kernels::simd

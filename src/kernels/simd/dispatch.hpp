@@ -3,8 +3,12 @@
 // testing and benchmarking.
 //
 // Environment knobs (read once, on first use; reload_env() re-reads):
-//   RRSPMM_KERNEL_ISA  = scalar | neon | avx2 | avx512 | auto (default)
-//   RRSPMM_KERNEL_FMA  = 1 | on | true | yes  (default off)
+//   RRSPMM_KERNEL_ISA        = scalar | neon | avx2 | avx512 | auto (default)
+//   RRSPMM_KERNEL_FMA        = 1 | on | true | yes  (default off)
+//   RRSPMM_KERNEL_SPECIALIZE = 0 | off | false | no disables the AOT
+//                              plan-specialized entries; "all" also
+//                              substitutes the dense-panel K-width
+//                              entries (default on: row-wise only)
 //
 // A requested ISA that is not compiled in or not supported by the CPU
 // degrades down the ladder (avx512 -> avx2 -> neon -> scalar) instead of
@@ -13,12 +17,15 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "kernels/simd/isa.hpp"
 #include "kernels/simd/table.hpp"
 
 namespace rrspmm::kernels::simd {
+
+struct SpecializationPlan;  // specialize.hpp
 
 /// Kernel selection carried by callers (ServerConfig, ShardedExecutor,
 /// bench drivers). Default-constructed = auto ISA, bitwise math.
@@ -29,6 +36,12 @@ struct KernelConfig {
   /// default path is bitwise-identical to the scalar reference, the fma
   /// path only ULP-close (see docs/API.md).
   bool allow_fma = false;
+  /// Per-matrix AOT specialization record, built at plan-build time and
+  /// attached by the plan-aware wrappers (core::run_spmm,
+  /// runtime::parallel_spmm, dist::sharded_spmm). Null = generic
+  /// entries only, exactly the PR 5 behaviour. Shared so the record
+  /// lives as long as any config or plan referencing it.
+  std::shared_ptr<const SpecializationPlan> spec;
 };
 
 /// Whether the backend was compiled into this binary.
@@ -44,6 +57,39 @@ Isa resolve_isa(std::optional<Isa> requested);
 /// the resolved one, which may differ from cfg.isa (fallback).
 const KernelTable& table(const KernelConfig& cfg);
 
+/// Per-call resolved entry points: the generic table entries of
+/// table(cfg) with any specializations the plan and K admit substituted
+/// in — a K in kSpecKWidths swaps all six entries for the K-width
+/// instantiations; otherwise a short-row-heavy plan swaps the SpMM row
+/// driver for the classed (unrolled-short) one. `specialized` is true
+/// when at least one entry differs from the generic table.
+struct KernelSelection {
+  Isa isa = Isa::scalar;
+  bool fma = false;
+  bool specialized = false;
+  KernelTable::SpmmRowsFn spmm_rows = nullptr;
+  KernelTable::SpmmPanelFn spmm_panel = nullptr;
+  KernelTable::SddmmRowsFn sddmm_rows = nullptr;
+  KernelTable::SddmmPanelFn sddmm_panel = nullptr;
+};
+
+/// Resolves cfg down the same ladder as table() and applies the
+/// specialization selection for operand width `k`. With no spec record,
+/// a disabled record, RRSPMM_KERNEL_SPECIALIZE off, or specialization
+/// compiled out, the result is exactly the generic table's entries.
+KernelSelection select_kernels(const KernelConfig& cfg, index_t k);
+
+/// True when the AOT-specialized entries were compiled into this binary
+/// (RRSPMM_ENABLE_SPECIALIZATION=ON, the default).
+bool specialization_compiled();
+/// The RRSPMM_KERNEL_SPECIALIZE env knob (default on); reload_env()
+/// re-reads it.
+bool specialization_enabled();
+/// True only under RRSPMM_KERNEL_SPECIALIZE=all: select_kernels also
+/// substitutes the dense-panel K-width entries (neutral-to-negative on
+/// hosts measured so far, hence opt-in; see kSpecPanelKMax).
+bool specialization_panels_enabled();
+
 /// Process-wide configuration used by kernel calls that don't carry an
 /// explicit KernelConfig. Initialised from the environment on first use.
 KernelConfig active_config();
@@ -56,6 +102,11 @@ void reload_env();
 /// the resolved ISA). Exposed through runtime::Metrics as well.
 void count_invocation(Isa isa);
 std::array<std::uint64_t, kIsaCount> invocation_counts();
+/// Per-ISA specialized-call counters: one public kernel call whose
+/// selection substituted at least one specialized entry = one count.
+void count_specialized(Isa isa);
+std::array<std::uint64_t, kIsaCount> specialized_counts();
+/// Resets both the invocation and the specialized counters.
 void reset_invocation_counts();
 
 }  // namespace rrspmm::kernels::simd

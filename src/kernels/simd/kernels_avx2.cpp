@@ -3,7 +3,7 @@
 // TU degrades to a nullptr stub. Nothing in this TU runs before the
 // dispatcher has confirmed the CPU supports AVX2+FMA.
 #include "kernels/simd/backends.hpp"
-#include "kernels/simd/kernels_generic.hpp"
+#include "kernels/simd/kernels_spec.hpp"
 
 namespace rrspmm::kernels::simd {
 
@@ -11,8 +11,8 @@ namespace rrspmm::kernels::simd {
 
 namespace {
 constexpr KernelTable kTables[2] = {
-    make_table<VecAvx2, false>(Isa::avx2),
-    make_table<VecAvx2, true>(Isa::avx2),
+    make_spec_table<VecAvx2, false>(Isa::avx2),
+    make_spec_table<VecAvx2, true>(Isa::avx2),
 };
 }  // namespace
 

@@ -2,7 +2,7 @@
 // RRSPMM_ENABLE_SIMD is on; nullptr stub otherwise. Nothing in this TU
 // runs before the dispatcher has confirmed the CPU supports AVX-512F.
 #include "kernels/simd/backends.hpp"
-#include "kernels/simd/kernels_generic.hpp"
+#include "kernels/simd/kernels_spec.hpp"
 
 namespace rrspmm::kernels::simd {
 
@@ -10,8 +10,8 @@ namespace rrspmm::kernels::simd {
 
 namespace {
 constexpr KernelTable kTables[2] = {
-    make_table<VecAvx512, false>(Isa::avx512),
-    make_table<VecAvx512, true>(Isa::avx512),
+    make_spec_table<VecAvx512, false>(Isa::avx512),
+    make_spec_table<VecAvx512, true>(Isa::avx512),
 };
 }  // namespace
 

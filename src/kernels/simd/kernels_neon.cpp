@@ -2,7 +2,7 @@
 // compile flags are needed — the guard is simply whether the target
 // architecture defines __ARM_NEON (and SIMD was not forced off).
 #include "kernels/simd/backends.hpp"
-#include "kernels/simd/kernels_generic.hpp"
+#include "kernels/simd/kernels_spec.hpp"
 
 namespace rrspmm::kernels::simd {
 
@@ -10,8 +10,8 @@ namespace rrspmm::kernels::simd {
 
 namespace {
 constexpr KernelTable kTables[2] = {
-    make_table<VecNeon, false>(Isa::neon),
-    make_table<VecNeon, true>(Isa::neon),
+    make_spec_table<VecNeon, false>(Isa::neon),
+    make_spec_table<VecNeon, true>(Isa::neon),
 };
 }  // namespace
 

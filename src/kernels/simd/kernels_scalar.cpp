@@ -3,14 +3,14 @@
 // "fma" slot degrades to the bitwise path (allow_fma is a permission,
 // not a mandate).
 #include "kernels/simd/backends.hpp"
-#include "kernels/simd/kernels_generic.hpp"
+#include "kernels/simd/kernels_spec.hpp"
 
 namespace rrspmm::kernels::simd {
 
 namespace {
 constexpr KernelTable kTables[2] = {
-    make_table<VecScalar, false>(Isa::scalar),
-    make_table<VecScalar, false>(Isa::scalar),
+    make_spec_table<VecScalar, false>(Isa::scalar),
+    make_spec_table<VecScalar, false>(Isa::scalar),
 };
 }  // namespace
 

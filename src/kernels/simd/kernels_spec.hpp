@@ -1,0 +1,245 @@
+// AOT plan-specialized SpMM / SDDMM kernel bodies: the same loops as
+// kernels_generic.hpp, template-instantiated with compile-time constants
+// the plan statistics justify.
+//
+// Two specialization axes, both pure instruction-schedule changes:
+//
+//  * K-width (KW in kSpecKWidths): the K loop's trip counts become
+//    compile-time constants — the optimizer drops the register-block
+//    tail tests and unrolls fully. All four SpMM entries and both SDDMM
+//    entries get KW instantiations.
+//  * Short rows (nnz <= kShortRowMax): the nonzero loop is dispatched to
+//    an instantiation whose trip count is an integral_constant, so it
+//    unrolls completely, and `zero_y` rows compute into zero-initialised
+//    register accumulators with a single store instead of a zero-store /
+//    reload round trip through the output row.
+//
+// Bitwise-equality contract (Fma == false), inherited from
+// kernels_generic.hpp and preserved here: every output element is still
+// the ordered chain ((0 + v0*x0) + v1*x1) + ... with separately rounded
+// multiply and add per step. Constant-folding a trip count, unrolling a
+// loop, or starting an accumulator at literal zero instead of loading a
+// just-zeroed memory cell performs the identical operation sequence on
+// identical values, so each specialized non-fma entry is bit-identical
+// to its generic counterpart — and therefore to the scalar reference.
+//
+// Included only from the per-ISA backend TUs (same comdat caveats as
+// kernels_generic.hpp: raw loops over raw pointers, nothing else).
+#pragma once
+
+#include <type_traits>
+
+#include "kernels/simd/kernels_generic.hpp"
+#include "kernels/simd/specialize.hpp"
+
+namespace rrspmm::kernels::simd {
+
+namespace spec {
+
+/// yr[0..k) = sum_j val(j) * xrow(j)[0..k), overwriting: the accumulate
+/// pattern of generic::accumulate_row with the accumulators starting at
+/// V::zero() instead of loading the (just-zeroed) output row, and one
+/// store at the end. Same chains — loading a zeroed cell and starting at
+/// literal zero feed the identical first add — so the result is
+/// bit-identical to zero-fill + accumulate_row, without the extra store
+/// and reload of the output row.
+template <class V, bool Fma, class GetX, class GetV>
+inline void accumulate_row_fresh(value_t* yr, index_t k, index_t nnz, GetX&& xrow, GetV&& val) {
+  if constexpr (V::width == 1) {
+    for (index_t t = 0; t < k; ++t) yr[t] = value_t{0};
+    for (index_t j = 0; j < nnz; ++j) detail::axpy(yr, xrow(j), val(j), k);
+    return;
+  } else {
+    constexpr index_t W = V::width;
+    index_t kk = 0;
+    for (; kk + 4 * W <= k; kk += 4 * W) {
+      V a0 = V::zero();
+      V a1 = V::zero();
+      V a2 = V::zero();
+      V a3 = V::zero();
+      for (index_t j = 0; j < nnz; ++j) {
+        const V v = V::broadcast(val(j));
+        const value_t* xr = xrow(j) + kk;
+        a0 = generic::step<V, Fma>(a0, v, V::loadu(xr));
+        a1 = generic::step<V, Fma>(a1, v, V::loadu(xr + W));
+        a2 = generic::step<V, Fma>(a2, v, V::loadu(xr + 2 * W));
+        a3 = generic::step<V, Fma>(a3, v, V::loadu(xr + 3 * W));
+      }
+      a0.storeu(yr + kk);
+      a1.storeu(yr + kk + W);
+      a2.storeu(yr + kk + 2 * W);
+      a3.storeu(yr + kk + 3 * W);
+    }
+    // A 2W stage the generic body lacks: one nonzero sweep covers the
+    // half-block (k == 2W is exactly the K=32 case under AVX-512), so
+    // val(j) is loaded and broadcast once instead of once per W block.
+    // Blocking width never affects the bits — lanes still never mix kk
+    // positions and each element keeps its ordered chain.
+    for (; kk + 2 * W <= k; kk += 2 * W) {
+      V a0 = V::zero();
+      V a1 = V::zero();
+      for (index_t j = 0; j < nnz; ++j) {
+        const V v = V::broadcast(val(j));
+        const value_t* xr = xrow(j) + kk;
+        a0 = generic::step<V, Fma>(a0, v, V::loadu(xr));
+        a1 = generic::step<V, Fma>(a1, v, V::loadu(xr + W));
+      }
+      a0.storeu(yr + kk);
+      a1.storeu(yr + kk + W);
+    }
+    for (; kk + W <= k; kk += W) {
+      V a0 = V::zero();
+      for (index_t j = 0; j < nnz; ++j) {
+        a0 = generic::step<V, Fma>(a0, V::broadcast(val(j)), V::loadu(xrow(j) + kk));
+      }
+      a0.storeu(yr + kk);
+    }
+    // Tail elements, scalar. Loop interchange (element outer, nonzero
+    // inner) leaves each element's chain untouched.
+    for (; kk < k; ++kk) {
+      value_t acc = 0;
+      for (index_t j = 0; j < nnz; ++j) acc += val(j) * xrow(j)[kk];
+      yr[kk] = acc;
+    }
+  }
+}
+
+/// Dispatches nnz <= kShortRowMax to an instantiation whose trip count
+/// is a compile-time constant (integral_constant through the generic
+/// lambda), fully unrolling the nonzero loop. `Fresh` selects the
+/// overwrite (zero_y) body, otherwise the accumulate body.
+template <class V, bool Fma, bool Fresh, class GetX, class GetV>
+inline void accumulate_row_short(value_t* yr, index_t k, index_t nnz, GetX&& xrow, GetV&& val) {
+  const auto run = [&](auto n) {
+    constexpr index_t kN = decltype(n)::value;
+    if constexpr (Fresh) {
+      accumulate_row_fresh<V, Fma>(yr, k, kN, xrow, val);
+    } else {
+      generic::accumulate_row<V, Fma, false>(yr, k, kN, xrow, val);
+    }
+  };
+  switch (nnz) {
+    case 1: run(std::integral_constant<index_t, 1>{}); break;
+    case 2: run(std::integral_constant<index_t, 2>{}); break;
+    case 3: run(std::integral_constant<index_t, 3>{}); break;
+    case 4: run(std::integral_constant<index_t, 4>{}); break;
+    default:
+      if constexpr (Fresh) {
+        accumulate_row_fresh<V, Fma>(yr, k, nnz, xrow, val);
+      } else {
+        generic::accumulate_row<V, Fma, false>(yr, k, nnz, xrow, val);
+      }
+      break;
+  }
+}
+static_assert(kShortRowMax == 4, "accumulate_row_short unrolls cases 1..kShortRowMax");
+
+}  // namespace spec
+
+/// Specialized serial entry points for one (backend, fma, K-width)
+/// triple. KW == 0 is the runtime-K "classed" driver: no K constant, but
+/// still the short-row unrolled bodies and the fused zero+accumulate.
+/// KW > 0 additionally folds K: callers must guarantee k == KW.
+template <class V, bool Fma, index_t KW>
+struct SpecKernelSet {
+  static void spmm_rows(const offset_t* rowptr, const index_t* colidx, const value_t* vals,
+                        const value_t* x, index_t x_ld, value_t* y, index_t y_ld, index_t k,
+                        const index_t* order, bool zero_y, index_t pos_begin, index_t pos_end) {
+    const index_t kc = KW > 0 ? KW : k;
+    for (index_t pos = pos_begin; pos < pos_end; ++pos) {
+      const index_t i = order ? order[pos] : pos;
+      value_t* yr = y + static_cast<std::size_t>(i) * static_cast<std::size_t>(y_ld);
+      const offset_t lo = rowptr[static_cast<std::size_t>(i)];
+      const index_t nnz = static_cast<index_t>(rowptr[static_cast<std::size_t>(i) + 1] - lo);
+      if (nnz == 0) {
+        if (zero_y) {
+          for (index_t kk = 0; kk < kc; ++kk) yr[kk] = value_t{0};
+        }
+        continue;
+      }
+      const index_t* cs = colidx + lo;
+      const value_t* vs = vals + lo;
+      const auto xrow = [&](index_t j) {
+        return x + static_cast<std::size_t>(cs[j]) * static_cast<std::size_t>(x_ld);
+      };
+      const auto val = [&](index_t j) { return vs[j]; };
+      // The per-row trip-count switch pays only while the row body is
+      // short; past ~2 K-width units the unrolled straight-line code
+      // stops helping (front-end pressure, per-row dispatch branch) and
+      // the fused zero+accumulate is the whole win.
+      const bool unroll_short = nnz <= kShortRowMax && kc <= 2 * kSpecKWidths[0];
+      if (zero_y) {
+        if (unroll_short) {
+          spec::accumulate_row_short<V, Fma, true>(yr, kc, nnz, xrow, val);
+        } else {
+          spec::accumulate_row_fresh<V, Fma>(yr, kc, nnz, xrow, val);
+        }
+      } else {
+        if (unroll_short) {
+          spec::accumulate_row_short<V, Fma, false>(yr, kc, nnz, xrow, val);
+        } else {
+          generic::accumulate_row<V, Fma, false>(yr, kc, nnz, xrow, val);
+        }
+      }
+    }
+  }
+
+  // The panel and SDDMM entries forward to the generic bodies with the
+  // K argument replaced by the compile-time constant; the in-class
+  // definitions are implicitly inline, so the optimizer folds KW through
+  // the whole loop nest.
+  static void spmm_panel(const offset_t* dense_rowptr, const index_t* dense_slot,
+                         const value_t* dense_val, index_t panel_row_begin,
+                         const value_t* staged, index_t staged_ld, value_t* y, index_t y_ld,
+                         index_t k, index_t row_lo, index_t row_hi) {
+    KernelSet<V, Fma>::spmm_panel(dense_rowptr, dense_slot, dense_val, panel_row_begin, staged,
+                                  staged_ld, y, y_ld, KW > 0 ? KW : k, row_lo, row_hi);
+  }
+
+  static void sddmm_rows(const offset_t* rowptr, const index_t* colidx, const value_t* vals,
+                         const value_t* x, index_t x_ld, const value_t* ymat, index_t y_ld,
+                         index_t k, value_t* out, const offset_t* src, const index_t* order,
+                         index_t pos_begin, index_t pos_end) {
+    KernelSet<V, Fma>::sddmm_rows(rowptr, colidx, vals, x, x_ld, ymat, y_ld, KW > 0 ? KW : k,
+                                  out, src, order, pos_begin, pos_end);
+  }
+
+  static void sddmm_panel(const offset_t* dense_rowptr, const index_t* dense_slot,
+                          const value_t* dense_val, const offset_t* dense_src_idx,
+                          index_t panel_row_begin, const value_t* staged, index_t staged_ld,
+                          const value_t* ymat, index_t y_ld, index_t k, value_t* out,
+                          index_t row_lo, index_t row_hi) {
+    KernelSet<V, Fma>::sddmm_panel(dense_rowptr, dense_slot, dense_val, dense_src_idx,
+                                   panel_row_begin, staged, staged_ld, ymat, y_ld,
+                                   KW > 0 ? KW : k, out, row_lo, row_hi);
+  }
+};
+
+/// make_table plus the specialized entries. Separate from make_table so
+/// the choice is made where the TUs are compiled:
+/// RRSPMM_SPECIALIZATION_DISABLED (the RRSPMM_ENABLE_SPECIALIZATION=OFF
+/// build) leaves every specialized slot null and select_kernels falls
+/// back to the generic path.
+template <class V, bool Fma>
+constexpr KernelTable make_spec_table(Isa isa) {
+  KernelTable t = make_table<V, Fma>(isa);
+#ifndef RRSPMM_SPECIALIZATION_DISABLED
+  t.spmm_rows_kw[0] = &SpecKernelSet<V, Fma, kSpecKWidths[0]>::spmm_rows;
+  t.spmm_rows_kw[1] = &SpecKernelSet<V, Fma, kSpecKWidths[1]>::spmm_rows;
+  t.spmm_rows_kw[2] = &SpecKernelSet<V, Fma, kSpecKWidths[2]>::spmm_rows;
+  t.spmm_panel_kw[0] = &SpecKernelSet<V, Fma, kSpecKWidths[0]>::spmm_panel;
+  t.spmm_panel_kw[1] = &SpecKernelSet<V, Fma, kSpecKWidths[1]>::spmm_panel;
+  t.spmm_panel_kw[2] = &SpecKernelSet<V, Fma, kSpecKWidths[2]>::spmm_panel;
+  t.sddmm_rows_kw[0] = &SpecKernelSet<V, Fma, kSpecKWidths[0]>::sddmm_rows;
+  t.sddmm_rows_kw[1] = &SpecKernelSet<V, Fma, kSpecKWidths[1]>::sddmm_rows;
+  t.sddmm_rows_kw[2] = &SpecKernelSet<V, Fma, kSpecKWidths[2]>::sddmm_rows;
+  t.sddmm_panel_kw[0] = &SpecKernelSet<V, Fma, kSpecKWidths[0]>::sddmm_panel;
+  t.sddmm_panel_kw[1] = &SpecKernelSet<V, Fma, kSpecKWidths[1]>::sddmm_panel;
+  t.sddmm_panel_kw[2] = &SpecKernelSet<V, Fma, kSpecKWidths[2]>::sddmm_panel;
+  t.spmm_rows_classed = &SpecKernelSet<V, Fma, 0>::spmm_rows;
+  static_assert(kSpecKWidthCount == 3, "extend the slot assignments above");
+#endif
+  return t;
+}
+
+}  // namespace rrspmm::kernels::simd

@@ -1,0 +1,63 @@
+#include "kernels/simd/specialize.hpp"
+
+#include "aspt/aspt.hpp"
+#include "sparse/csr.hpp"
+
+namespace rrspmm::kernels::simd {
+
+namespace {
+
+void assign_variants(SpecializationPlan& p) {
+  // Empty rows are skipped by every driver; short rows get the unrolled
+  // bodies; medium and long rows profit from the compile-time-K loops
+  // (applied at runtime only when K matches kSpecKWidths — the classed
+  // driver covers short rows for every other K).
+  p.variant[static_cast<std::size_t>(RowClass::empty)] =
+      static_cast<std::uint8_t>(SpecVariant::generic);
+  p.variant[static_cast<std::size_t>(RowClass::short_row)] =
+      p.rows_by_class[static_cast<std::size_t>(RowClass::short_row)] > 0
+          ? static_cast<std::uint8_t>(SpecVariant::unrolled_short)
+          : static_cast<std::uint8_t>(SpecVariant::generic);
+  const auto bulk = [&](RowClass c) {
+    p.variant[static_cast<std::size_t>(c)] =
+        p.rows_by_class[static_cast<std::size_t>(c)] > 0
+            ? static_cast<std::uint8_t>(SpecVariant::kwidth)
+            : static_cast<std::uint8_t>(SpecVariant::generic);
+  };
+  bulk(RowClass::medium_row);
+  bulk(RowClass::long_row);
+}
+
+void histogram_rows(SpecializationPlan& p, const sparse::CsrMatrix& m) {
+  const auto& rowptr = m.rowptr();
+  for (index_t i = 0; i < m.rows(); ++i) {
+    const index_t nnz = static_cast<index_t>(rowptr[static_cast<std::size_t>(i) + 1] -
+                                             rowptr[static_cast<std::size_t>(i)]);
+    ++p.rows_by_class[static_cast<std::size_t>(p.classify(nnz))];
+  }
+}
+
+}  // namespace
+
+SpecializationPlan specialize_plan(const aspt::AsptMatrix& tiled) {
+  SpecializationPlan p;
+  histogram_rows(p, tiled.sparse_part());
+  for (const aspt::Panel& panel : tiled.panels()) {
+    if (panel.dense_cols.empty()) continue;
+    ++p.dense_panels;
+    for (std::size_t r = 0; r + 1 < panel.dense_rowptr.size(); ++r) {
+      if (panel.dense_rowptr[r + 1] > panel.dense_rowptr[r]) ++p.dense_tile_rows;
+    }
+  }
+  assign_variants(p);
+  return p;
+}
+
+SpecializationPlan specialize_rows(const sparse::CsrMatrix& m) {
+  SpecializationPlan p;
+  histogram_rows(p, m);
+  assign_variants(p);
+  return p;
+}
+
+}  // namespace rrspmm::kernels::simd

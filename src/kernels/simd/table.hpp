@@ -15,6 +15,27 @@
 
 namespace rrspmm::kernels::simd {
 
+/// Compile-time K widths with dedicated AOT instantiations: slot i of
+/// the KernelTable's *_kw arrays handles exactly K == kSpecKWidths[i].
+inline constexpr index_t kSpecKWidths[] = {32, 64, 128};
+inline constexpr std::size_t kSpecKWidthCount =
+    sizeof(kSpecKWidths) / sizeof(kSpecKWidths[0]);
+
+/// Largest K whose *panel* (dense-tile) kw instantiation the dispatcher
+/// substitutes. Fully K-unrolling the staged-panel loop nest stops
+/// paying once a Y row spans more than two vector cache lines — at
+/// K=128 it measures a few percent *slower* than the runtime-K loop —
+/// so past this width only the row-wise entries are swapped.
+inline constexpr index_t kSpecPanelKMax = 64;
+
+/// Slot of a K-width instantiation, or -1 when K has none.
+constexpr int spec_k_slot(index_t k) {
+  for (std::size_t i = 0; i < kSpecKWidthCount; ++i) {
+    if (kSpecKWidths[i] == k) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 /// One backend's kernel entry points. All functions are serial (no OpenMP
 /// inside) — the public wrappers own the parallel structure — and all of
 /// them preserve the scalar kernels' per-element accumulation order, so a
@@ -58,6 +79,28 @@ struct KernelTable {
                       index_t panel_row_begin, const value_t* staged, index_t staged_ld,
                       const value_t* ymat, index_t y_ld, index_t k, value_t* out,
                       index_t row_lo, index_t row_hi) = nullptr;
+
+  using SpmmRowsFn = decltype(spmm_rows);
+  using SpmmPanelFn = decltype(spmm_panel);
+  using SddmmRowsFn = decltype(sddmm_rows);
+  using SddmmPanelFn = decltype(sddmm_panel);
+
+  /// AOT plan-specialized entries (kernels_spec.hpp); null when the
+  /// backend is a stub or RRSPMM_ENABLE_SPECIALIZATION is off. Same ABI
+  /// and bitwise contract as the generic entries above: specialization
+  /// changes the instruction schedule (compile-time K, fully-unrolled
+  /// short-row bodies), never the per-element reduction order, so every
+  /// non-fma specialized entry stays bit-identical to the scalar
+  /// reference. The caller must only use slot i when k == kSpecKWidths[i]
+  /// (the dispatcher's select_kernels enforces this).
+  SpmmRowsFn spmm_rows_kw[kSpecKWidthCount] = {};
+  SpmmPanelFn spmm_panel_kw[kSpecKWidthCount] = {};
+  SddmmRowsFn sddmm_rows_kw[kSpecKWidthCount] = {};
+  SddmmPanelFn sddmm_panel_kw[kSpecKWidthCount] = {};
+
+  /// Runtime-K SpMM row driver with the short-row unrolled bodies, for K
+  /// outside kSpecKWidths on short-row-heavy plans.
+  SpmmRowsFn spmm_rows_classed = nullptr;
 };
 
 }  // namespace rrspmm::kernels::simd

@@ -32,8 +32,9 @@ void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y,
                   const simd::KernelConfig& cfg) {
   sparse::validate_csr(s, "spmm_rowwise");
   check_spmm_shapes(s.rows(), s.cols(), x, y);
-  const simd::KernelTable& t = simd::table(cfg);
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
   simd::count_invocation(t.isa);
+  if (t.specialized) simd::count_specialized(t.isa);
   const index_t k = x.cols();
   const index_t rows = s.rows();
   const index_t blocks = (rows + kRowBlock - 1) / kRowBlock;
@@ -60,8 +61,9 @@ void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, inde
   if (row_begin < 0 || row_end > s.rows() || row_begin > row_end) {
     throw sparse::invalid_matrix("SpMM: row range out of bounds");
   }
-  const simd::KernelTable& t = simd::table(cfg);
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
   simd::count_invocation(t.isa);
+  if (t.specialized) simd::count_specialized(t.isa);
   t.spmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data(), x.ld(),
               y.data(), y.ld(), x.cols(), /*order=*/nullptr, /*zero_y=*/true, row_begin,
               row_end);
@@ -75,8 +77,9 @@ void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
 void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
                const std::vector<index_t>* sparse_order, const simd::KernelConfig& cfg) {
   check_spmm_shapes(a.rows(), a.cols(), x, y);
-  const simd::KernelTable& t = simd::table(cfg);
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
   simd::count_invocation(t.isa);
+  if (t.specialized) simd::count_specialized(t.isa);
   const index_t k = x.cols();
   y.fill(value_t{0});
 
@@ -135,8 +138,9 @@ void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix&
   if (row_begin < 0 || row_end > a.rows() || row_begin > row_end) {
     throw sparse::invalid_matrix("SpMM: row range out of bounds");
   }
-  const simd::KernelTable& t = simd::table(cfg);
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
   simd::count_invocation(t.isa);
+  if (t.specialized) simd::count_specialized(t.isa);
   const index_t k = x.cols();
   for (index_t i = row_begin; i < row_end; ++i) {
     auto yr = y.row(i);

@@ -21,25 +21,35 @@ bool is_identity(const std::vector<index_t>& perm) {
 
 /// Resolves the effective kernel configuration once per operation, so
 /// every panel task of one call uses the same backend even if the
-/// process-wide config changes mid-flight.
-simd::KernelConfig effective_config(const simd::KernelConfig* kernel) {
-  return kernel ? *kernel : simd::active_config();
+/// process-wide config changes mid-flight. The plan's specialization
+/// record rides along unless the caller's config pinned its own.
+simd::KernelConfig effective_config(const simd::KernelConfig* kernel,
+                                    const core::ExecutionPlan& plan) {
+  simd::KernelConfig cfg = kernel ? *kernel : simd::active_config();
+  if (!cfg.spec) cfg.spec = plan.spec;
+  return cfg;
+}
+
+void count_selection(Metrics* metrics, const simd::KernelSelection& sel) {
+  if (!metrics) return;
+  metrics->count_kernel(sel.isa);
+  if (sel.specialized) metrics->count_specialized();
 }
 
 void spmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix& x,
                  DenseMatrix& y, Metrics* metrics, const simd::KernelConfig& cfg) {
-  const simd::Isa isa = simd::table(cfg).isa;
+  const simd::KernelSelection sel = simd::select_kernels(cfg, x.cols());
   const auto& panels = a.panels();
   if (panels.empty()) {
     kernels::spmm_aspt_row_range(a, x, y, 0, a.rows(), cfg);
-    if (metrics) metrics->count_kernel(isa);
+    count_selection(metrics, sel);
     return;
   }
   pool.parallel_for(panels.size(), [&](std::size_t pi) {
     kernels::spmm_aspt_row_range(a, x, y, panels[pi].row_begin, panels[pi].row_end, cfg);
     if (metrics) {
       metrics->panels_executed.fetch_add(1, std::memory_order_relaxed);
-      metrics->count_kernel(isa);
+      count_selection(metrics, sel);
     }
   });
 }
@@ -47,19 +57,19 @@ void spmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix&
 void sddmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix& x,
                   const DenseMatrix& y, std::vector<value_t>& out, Metrics* metrics,
                   const simd::KernelConfig& cfg) {
-  const simd::Isa isa = simd::table(cfg).isa;
+  const simd::KernelSelection sel = simd::select_kernels(cfg, x.cols());
   out.assign(static_cast<std::size_t>(a.stats().nnz_total), value_t{0});
   const auto& panels = a.panels();
   if (panels.empty()) {
     kernels::sddmm_aspt_row_range(a, x, y, out, 0, a.rows(), cfg);
-    if (metrics) metrics->count_kernel(isa);
+    count_selection(metrics, sel);
     return;
   }
   pool.parallel_for(panels.size(), [&](std::size_t pi) {
     kernels::sddmm_aspt_row_range(a, x, y, out, panels[pi].row_begin, panels[pi].row_end, cfg);
     if (metrics) {
       metrics->panels_executed.fetch_add(1, std::memory_order_relaxed);
-      metrics->count_kernel(isa);
+      count_selection(metrics, sel);
     }
   });
 }
@@ -68,7 +78,7 @@ void sddmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix
 
 void parallel_spmm(WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
                    DenseMatrix& y, Metrics* metrics, const simd::KernelConfig* kernel) {
-  const simd::KernelConfig cfg = effective_config(kernel);
+  const simd::KernelConfig cfg = effective_config(kernel, plan);
   if (is_identity(plan.row_perm)) {
     spmm_panels(pool, plan.tiled, x, y, metrics, cfg);
     return;
@@ -84,7 +94,7 @@ void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const Csr
   if (m.rows() != plan.tiled.rows() || m.nnz() != plan.tiled.stats().nnz_total) {
     throw sparse::invalid_matrix("parallel_sddmm: matrix does not match the plan");
   }
-  const simd::KernelConfig cfg = effective_config(kernel);
+  const simd::KernelConfig cfg = effective_config(kernel, plan);
   if (is_identity(plan.row_perm)) {
     sddmm_panels(pool, plan.tiled, x, y, out, metrics, cfg);
     return;

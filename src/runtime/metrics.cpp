@@ -75,6 +75,7 @@ std::string Metrics::to_json() const {
        << get(kernel_invocations[i]);
   }
   os << "},";
+  os << "\"kernel_specialized\":" << get(kernel_specialized) << ",";
   os << "\"spgemm_batches\":" << get(spgemm_batches) << ",";
   os << "\"spgemm_flops\":" << get(spgemm_flops) << ",";
   os << "\"spgemm_output_nnz\":" << get(spgemm_output_nnz) << ",";

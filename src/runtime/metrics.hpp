@@ -79,6 +79,13 @@ struct Metrics {
     kernel_invocations[static_cast<std::size_t>(isa)].fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Kernel calls whose selection substituted at least one AOT
+  /// plan-specialized entry (K-width or classed short-row driver).
+  std::atomic<std::uint64_t> kernel_specialized{0};
+  void count_specialized() {
+    kernel_specialized.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// SpGEMM (CSR×CSR) requests executed, including degraded ones.
   std::atomic<std::uint64_t> spgemm_batches{0};
   /// Useful SpGEMM floating-point work (2 per product), counted once per

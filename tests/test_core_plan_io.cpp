@@ -68,6 +68,33 @@ TEST(PlanIo, RoundTripPreservesEverything) {
   EXPECT_EQ(loaded.tiled.stats().nnz_dense, plan.tiled.stats().nnz_dense);
 }
 
+// The v3 specialization record survives the round trip field-for-field,
+// so an offline-deployed plan selects the same kernel variants as the
+// freshly built one.
+TEST(PlanIo, RoundTripPreservesSpecializationRecord) {
+  const auto m = subject_matrix();
+  const ExecutionPlan plan = build_plan(m, small_cfg());
+  ASSERT_NE(plan.spec, nullptr);
+
+  std::stringstream ss;
+  core::save_plan(plan, ss);
+  const ExecutionPlan loaded = core::load_plan(ss);
+  ASSERT_NE(loaded.spec, nullptr);
+
+  const auto& a = *plan.spec;
+  const auto& b = *loaded.spec;
+  EXPECT_EQ(b.enabled, a.enabled);
+  EXPECT_EQ(b.short_max, a.short_max);
+  EXPECT_EQ(b.medium_max, a.medium_max);
+  EXPECT_EQ(b.dense_panels, a.dense_panels);
+  EXPECT_EQ(b.dense_tile_rows, a.dense_tile_rows);
+  for (std::size_t c = 0; c < kernels::simd::kRowClassCount; ++c) {
+    EXPECT_EQ(b.rows_by_class[c], a.rows_by_class[c]) << "class " << c;
+    EXPECT_EQ(b.variant[c], a.variant[c]) << "class " << c;
+  }
+  EXPECT_EQ(b.wants_short_unroll(), a.wants_short_unroll());
+}
+
 TEST(PlanIo, LoadedPlanComputesIdenticalResults) {
   const auto m = subject_matrix();
   const ExecutionPlan plan = build_plan(m, small_cfg());

@@ -12,9 +12,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "aspt/aspt.hpp"
 #include "kernels/sddmm.hpp"
 #include "kernels/simd/dispatch.hpp"
+#include "kernels/simd/specialize.hpp"
 #include "kernels/spmm.hpp"
 #include "synth/generators.hpp"
 #include "test_util.hpp"
@@ -42,7 +45,7 @@ simd::KernelConfig cfg_of(simd::Isa isa, bool fma = false) {
   return cfg;
 }
 
-constexpr simd::KernelConfig kScalar{simd::Isa::scalar, false};
+const simd::KernelConfig kScalar{simd::Isa::scalar, false};
 
 /// One equivalence subject: a matrix plus the tiling that stresses a
 /// particular ASpT shape (single-row panels, all-dense, all-sparse, ...).
@@ -391,6 +394,100 @@ TEST(SimdCounters, InvocationsTrackTheResolvedIsa) {
 
   simd::reset_invocation_counts();
   for (const auto c : simd::invocation_counts()) EXPECT_EQ(c, 0u);
+}
+
+// SDDMM goes through the same dispatch layer; its calls must land on the
+// same per-ISA counters as SpMM (both the rowwise and the ASpT entry).
+TEST(SimdCounters, SddmmInvocationsTrackTheResolvedIsa) {
+  const CsrMatrix s = test::csr({{1, 0, 2}, {0, 3, 0}, {4, 5, 0}});
+  const auto tiled = aspt::build_aspt(
+      s, aspt::AsptConfig{.panel_rows = 2, .dense_col_threshold = 2, .max_dense_cols = 4});
+  DenseMatrix x(3, 8), ymat(3, 8);
+  sparse::fill_random(x, 67);
+  sparse::fill_random(ymat, 71);
+  std::vector<value_t> out;
+
+  simd::reset_invocation_counts();
+  kernels::sddmm_rowwise(s, x, ymat, out, cfg_of(simd::Isa::scalar));
+  auto counts = simd::invocation_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(simd::Isa::scalar)], 1u);
+
+  const simd::Isa best = simd::resolve_isa(std::nullopt);
+  simd::reset_invocation_counts();
+  kernels::sddmm_rowwise(s, x, ymat, out, simd::KernelConfig{});
+  kernels::sddmm_aspt(tiled, x, ymat, out, nullptr, simd::KernelConfig{});
+  counts = simd::invocation_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(best)], 2u);
+}
+
+/// A record that makes every K profitable for row-wise substitution.
+std::shared_ptr<const simd::SpecializationPlan> short_heavy_spec() {
+  simd::SpecializationPlan p;
+  p.rows_by_class[static_cast<std::size_t>(simd::RowClass::short_row)] = 8;
+  p.variant[static_cast<std::size_t>(simd::RowClass::short_row)] =
+      static_cast<std::uint8_t>(simd::SpecVariant::unrolled_short);
+  return std::make_shared<const simd::SpecializationPlan>(p);
+}
+
+// Specialized-call counters: a kernel call whose selection substituted a
+// specialized entry counts once for the *resolved* ISA, for SpMM and
+// SDDMM alike; generic calls never touch the specialized counters.
+TEST(SimdCounters, SpecializedCallsCountPerResolvedIsa) {
+  if (!simd::specialization_compiled()) GTEST_SKIP() << "specialization compiled out";
+  if (!simd::specialization_enabled()) GTEST_SKIP() << "RRSPMM_KERNEL_SPECIALIZE off";
+  const CsrMatrix s = test::csr({{1, 2, 0}, {0, 0, 3}, {4, 0, 0}});
+  DenseMatrix x(3, 8), y(3, 8), ymat(3, 8);
+  sparse::fill_random(x, 73);
+  sparse::fill_random(ymat, 79);
+  std::vector<value_t> out;
+
+  for (const simd::Isa isa : runnable_isas()) {
+    SCOPED_TRACE(simd::isa_name(isa));
+    simd::KernelConfig cfg = cfg_of(isa);
+    cfg.spec = short_heavy_spec();
+
+    simd::reset_invocation_counts();
+    kernels::spmm_rowwise(s, x, y, cfg);
+    kernels::sddmm_rowwise(s, x, ymat, out, cfg);
+    const auto spec_counts = simd::specialized_counts();
+    const auto counts = simd::invocation_counts();
+    EXPECT_EQ(spec_counts[static_cast<std::size_t>(isa)], 2u);
+    EXPECT_EQ(counts[static_cast<std::size_t>(isa)], 2u);
+
+    // A generic call on the same ISA bumps invocations only.
+    kernels::spmm_rowwise(s, x, y, cfg_of(isa));
+    EXPECT_EQ(simd::specialized_counts()[static_cast<std::size_t>(isa)], 2u);
+    EXPECT_EQ(simd::invocation_counts()[static_cast<std::size_t>(isa)], 3u);
+  }
+
+  simd::reset_invocation_counts();
+  for (const auto c : simd::specialized_counts()) EXPECT_EQ(c, 0u);
+}
+
+// RRSPMM_KERNEL_ISA rides the same fallback ladder for the specialized
+// entries: a forced (possibly unsupported) ISA resolves down the ladder,
+// and select_kernels substitutes the *resolved* backend's K-width entry.
+TEST(SimdDispatch, EnvForcedIsaLadderAppliesToSpecializedEntries) {
+  if (!simd::specialization_compiled()) GTEST_SKIP() << "specialization compiled out";
+  if (!simd::specialization_enabled()) GTEST_SKIP() << "RRSPMM_KERNEL_SPECIALIZE off";
+  for (int i = 0; i < static_cast<int>(simd::kIsaCount); ++i) {
+    const auto requested = static_cast<simd::Isa>(i);
+    ::setenv("RRSPMM_KERNEL_ISA", std::string(simd::isa_name(requested)).c_str(), 1);
+    simd::reload_env();
+    simd::KernelConfig cfg = simd::active_config();
+    cfg.spec = short_heavy_spec();
+
+    const simd::Isa resolved = simd::resolve_isa(requested);
+    const simd::KernelTable& t = simd::table(cfg);
+    ASSERT_EQ(t.isa, resolved) << simd::isa_name(requested);
+    const simd::KernelSelection sel = simd::select_kernels(cfg, simd::kSpecKWidths[0]);
+    EXPECT_EQ(sel.isa, resolved) << simd::isa_name(requested);
+    EXPECT_TRUE(sel.specialized);
+    EXPECT_EQ(sel.spmm_rows, t.spmm_rows_kw[0]) << simd::isa_name(requested);
+    EXPECT_EQ(sel.sddmm_rows, t.sddmm_rows_kw[0]) << simd::isa_name(requested);
+  }
+  ::unsetenv("RRSPMM_KERNEL_ISA");
+  simd::reload_env();
 }
 
 }  // namespace

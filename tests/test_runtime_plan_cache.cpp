@@ -159,5 +159,105 @@ TEST(PlanCacheStress, EvictionUnderContentionStaysConsistent) {
       << "at most capacity + in-flight pins";
 }
 
+// --- the cached SpecializationPlan record ----------------------------
+
+// Every plan the cache builds carries its AOT specialization record, and
+// a hit shares it: one record per resident plan, never one per request.
+TEST(PlanCacheSpecialization, HitsShareOneRecordPerPlan) {
+  PlanCache cache(small_cfg(8));
+  const auto m = test::alg3_matrix();
+  const PlanPtr first = cache.get(m);
+  ASSERT_NE(first->spec, nullptr);
+  const PlanPtr second = cache.get(m);
+  EXPECT_EQ(first->spec.get(), second->spec.get());
+  // The histogram classifies every sparse-remainder row exactly once.
+  EXPECT_EQ(first->spec->total_rows(), static_cast<std::uint64_t>(m.rows()));
+}
+
+// Single-flight under 8 threads must also hold for the record: every
+// thread that raced on the same key observes the *same* SpecializationPlan
+// instance (the one built by the single winning build).
+TEST(PlanCacheStress, SingleFlightSharesOneSpecializationRecord) {
+  const auto m = test::alg3_matrix();
+  PlanCache cache(small_cfg(4));
+
+  constexpr int kThreads = 8;
+  std::vector<const kernels::simd::SpecializationPlan*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const PlanPtr plan = cache.get(m);
+      seen[static_cast<std::size_t>(t)] = plan->spec.get();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(cache.metrics().plans_built.load(), 1u);
+  ASSERT_NE(seen[0], nullptr);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]) << "thread " << t;
+  }
+}
+
+// Eviction must release the specialization record together with its plan
+// — the record is owned by the plan, so no cache-side reference may keep
+// it alive once the entry is dropped and no caller holds the plan.
+TEST(PlanCacheSpecialization, EvictionDropsRecordWithPlan) {
+  PlanCache cache(small_cfg(1));
+  const auto corpus = synth::build_test_corpus();
+  ASSERT_GE(corpus.size(), 2u);
+
+  std::weak_ptr<const core::ExecutionPlan> plan_obs;
+  std::weak_ptr<const kernels::simd::SpecializationPlan> spec_obs;
+  {
+    const PlanPtr plan = cache.get(corpus[0].matrix);
+    ASSERT_NE(plan->spec, nullptr);
+    plan_obs = plan;
+    spec_obs = plan->spec;
+  }
+  EXPECT_FALSE(spec_obs.expired()) << "record must stay resident with the cached plan";
+
+  cache.get(corpus[1].matrix);  // capacity 1: evicts corpus[0]'s plan
+  EXPECT_EQ(cache.metrics().cache_evictions.load(), 1u);
+  EXPECT_TRUE(plan_obs.expired()) << "evicted plan leaked";
+  EXPECT_TRUE(spec_obs.expired()) << "evicted plan's SpecializationPlan leaked";
+}
+
+// A fingerprint mismatch is a different key: a matrix with the same shape
+// but different contents must never be served the stale entry, and the
+// fresh plan's record reflects the *new* row-length distribution.
+TEST(PlanCacheSpecialization, StaleFingerprintEntryIsNeverServed) {
+  PlanCache cache(small_cfg(8));
+
+  // Same 6x7 shape; `wide` rewrites the rows so every one is long enough
+  // to leave the short-row class that `narrow` (alg3: nnz 1-3 per row)
+  // populates.
+  const auto narrow = test::alg3_matrix();
+  std::vector<std::vector<value_t>> rows(6, {1, 2, 3, 4, 5, 6, 7});
+  const auto wide = test::csr(rows);
+  ASSERT_EQ(narrow.rows(), wide.rows());
+  ASSERT_EQ(narrow.cols(), wide.cols());
+
+  const std::string fp_narrow = core::matrix_fingerprint(narrow);
+  const std::string fp_wide = core::matrix_fingerprint(wide);
+  ASSERT_NE(fp_narrow, fp_wide) << "contents must change the fingerprint";
+
+  const PlanPtr p_narrow = cache.get(fp_narrow, narrow, PlanMode::rr);
+  const PlanPtr p_wide = cache.get(fp_wide, wide, PlanMode::rr);
+  EXPECT_EQ(cache.metrics().cache_misses.load(), 2u) << "stale entry served as a hit";
+  EXPECT_NE(p_narrow.get(), p_wide.get());
+  EXPECT_NE(p_narrow->spec.get(), p_wide->spec.get());
+
+  // The records describe their own matrix, not the stale one.
+  EXPECT_TRUE(p_narrow->spec->wants_short_unroll());
+  EXPECT_FALSE(p_wide->spec->wants_short_unroll());
+
+  // Re-requesting each fingerprint still returns its own plan.
+  EXPECT_EQ(cache.get(fp_narrow, narrow, PlanMode::rr).get(), p_narrow.get());
+  EXPECT_EQ(cache.get(fp_wide, wide, PlanMode::rr).get(), p_wide.get());
+  EXPECT_EQ(cache.metrics().cache_hits.load(), 2u);
+}
+
 }  // namespace
 }  // namespace rrspmm
