@@ -7,8 +7,13 @@
 // single-core container) with identical structure.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "harness/cache.hpp"
@@ -54,6 +59,117 @@ inline void print_experiment_header(const char* what, const std::vector<MatrixRe
   std::printf("== %s ==\n", what);
   std::printf("corpus: %zu matrices (paper: 1084); %zu need row-reordering (paper: 416)\n",
               records.size(), needs_reordering(records).size());
+}
+
+/// Minimal streaming JSON writer for the BENCH_*.json payloads every
+/// scaling bench emits (and the router's calibration loader reads back).
+/// Handles commas and nesting, so a bench declares its fields instead of
+/// hand-assembling separators:
+///
+///   JsonWriter js;
+///   js.obj_begin().field("bench", "kernel_scaling").key("results").arr_begin();
+///   for (...) js.obj_begin().field("k", k).field("wall_ms", ms).obj_end();
+///   js.arr_end().obj_end();
+///   write_bench_json("BENCH_kernels.json", js.str());
+///
+/// Keys and string values are emitted verbatim between quotes — callers
+/// pass identifier-like names only (every bench does), not arbitrary
+/// text needing escapes.
+class JsonWriter {
+ public:
+  JsonWriter() { os_.precision(9); }
+
+  JsonWriter& obj_begin() {
+    comma();
+    os_ << '{';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& obj_end() {
+    first_.pop_back();
+    os_ << '}';
+    return *this;
+  }
+  JsonWriter& arr_begin() {
+    comma();
+    os_ << '[';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& arr_end() {
+    first_.pop_back();
+    os_ << ']';
+    return *this;
+  }
+
+  /// Emits the key (with any needed comma); follow with value()/arr_begin().
+  JsonWriter& key(std::string_view k) {
+    comma();
+    os_ << '"' << k << "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    os_ << '"' << v << '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  /// One template instead of per-width overloads: int64_t/size_t/long
+  /// alias each other differently across platforms.
+  template <class T, std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  JsonWriter& value(T v) {
+    comma();
+    if constexpr (std::is_signed_v<T>) {
+      os_ << static_cast<long long>(v);
+    } else {
+      os_ << static_cast<unsigned long long>(v);
+    }
+    return *this;
+  }
+
+  template <class T>
+  JsonWriter& field(std::string_view k, T v) {
+    return key(k).value(v);
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // the separator was written with the key
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) os_ << ',';
+      first_.back() = false;
+    }
+  }
+
+  std::ostringstream os_;
+  std::vector<bool> first_;   ///< per nesting level: no element emitted yet
+  bool pending_value_ = false;
+};
+
+/// Writes one BENCH_*.json artifact (the files the CI bench-smoke job
+/// uploads and router::Router::load_calibration_file consumes) to the
+/// current directory, with the customary "wrote" line on stdout.
+inline void write_bench_json(const std::string& file, const std::string& json) {
+  std::ofstream out(file, std::ios::trunc);
+  out << json << '\n';
+  std::printf("wrote %s\n", file.c_str());
 }
 
 /// Writes the figure/table's underlying data as CSV when the user sets

@@ -8,12 +8,11 @@
 //   RRSPMM_SCALE    — linear multiplier on matrix rows (default 1)
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "dist/dist.hpp"
 #include "harness/render.hpp"
 #include "synth/corpus.hpp"
@@ -87,18 +86,22 @@ struct Point {
 };
 
 std::string to_json(const std::vector<Point>& points) {
-  std::ostringstream js;
-  js << "{\"bench\":\"dist_scaling\",\"k\":" << kWidth << ",\"results\":[";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    if (i) js << ',';
-    js << "{\"matrix\":\"" << p.matrix << "\",\"strategy\":\"" << to_string(p.strategy)
-       << "\",\"devices\":" << p.devices << ",\"makespan_s\":" << p.makespan_s
-       << ",\"max_kernel_s\":" << p.max_kernel_s << ",\"scatter_s\":" << p.scatter_s
-       << ",\"collect_s\":" << p.collect_s << ",\"comm_bytes\":" << p.comm_bytes
-       << ",\"speedup\":" << p.speedup << "}";
+  bench::JsonWriter js;
+  js.obj_begin().field("bench", "dist_scaling").field("k", kWidth).key("results").arr_begin();
+  for (const Point& p : points) {
+    js.obj_begin()
+        .field("matrix", p.matrix)
+        .field("strategy", to_string(p.strategy))
+        .field("devices", p.devices)
+        .field("makespan_s", p.makespan_s)
+        .field("max_kernel_s", p.max_kernel_s)
+        .field("scatter_s", p.scatter_s)
+        .field("collect_s", p.collect_s)
+        .field("comm_bytes", p.comm_bytes)
+        .field("speedup", p.speedup)
+        .obj_end();
   }
-  js << "]}";
+  js.arr_end().obj_end();
   return js.str();
 }
 
@@ -184,10 +187,7 @@ int main() {
     }
   }
 
-  const std::string json = to_json(points);
-  std::ofstream out("BENCH_dist.json", std::ios::trunc);
-  out << json << '\n';
-  std::printf("wrote BENCH_dist.json\n");
+  bench::write_bench_json("BENCH_dist.json", to_json(points));
 
   if (failures > 0) {
     std::printf("%d scaling check(s) FAILED\n", failures);

@@ -18,11 +18,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "harness/render.hpp"
 #include "io/mm_stream.hpp"
 #include "io/rrsb.hpp"
@@ -83,18 +82,25 @@ struct Point {
 };
 
 std::string to_json(const std::vector<Point>& points) {
-  std::ostringstream js;
-  js << "{\"bench\":\"ingest_scaling\",\"budget_bytes\":" << kBudget << ",\"results\":[";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    if (i) js << ',';
-    js << "{\"matrix\":\"" << p.matrix << "\",\"chunk_bytes\":" << p.chunk_bytes
-       << ",\"wall_ms\":" << p.wall_ms << ",\"mb_per_s\":" << p.mb_per_s
-       << ",\"spilled_runs\":" << p.spilled_runs << ",\"peak_bytes\":" << p.peak_bytes
-       << ",\"identical\":" << (p.identical ? "true" : "false")
-       << ",\"within_budget\":" << (p.within_budget ? "true" : "false") << "}";
+  bench::JsonWriter js;
+  js.obj_begin()
+      .field("bench", "ingest_scaling")
+      .field("budget_bytes", kBudget)
+      .key("results")
+      .arr_begin();
+  for (const Point& p : points) {
+    js.obj_begin()
+        .field("matrix", p.matrix)
+        .field("chunk_bytes", p.chunk_bytes)
+        .field("wall_ms", p.wall_ms)
+        .field("mb_per_s", p.mb_per_s)
+        .field("spilled_runs", p.spilled_runs)
+        .field("peak_bytes", p.peak_bytes)
+        .field("identical", p.identical)
+        .field("within_budget", p.within_budget)
+        .obj_end();
   }
-  js << "]}";
+  js.arr_end().obj_end();
   return js.str();
 }
 
@@ -179,10 +185,7 @@ int main() {
                                     rows)
                   .c_str());
 
-  const std::string json = to_json(points);
-  std::ofstream out("BENCH_ingest.json", std::ios::trunc);
-  out << json << '\n';
-  std::printf("wrote BENCH_ingest.json\n");
+  bench::write_bench_json("BENCH_ingest.json", to_json(points));
 
   for (const Subject& s : subjects) std::remove(s.path.c_str());
 

@@ -25,13 +25,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "aspt/aspt.hpp"
+#include "bench_common.hpp"
 #include "harness/render.hpp"
 #include "kernels/sddmm.hpp"
 #include "kernels/simd/dispatch.hpp"
@@ -284,28 +283,38 @@ int calibrate_iters(const CsrMatrix& s, index_t k) {
 }
 
 std::string to_json(const std::vector<Point>& points, const std::vector<SpecPoint>& spec) {
-  std::ostringstream js;
-  js << "{\"bench\":\"kernel_scaling\",\"auto_isa\":\""
-     << simd::isa_name(simd::resolve_isa(std::nullopt)) << "\",\"results\":[";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    if (i) js << ',';
-    js << "{\"subject\":\"" << p.subject << "\",\"op\":\"" << p.op << "\",\"k\":" << p.k
-       << ",\"isa\":\"" << p.isa << "\",\"fma\":" << (p.fma ? "true" : "false")
-       << ",\"wall_ms\":" << p.wall_ms << ",\"speedup\":" << p.speedup
-       << ",\"identical\":" << (p.identical ? "true" : "false") << "}";
+  bench::JsonWriter js;
+  js.obj_begin()
+      .field("bench", "kernel_scaling")
+      .field("auto_isa", simd::isa_name(simd::resolve_isa(std::nullopt)))
+      .key("results")
+      .arr_begin();
+  for (const Point& p : points) {
+    js.obj_begin()
+        .field("subject", p.subject)
+        .field("op", p.op)
+        .field("k", p.k)
+        .field("isa", p.isa)
+        .field("fma", p.fma)
+        .field("wall_ms", p.wall_ms)
+        .field("speedup", p.speedup)
+        .field("identical", p.identical)
+        .obj_end();
   }
-  js << "],\"specialization\":[";
-  for (std::size_t i = 0; i < spec.size(); ++i) {
-    const SpecPoint& p = spec[i];
-    if (i) js << ',';
-    js << "{\"subject\":\"" << p.subject << "\",\"op\":\"" << p.op << "\",\"k\":" << p.k
-       << ",\"specialized\":" << (p.specialized ? "true" : "false")
-       << ",\"generic_ms\":" << p.generic_ms << ",\"spec_ms\":" << p.spec_ms
-       << ",\"speedup\":" << p.speedup
-       << ",\"identical\":" << (p.identical ? "true" : "false") << "}";
+  js.arr_end().key("specialization").arr_begin();
+  for (const SpecPoint& p : spec) {
+    js.obj_begin()
+        .field("subject", p.subject)
+        .field("op", p.op)
+        .field("k", p.k)
+        .field("specialized", p.specialized)
+        .field("generic_ms", p.generic_ms)
+        .field("spec_ms", p.spec_ms)
+        .field("speedup", p.speedup)
+        .field("identical", p.identical)
+        .obj_end();
   }
-  js << "]}";
+  js.arr_end().obj_end();
   return js.str();
 }
 
@@ -540,10 +549,7 @@ int main() {
     }
   }
 
-  const std::string json = to_json(points, spec_points);
-  std::ofstream out("BENCH_kernels.json", std::ios::trunc);
-  out << json << '\n';
-  std::printf("wrote BENCH_kernels.json\n");
+  bench::write_bench_json("BENCH_kernels.json", to_json(points, spec_points));
 
   if (failures > 0) {
     std::printf("%d kernel scaling check(s) FAILED\n", failures);

@@ -18,13 +18,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/reorder_engine.hpp"
 #include "harness/render.hpp"
 #include "runtime/worker_pool.hpp"
@@ -90,19 +89,26 @@ bool same_result(const core::ReorderResult& a, const core::ReorderResult& b) {
 }
 
 std::string to_json(const std::vector<Point>& points) {
-  std::ostringstream js;
-  js << "{\"bench\":\"preproc_scaling\",\"hardware_concurrency\":"
-     << std::thread::hardware_concurrency() << ",\"results\":[";
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const Point& p = points[i];
-    if (i) js << ',';
-    js << "{\"matrix\":\"" << p.matrix << "\",\"threads\":" << p.threads
-       << ",\"wall_ms\":" << p.wall_ms << ",\"sig_ms\":" << p.sig_ms
-       << ",\"band_ms\":" << p.band_ms << ",\"score_ms\":" << p.score_ms
-       << ",\"merge_ms\":" << p.merge_ms << ",\"speedup\":" << p.speedup
-       << ",\"identical\":" << (p.identical ? "true" : "false") << "}";
+  bench::JsonWriter js;
+  js.obj_begin()
+      .field("bench", "preproc_scaling")
+      .field("hardware_concurrency", std::thread::hardware_concurrency())
+      .key("results")
+      .arr_begin();
+  for (const Point& p : points) {
+    js.obj_begin()
+        .field("matrix", p.matrix)
+        .field("threads", p.threads)
+        .field("wall_ms", p.wall_ms)
+        .field("sig_ms", p.sig_ms)
+        .field("band_ms", p.band_ms)
+        .field("score_ms", p.score_ms)
+        .field("merge_ms", p.merge_ms)
+        .field("speedup", p.speedup)
+        .field("identical", p.identical)
+        .obj_end();
   }
-  js << "]}";
+  js.arr_end().obj_end();
   return js.str();
 }
 
@@ -209,10 +215,7 @@ int main() {
                 ok ? "PASS" : "FAIL", g.threads, speedup, g.min_speedup);
   }
 
-  const std::string json = to_json(points);
-  std::ofstream out("BENCH_preproc.json", std::ios::trunc);
-  out << json << '\n';
-  std::printf("wrote BENCH_preproc.json\n");
+  bench::write_bench_json("BENCH_preproc.json", to_json(points));
 
   if (failures > 0) {
     std::printf("%d preproc scaling check(s) FAILED\n", failures);

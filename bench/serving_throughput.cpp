@@ -6,11 +6,10 @@
 // binary's working directory.
 #include <chrono>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "harness/render.hpp"
 #include "runtime/runtime.hpp"
 #include "synth/corpus.hpp"
@@ -77,18 +76,21 @@ MixResult run_mix(unsigned threads, bool warm, const std::vector<synth::CorpusEn
 }
 
 std::string to_json(const std::vector<MixResult>& results) {
-  std::ostringstream js;
-  js << "{\"bench\":\"serving_throughput\",\"results\":[";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const MixResult& r = results[i];
-    if (i) js << ',';
-    js << "{\"threads\":" << r.threads << ",\"mix\":\"" << r.mix << "\""
-       << ",\"requests\":" << r.requests << ",\"req_per_s\":" << r.req_per_s
-       << ",\"latency_p50_s\":" << r.p50_s << ",\"latency_p95_s\":" << r.p95_s
-       << ",\"plans_built\":" << r.plans_built << ",\"requests_coalesced\":" << r.coalesced
-       << "}";
+  bench::JsonWriter js;
+  js.obj_begin().field("bench", "serving_throughput").key("results").arr_begin();
+  for (const MixResult& r : results) {
+    js.obj_begin()
+        .field("threads", r.threads)
+        .field("mix", r.mix)
+        .field("requests", r.requests)
+        .field("req_per_s", r.req_per_s)
+        .field("latency_p50_s", r.p50_s)
+        .field("latency_p95_s", r.p95_s)
+        .field("plans_built", r.plans_built)
+        .field("requests_coalesced", r.coalesced)
+        .obj_end();
   }
-  js << "]}";
+  js.arr_end().obj_end();
   return js.str();
 }
 
@@ -127,9 +129,6 @@ int main() {
                                     rows)
                   .c_str());
 
-  const std::string json = to_json(results);
-  std::ofstream out("BENCH_serving.json", std::ios::trunc);
-  out << json << '\n';
-  std::printf("wrote BENCH_serving.json\n");
+  bench::write_bench_json("BENCH_serving.json", to_json(results));
   return 0;
 }

@@ -20,11 +20,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/pipeline.hpp"
 #include "gpusim/traffic.hpp"
 #include "harness/render.hpp"
@@ -120,24 +119,34 @@ struct Row {
 };
 
 std::string to_json(const std::vector<Row>& rows, std::size_t l2_bytes) {
-  std::ostringstream js;
-  js << "{\"bench\":\"spgemm_scaling\",\"l2_bytes\":" << l2_bytes << ",\"results\":[";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    if (i) js << ',';
-    js << "{\"matrix\":\"" << r.name << "\",\"family\":\"" << r.family << "\",\"rows\":" << r.rows
-       << ",\"nnz\":" << r.nnz << ",\"out_nnz\":" << r.out_nnz << ",\"flops\":" << r.flops
-       << ",\"hash_rows\":" << r.hash_rows << ",\"sort_rows\":" << r.sort_rows
-       << ",\"hash_ms\":" << r.hash_ms << ",\"sort_ms\":" << r.sort_ms
-       << ",\"bitwise_equal\":" << (r.bitwise_equal ? "true" : "false")
-       << ",\"reordered_plan\":" << (r.reordered_plan ? "true" : "false")
-       << ",\"natural_time_s\":" << r.natural.time_s
-       << ",\"reordered_time_s\":" << r.reordered.time_s
-       << ",\"natural_hit_rate\":" << r.hit_rate(r.natural)
-       << ",\"reordered_hit_rate\":" << r.hit_rate(r.reordered)
-       << ",\"speedup\":" << r.speedup() << "}";
+  bench::JsonWriter js;
+  js.obj_begin()
+      .field("bench", "spgemm_scaling")
+      .field("l2_bytes", l2_bytes)
+      .key("results")
+      .arr_begin();
+  for (const Row& r : rows) {
+    js.obj_begin()
+        .field("matrix", r.name)
+        .field("family", r.family)
+        .field("rows", r.rows)
+        .field("nnz", r.nnz)
+        .field("out_nnz", r.out_nnz)
+        .field("flops", r.flops)
+        .field("hash_rows", r.hash_rows)
+        .field("sort_rows", r.sort_rows)
+        .field("hash_ms", r.hash_ms)
+        .field("sort_ms", r.sort_ms)
+        .field("bitwise_equal", r.bitwise_equal)
+        .field("reordered_plan", r.reordered_plan)
+        .field("natural_time_s", r.natural.time_s)
+        .field("reordered_time_s", r.reordered.time_s)
+        .field("natural_hit_rate", r.hit_rate(r.natural))
+        .field("reordered_hit_rate", r.hit_rate(r.reordered))
+        .field("speedup", r.speedup())
+        .obj_end();
   }
-  js << "]}";
+  js.arr_end().obj_end();
   return js.str();
 }
 
@@ -245,10 +254,7 @@ int main() {
                 r.name.c_str(), r.speedup());
   }
 
-  const std::string json = to_json(rows, dev.l2_bytes);
-  std::ofstream out("BENCH_spgemm.json", std::ios::trunc);
-  out << json << '\n';
-  std::printf("wrote BENCH_spgemm.json\n");
+  bench::write_bench_json("BENCH_spgemm.json", to_json(rows, dev.l2_bytes));
 
   if (failures > 0) {
     std::printf("%d spgemm check(s) FAILED\n", failures);

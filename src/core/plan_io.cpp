@@ -17,8 +17,10 @@ constexpr char kMagic[10] = {'R', 'R', 'S', 'P', 'M', 'M', 'P', 'L', 'A', 'N'};
 // timings (the same back-compat idiom as kShardVersion). Version 3
 // appends the kernel SpecializationPlan record after the tiled matrix;
 // loading an older file recomputes the record from the tiling, so every
-// loaded plan carries one.
-constexpr std::uint32_t kVersion = 3;
+// loaded plan carries one. Version 4 appends the record's
+// dense_full_rows counter (recomputed for v3 files), the matrix
+// fingerprint, and the learned router entries (empty for older files).
+constexpr std::uint32_t kVersion = 4;
 
 constexpr char kShardMagic[10] = {'R', 'R', 'S', 'P', 'M', 'M', 'S', 'H', 'R', 'D'};
 // Version 2 appends the partitioned span [span_begin, span_end); version 1
@@ -63,6 +65,56 @@ std::vector<T> get_vec(std::istream& in, std::uint64_t max_elems = (1ULL << 33))
     if (!in) throw io_error("plan file truncated inside an array");
   }
   return v;
+}
+
+void put_str(std::ostream& out, const std::string& s) {
+  put<std::uint64_t>(out, s.size());
+  if (!s.empty()) out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_str(std::istream& in, std::uint64_t max_len = (1ULL << 16)) {
+  const auto n = get<std::uint64_t>(in);
+  if (n > max_len) throw io_error("plan file declares an implausible string size");
+  std::string s(static_cast<std::size_t>(n), '\0');
+  if (n > 0) {
+    in.read(s.data(), static_cast<std::streamsize>(n));
+    if (!in) throw io_error("plan file truncated inside a string");
+  }
+  return s;
+}
+
+// RouteRecords are written field by field (not as raw structs): the
+// on-disk layout must not depend on compiler padding.
+void put_route(std::ostream& out, const RouteRecord& r) {
+  put(out, r.workload);
+  put(out, r.k_bucket);
+  put(out, r.spec_mode);
+  put(out, r.micro_gemm);
+  put(out, r.shard_strategy);
+  put(out, r.threads);
+  put(out, r.batch);
+  put(out, r.accumulator);
+  put(out, r.count);
+  put(out, r.total_us);
+  put(out, r.min_us);
+  put(out, r.max_us);
+}
+
+RouteRecord get_route(std::istream& in) {
+  RouteRecord r;
+  r.workload = get<std::uint8_t>(in);
+  r.k_bucket = get<std::int32_t>(in);
+  r.spec_mode = get<std::uint8_t>(in);
+  r.micro_gemm = get<std::uint8_t>(in);
+  r.shard_strategy = get<std::uint8_t>(in);
+  r.threads = get<std::uint8_t>(in);
+  r.batch = get<std::uint8_t>(in);
+  r.accumulator = get<std::uint8_t>(in);
+  r.count = get<std::uint64_t>(in);
+  r.total_us = get<double>(in);
+  r.min_us = get<double>(in);
+  r.max_us = get<double>(in);
+  return r;
 }
 
 void put_stats(std::ostream& out, const PipelineStats& s) {
@@ -151,6 +203,13 @@ void save_plan(const ExecutionPlan& plan, std::ostream& out) {
   for (std::size_t c = 0; c < kernels::simd::kRowClassCount; ++c) {
     put<std::uint8_t>(out, spec.variant[c]);
   }
+
+  // Version 4: the micro-GEMM density counter, the matrix fingerprint,
+  // and the learned router entries.
+  put<std::uint64_t>(out, spec.dense_full_rows);
+  put_str(out, plan.fingerprint);
+  put<std::uint64_t>(out, plan.routes.size());
+  for (const RouteRecord& r : plan.routes) put_route(out, r);
   if (!out) throw io_error("failed writing plan");
 }
 
@@ -217,6 +276,18 @@ ExecutionPlan load_plan(std::istream& in) {
     }
     if (spec.short_max <= 0 || spec.medium_max < spec.short_max) {
       throw io_error("plan specialization record is corrupt");
+    }
+    if (version >= 4) {
+      spec.dense_full_rows = get<std::uint64_t>(in);
+      plan.fingerprint = get_str(in);
+      const auto nroutes = get<std::uint64_t>(in);
+      if (nroutes > (1ULL << 20)) throw io_error("implausible route-record count");
+      plan.routes.reserve(static_cast<std::size_t>(nroutes));
+      for (std::uint64_t i = 0; i < nroutes; ++i) plan.routes.push_back(get_route(in));
+    } else {
+      // v3 predates the counter: recompute it from the tiling.
+      spec.dense_full_rows =
+          kernels::simd::specialize_plan(plan.tiled).dense_full_rows;
     }
     plan.spec = std::make_shared<kernels::simd::SpecializationPlan>(spec);
   } else {

@@ -1,6 +1,7 @@
 #include "dist/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <vector>
 
@@ -35,6 +36,44 @@ simd::KernelConfig effective_config(const simd::KernelConfig* kernel,
 void count_selection(runtime::Metrics* metrics, const simd::KernelSelection& sel) {
   metrics->count_kernel(sel.isa);
   if (sel.specialized) metrics->count_specialized();
+}
+
+double micros_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Shard-strategy decision for one batch. Routable only when the plan
+/// carries a fingerprint (plans from PlanCache / plan files do; a
+/// hand-built ExecutionPlan without one is executed statically).
+router::Decision decide_strategy(const std::shared_ptr<router::Router>& r,
+                                 const core::ExecutionPlan& plan, index_t k,
+                                 ShardStrategy configured, ShardStrategy& strategy,
+                                 runtime::Metrics* metrics) {
+  router::Decision dec;
+  if (!r || plan.fingerprint.empty()) return dec;
+  dec = r->decide(plan.fingerprint, router::Workload::shard, k,
+                  router::Router::shard_arms(static_cast<std::uint8_t>(configured)));
+  if (!dec.routed) return dec;
+  strategy = static_cast<ShardStrategy>(dec.choice.shard_strategy);
+  if (metrics) {
+    metrics->router_decisions.fetch_add(1, std::memory_order_relaxed);
+    if (dec.explored) metrics->router_explorations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return dec;
+}
+
+/// Reports the measured makespan of a routed batch back to the router
+/// and the per-route metrics attribution.
+void observe_strategy(const std::shared_ptr<router::Router>& r,
+                      const core::ExecutionPlan& plan, index_t k,
+                      const router::Decision& dec, double us, runtime::Metrics* metrics) {
+  if (!dec.routed) return;
+  r->observe(plan.fingerprint, router::Workload::shard, k, dec.choice, us);
+  if (metrics) {
+    metrics->route_latency.record(
+        router::route_key(plan.fingerprint, router::Workload::shard, k, dec.choice), us);
+  }
 }
 
 void spmm_shards(runtime::WorkerPool& pool, const aspt::AsptMatrix& a, const ShardPlan& sp,
@@ -128,7 +167,11 @@ ShardedExecutor::ShardedExecutor(ShardedExecutorConfig cfg)
 
 void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
                            const DenseMatrix& x, DenseMatrix& y, runtime::Metrics* metrics) {
-  const ShardPlan sp = planner_.plan_rows(plan, cfg_.num_devices, cfg_.strategy);
+  ShardStrategy strategy = cfg_.strategy;
+  const router::Decision rdec =
+      decide_strategy(cfg_.router, plan, x.cols(), cfg_.strategy, strategy, metrics);
+  const auto rt0 = std::chrono::steady_clock::now();
+  const ShardPlan sp = planner_.plan_rows(plan, cfg_.num_devices, strategy);
   if (metrics) metrics->sharded_batches.fetch_add(1, std::memory_order_relaxed);
   const simd::KernelConfig kcfg = effective_config(cfg_.kernel ? &*cfg_.kernel : nullptr, plan);
   const simd::KernelSelection ksel = simd::select_kernels(kcfg, x.cols());
@@ -206,7 +249,7 @@ void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan&
       if (metrics) metrics->failovers.fetch_add(1, std::memory_order_relaxed);
       const ShardPlan rp =
           planner_.plan_row_range(plan, w.shard.row_begin, w.shard.row_end,
-                                  static_cast<int>(survivors.size()), cfg_.strategy);
+                                  static_cast<int>(survivors.size()), strategy);
       for (std::size_t i = 0; i < rp.row_shards.size(); ++i) {
         next.push_back({rp.row_shards[i], survivors[i % survivors.size()]});
       }
@@ -215,6 +258,9 @@ void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan&
   }
 
   if (!identity) y = sparse::unpermute_dense_rows(yp, plan.row_perm);
+  // Makespan of the whole sharded batch, failover included — a strategy
+  // whose cuts keep failing scores as slow as it is in practice.
+  observe_strategy(cfg_.router, plan, x.cols(), rdec, micros_since(rt0), metrics);
 }
 
 void ShardedExecutor::spgemm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
@@ -231,7 +277,11 @@ void ShardedExecutor::spgemm(runtime::WorkerPool& pool, const core::ExecutionPla
   std::vector<index_t> colidx(static_cast<std::size_t>(sym.nnz()));
   std::vector<value_t> values(static_cast<std::size_t>(sym.nnz()));
 
-  const ShardPlan sp = planner_.plan_rows(plan, cfg_.num_devices, cfg_.strategy);
+  ShardStrategy strategy = cfg_.strategy;
+  const router::Decision rdec =
+      decide_strategy(cfg_.router, plan, b.cols(), cfg_.strategy, strategy, metrics);
+  const auto rt0 = std::chrono::steady_clock::now();
+  const ShardPlan sp = planner_.plan_rows(plan, cfg_.num_devices, strategy);
   if (metrics) metrics->sharded_batches.fetch_add(1, std::memory_order_relaxed);
   // Composed processing order (round 1 ∘ round 2): shard cuts index
   // positions of this order, so reorder-aware seams keep each device on
@@ -302,7 +352,7 @@ void ShardedExecutor::spgemm(runtime::WorkerPool& pool, const core::ExecutionPla
       if (metrics) metrics->failovers.fetch_add(1, std::memory_order_relaxed);
       const ShardPlan rp =
           planner_.plan_row_range(plan, w.shard.row_begin, w.shard.row_end,
-                                  static_cast<int>(survivors.size()), cfg_.strategy);
+                                  static_cast<int>(survivors.size()), strategy);
       for (std::size_t i = 0; i < rp.row_shards.size(); ++i) {
         next.push_back({rp.row_shards[i], survivors[i % survivors.size()]});
       }
@@ -311,6 +361,7 @@ void ShardedExecutor::spgemm(runtime::WorkerPool& pool, const core::ExecutionPla
   }
 
   c = CsrMatrix(a.rows(), b.cols(), std::move(sym.rowptr), std::move(colidx), std::move(values));
+  observe_strategy(cfg_.router, plan, b.cols(), rdec, micros_since(rt0), metrics);
 }
 
 }  // namespace rrspmm::dist

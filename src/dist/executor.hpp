@@ -19,6 +19,7 @@
 #include <string>
 
 #include "dist/shard_planner.hpp"
+#include "router/router.hpp"
 #include "runtime/execute.hpp"
 
 namespace rrspmm::dist {
@@ -62,6 +63,14 @@ struct ShardedExecutorConfig {
   /// the process-wide simd::active_config(). Shard results are bitwise
   /// identical either way on the default (non-fma) path.
   std::optional<kernels::simd::KernelConfig> kernel;
+  /// Adaptive-execution router for the shard-strategy decision: when set
+  /// and the plan carries a fingerprint, each spmm()/spgemm() call asks
+  /// it to pick among the three strategies (cfg.strategy offered as the
+  /// default arm) and reports the measured batch makespan back. Failover
+  /// re-cuts use the decided strategy too. Any strategy partitions the
+  /// same bitwise-stable row ranges, so the decision never changes result
+  /// bits. Null (the default) keeps the static cfg.strategy.
+  std::shared_ptr<router::Router> router;
 };
 
 /// runtime::Executor that shards every batch across simulated devices.

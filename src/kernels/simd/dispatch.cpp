@@ -117,7 +117,14 @@ KernelSelection select_kernels(const KernelConfig& cfg, index_t k) {
   sel.spmm_panel = t.spmm_panel;
   sel.sddmm_rows = t.sddmm_rows;
   sel.sddmm_panel = t.sddmm_panel;
-  if (!cfg.spec || !cfg.spec->enabled || !specialization_enabled()) return sel;
+  if (cfg.micro_gemm) sel.spmm_panel_dense = t.spmm_panel_dense;
+  // cfg.spec_mode pins the specialization mode per call (the router's
+  // per-plan decision); SpecMode::env defers to RRSPMM_KERNEL_SPECIALIZE.
+  const bool spec_on = cfg.spec_mode == SpecMode::env ? specialization_enabled()
+                                                      : cfg.spec_mode != SpecMode::off;
+  const bool panels_on = cfg.spec_mode == SpecMode::env ? specialization_panels_enabled()
+                                                        : cfg.spec_mode == SpecMode::all;
+  if (!cfg.spec || !cfg.spec->enabled || !spec_on) return sel;
   const int slot = spec_k_slot(k);
   // K-width substitution is skipped for short-row-heavy plans at large K:
   // the fully K-unrolled row body is front-end bound exactly when rows
@@ -131,8 +138,10 @@ KernelSelection select_kernels(const KernelConfig& cfg, index_t k) {
     // up to kSpecPanelKMax (see table.hpp): the staged-panel loop nest
     // is already tight, so constant-folding K into it is neutral at best
     // and measurably slower at K=128 — unlike the row-wise drivers,
-    // which is where the default policy keeps the substitutions.
-    if (k <= kSpecPanelKMax && specialization_panels_enabled()) {
+    // which is where the default policy keeps the substitutions. The
+    // micro-GEMM entry owns the dense phase when selected, so the two
+    // panel substitutions are mutually exclusive.
+    if (k <= kSpecPanelKMax && panels_on && sel.spmm_panel_dense == nullptr) {
       sel.spmm_panel = t.spmm_panel_kw[slot];
       sel.sddmm_panel = t.sddmm_panel_kw[slot];
     }

@@ -27,6 +27,17 @@ namespace rrspmm::kernels::simd {
 
 struct SpecializationPlan;  // specialize.hpp
 
+/// Per-call override of the RRSPMM_KERNEL_SPECIALIZE knob. `env` (the
+/// default) defers to the environment; the other values pin the mode
+/// for this config regardless of the env, which is how the router
+/// expresses a per-plan decision without touching process state.
+enum class SpecMode : std::uint8_t {
+  env = 0,   ///< follow RRSPMM_KERNEL_SPECIALIZE (default)
+  off = 1,   ///< generic entries only
+  rows = 2,  ///< row-wise substitutions (the env default)
+  all = 3,   ///< rows + dense-panel K-width entries
+};
+
 /// Kernel selection carried by callers (ServerConfig, ShardedExecutor,
 /// bench drivers). Default-constructed = auto ISA, bitwise math.
 struct KernelConfig {
@@ -42,6 +53,17 @@ struct KernelConfig {
   /// entries only, exactly the PR 5 behaviour. Shared so the record
   /// lives as long as any config or plan referencing it.
   std::shared_ptr<const SpecializationPlan> spec;
+  /// Specialization-mode override; SpecMode::env defers to the
+  /// RRSPMM_KERNEL_SPECIALIZE knob. Set by the router per decision.
+  SpecMode spec_mode = SpecMode::env;
+  /// Route the ASpT dense-tile phase through the register-blocked
+  /// micro-GEMM entry (spmm_panel_dense): fully dense tile rows are
+  /// paired against shared staged loads, partial rows fall back to the
+  /// generic panel body. Bitwise-identical on the non-fma path; off by
+  /// default because it only pays when most tile rows are fully dense —
+  /// the router turns it on when the plan's dense_full_rows fraction
+  /// clears its calibrated threshold.
+  bool micro_gemm = false;
 };
 
 /// Whether the backend was compiled into this binary.
@@ -71,6 +93,9 @@ struct KernelSelection {
   KernelTable::SpmmPanelFn spmm_panel = nullptr;
   KernelTable::SddmmRowsFn sddmm_rows = nullptr;
   KernelTable::SddmmPanelFn sddmm_panel = nullptr;
+  /// Non-null only under KernelConfig::micro_gemm: the dense-tile
+  /// micro-GEMM entry the ASpT SpMM drivers prefer over spmm_panel.
+  KernelTable::SpmmPanelDenseFn spmm_panel_dense = nullptr;
 };
 
 /// Resolves cfg down the same ladder as table() and applies the

@@ -97,6 +97,84 @@ inline void accumulate_row(value_t* yr, index_t k, index_t nnz, GetX&& xrow, Get
   }
 }
 
+/// Two fully-dense tile rows at once:
+/// y{0,1}[0..k) += sum_j v{0,1}[j] * staged_row(slots[j])[0..k).
+///
+/// The caller guarantees both rows enumerate the same slot sequence
+/// `slots` (fully dense rows of one panel list the same column set in
+/// the same order), so one staged load per (j, kk) feeds both rows.
+/// That is the whole win: accumulate_row's 4-vector block is bound by
+/// the FP add latency of four dependent chains, while the 4-vector x
+/// 2-row block below keeps eight chains live and halves the staged X
+/// loads per useful FLOP. Each element still accumulates its nonzeros
+/// in ascending j order with separate mul/add roundings, so the result
+/// is bitwise-identical to two accumulate_row calls for any V on the
+/// non-fma path.
+template <class V, bool Fma>
+inline void microgemm_pair(value_t* y0, value_t* y1, const value_t* v0, const value_t* v1,
+                           const index_t* slots, const value_t* staged, index_t staged_ld,
+                           index_t k, index_t d) {
+  const auto xrow = [&](index_t j) {
+    return staged + static_cast<std::size_t>(slots[j]) * static_cast<std::size_t>(staged_ld);
+  };
+  if constexpr (V::width == 1) {
+    for (index_t j = 0; j < d; ++j) detail::axpy(y0, xrow(j), v0[j], k);
+    for (index_t j = 0; j < d; ++j) detail::axpy(y1, xrow(j), v1[j], k);
+    return;
+  } else {
+    constexpr index_t W = V::width;
+    index_t kk = 0;
+    // 2Wx2 main block: four live accumulator chains, each staged X load
+    // and broadcast shared by both rows. Wider kk-blocking (4W) was
+    // measured slower — eight dense chains oversubscribe the FP units
+    // while the shared-load win is already captured at 2W.
+    for (; kk + 2 * W <= k; kk += 2 * W) {
+      V a00 = V::loadu(y0 + kk);
+      V a01 = V::loadu(y0 + kk + W);
+      V a10 = V::loadu(y1 + kk);
+      V a11 = V::loadu(y1 + kk + W);
+      for (index_t j = 0; j < d; ++j) {
+        const value_t* xr = xrow(j) + kk;
+        const V x0 = V::load(xr);
+        const V x1 = V::load(xr + W);
+        const V b0 = V::broadcast(v0[j]);
+        const V b1 = V::broadcast(v1[j]);
+        a00 = step<V, Fma>(a00, b0, x0);
+        a01 = step<V, Fma>(a01, b0, x1);
+        a10 = step<V, Fma>(a10, b1, x0);
+        a11 = step<V, Fma>(a11, b1, x1);
+      }
+      a00.storeu(y0 + kk);
+      a01.storeu(y0 + kk + W);
+      a10.storeu(y1 + kk);
+      a11.storeu(y1 + kk + W);
+    }
+    for (; kk + W <= k; kk += W) {
+      V a0 = V::loadu(y0 + kk);
+      V a1 = V::loadu(y1 + kk);
+      for (index_t j = 0; j < d; ++j) {
+        const V x = V::load(xrow(j) + kk);
+        a0 = step<V, Fma>(a0, V::broadcast(v0[j]), x);
+        a1 = step<V, Fma>(a1, V::broadcast(v1[j]), x);
+      }
+      a0.storeu(y0 + kk);
+      a1.storeu(y1 + kk);
+    }
+    if (kk < k) {
+      for (index_t j = 0; j < d; ++j) {
+        const value_t v = v0[j];
+        const value_t* xr = xrow(j);
+        for (index_t t = kk; t < k; ++t) y0[t] += v * xr[t];
+      }
+      for (index_t j = 0; j < d; ++j) {
+        const value_t v = v1[j];
+        const value_t* xr = xrow(j);
+        for (index_t t = kk; t < k; ++t) y1[t] += v * xr[t];
+      }
+    }
+  }
+}
+
 /// emit(j, val(j) * dot(yr, xrow(j))) for j in [0, nnz).
 ///
 /// Non-fma path: lane-per-nonzero — W nonzeros are processed together,
@@ -205,6 +283,53 @@ struct KernelSet {
     }
   }
 
+  static void spmm_panel_dense(const offset_t* dense_rowptr, const index_t* dense_slot,
+                               const value_t* dense_val, index_t panel_row_begin,
+                               const value_t* staged, index_t staged_ld, value_t* y,
+                               index_t y_ld, index_t k, index_t row_lo, index_t row_hi,
+                               index_t dense_cols) {
+    index_t row = row_lo;
+    while (row < row_hi) {
+      const std::size_t r = static_cast<std::size_t>(row - panel_row_begin);
+      const offset_t lo = dense_rowptr[r];
+      const index_t nnz = static_cast<index_t>(dense_rowptr[r + 1] - lo);
+      if (nnz == dense_cols && dense_cols > 0 && row + 1 < row_hi) {
+        const offset_t lo1 = dense_rowptr[r + 1];
+        const index_t nnz1 = static_cast<index_t>(dense_rowptr[r + 2] - lo1);
+        // Fully dense rows built from a column-sorted CSR share one slot
+        // sequence; from_parts admits arbitrary per-row slot orders, so
+        // verify before sharing loads (O(d) against O(d*k) compute).
+        bool same_slots = nnz1 == dense_cols;
+        for (index_t j = 0; same_slots && j < dense_cols; ++j) {
+          same_slots = dense_slot[lo + j] == dense_slot[lo1 + j];
+        }
+        if (same_slots) {
+          generic::microgemm_pair<V, Fma>(
+              y + static_cast<std::size_t>(row) * static_cast<std::size_t>(y_ld),
+              y + static_cast<std::size_t>(row + 1) * static_cast<std::size_t>(y_ld),
+              dense_val + lo, dense_val + lo1, dense_slot + lo, staged, staged_ld, k,
+              dense_cols);
+          row += 2;
+          continue;
+        }
+      }
+      // Partial or unpaired row: the spmm_panel body, element for element.
+      if (nnz > 0) {
+        value_t* yr = y + static_cast<std::size_t>(row) * static_cast<std::size_t>(y_ld);
+        const index_t* slots = dense_slot + lo;
+        const value_t* vs = dense_val + lo;
+        generic::accumulate_row<V, Fma, true>(
+            yr, k, nnz,
+            [&](index_t j) {
+              return staged +
+                     static_cast<std::size_t>(slots[j]) * static_cast<std::size_t>(staged_ld);
+            },
+            [&](index_t j) { return vs[j]; });
+      }
+      ++row;
+    }
+  }
+
   static void sddmm_rows(const offset_t* rowptr, const index_t* colidx, const value_t* vals,
                          const value_t* x, index_t x_ld, const value_t* ymat, index_t y_ld,
                          index_t k, value_t* out, const offset_t* src, const index_t* order,
@@ -266,6 +391,7 @@ constexpr KernelTable make_table(Isa isa) {
   t.fma = Fma;
   t.spmm_rows = &KernelSet<V, Fma>::spmm_rows;
   t.spmm_panel = &KernelSet<V, Fma>::spmm_panel;
+  t.spmm_panel_dense = &KernelSet<V, Fma>::spmm_panel_dense;
   t.sddmm_rows = &KernelSet<V, Fma>::sddmm_rows;
   t.sddmm_panel = &KernelSet<V, Fma>::sddmm_panel;
   return t;

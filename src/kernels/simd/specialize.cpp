@@ -45,8 +45,11 @@ SpecializationPlan specialize_plan(const aspt::AsptMatrix& tiled) {
   for (const aspt::Panel& panel : tiled.panels()) {
     if (panel.dense_cols.empty()) continue;
     ++p.dense_panels;
+    const auto full = static_cast<offset_t>(panel.dense_cols.size());
     for (std::size_t r = 0; r + 1 < panel.dense_rowptr.size(); ++r) {
-      if (panel.dense_rowptr[r + 1] > panel.dense_rowptr[r]) ++p.dense_tile_rows;
+      const offset_t nnz = panel.dense_rowptr[r + 1] - panel.dense_rowptr[r];
+      if (nnz > 0) ++p.dense_tile_rows;
+      if (nnz == full) ++p.dense_full_rows;
     }
   }
   assign_variants(p);

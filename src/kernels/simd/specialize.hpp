@@ -79,6 +79,11 @@ struct SpecializationPlan {
   std::uint64_t dense_panels = 0;
   /// Rows with at least one dense-tile nonzero, over all panels.
   std::uint64_t dense_tile_rows = 0;
+  /// Rows whose dense tile is *fully* populated (row nnz == the panel's
+  /// dense-column count), over all panels — the rows the micro-GEMM
+  /// entry (KernelTable::spmm_panel_dense) can pair. Serialized from
+  /// plan-file version 4; older files recompute it on load.
+  std::uint64_t dense_full_rows = 0;
   /// Chosen SpecVariant per RowClass (uint8 for stable serialization).
   std::uint8_t variant[kRowClassCount] = {0, 0, 0, 0};
 
@@ -96,6 +101,13 @@ struct SpecializationPlan {
     std::uint64_t n = 0;
     for (std::size_t c = 0; c < kRowClassCount; ++c) n += rows_by_class[c];
     return n;
+  }
+  /// Fraction of dense-tile rows the micro-GEMM can pair; the router's
+  /// density signal for the dense-tile path.
+  double dense_full_fraction() const {
+    return dense_tile_rows == 0
+               ? 0.0
+               : static_cast<double>(dense_full_rows) / static_cast<double>(dense_tile_rows);
   }
 };
 

@@ -65,6 +65,21 @@ struct KernelTable {
                      index_t staged_ld, value_t* y, index_t y_ld, index_t k, index_t row_lo,
                      index_t row_hi) = nullptr;
 
+  /// Dense-tile micro-GEMM: the spmm_panel contract plus the panel's
+  /// dense-column count. Adjacent rows whose tiles are *fully* dense
+  /// (row nnz == dense_cols) enumerate the same column set in the same
+  /// order, so their slot sequences coincide and the kernel may
+  /// register-block the two output rows against shared staged X loads —
+  /// a small dense GEMM. Partial or unpairable rows fall back to the
+  /// spmm_panel body. Bitwise contract unchanged: every element still
+  /// accumulates its nonzeros in storage order with separate mul/add
+  /// roundings; pairing only shares loads.
+  void (*spmm_panel_dense)(const offset_t* dense_rowptr, const index_t* dense_slot,
+                           const value_t* dense_val, index_t panel_row_begin,
+                           const value_t* staged, index_t staged_ld, value_t* y, index_t y_ld,
+                           index_t k, index_t row_lo, index_t row_hi,
+                           index_t dense_cols) = nullptr;
+
   /// CSR SDDMM over positions [pos_begin, pos_end): for nonzero j of row
   /// i, out[src ? src[base+j] : base+j] = vals[base+j] * dot(Y_i, X_col).
   void (*sddmm_rows)(const offset_t* rowptr, const index_t* colidx, const value_t* vals,
@@ -82,6 +97,7 @@ struct KernelTable {
 
   using SpmmRowsFn = decltype(spmm_rows);
   using SpmmPanelFn = decltype(spmm_panel);
+  using SpmmPanelDenseFn = decltype(spmm_panel_dense);
   using SddmmRowsFn = decltype(sddmm_rows);
   using SddmmPanelFn = decltype(sddmm_panel);
 

@@ -102,9 +102,16 @@ void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
         const aspt::Panel& p = a.panels()[pi];
         if (p.dense_cols.empty()) continue;
         detail::stage_panel(p, x, k, staged.data(), staged_ld);
-        t.spmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
-                     p.row_begin, staged.data(), staged_ld, y.data(), y.ld(), k, p.row_begin,
-                     p.row_end);
+        if (t.spmm_panel_dense != nullptr) {
+          t.spmm_panel_dense(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
+                             p.row_begin, staged.data(), staged_ld, y.data(), y.ld(), k,
+                             p.row_begin, p.row_end,
+                             static_cast<index_t>(p.dense_cols.size()));
+        } else {
+          t.spmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
+                       p.row_begin, staged.data(), staged_ld, y.data(), y.ld(), k, p.row_begin,
+                       p.row_end);
+        }
       }
     }
   }
@@ -158,9 +165,16 @@ void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix&
       if (p.row_end <= row_begin || p.row_begin >= row_end) continue;
       if (p.dense_cols.empty()) continue;
       detail::stage_panel(p, x, k, staged.data(), staged_ld);
-      t.spmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(), p.row_begin,
-                   staged.data(), staged_ld, y.data(), y.ld(), k,
-                   std::max(row_begin, p.row_begin), std::min(row_end, p.row_end));
+      if (t.spmm_panel_dense != nullptr) {
+        t.spmm_panel_dense(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
+                           p.row_begin, staged.data(), staged_ld, y.data(), y.ld(), k,
+                           std::max(row_begin, p.row_begin), std::min(row_end, p.row_end),
+                           static_cast<index_t>(p.dense_cols.size()));
+      } else {
+        t.spmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
+                     p.row_begin, staged.data(), staged_ld, y.data(), y.ld(), k,
+                     std::max(row_begin, p.row_begin), std::min(row_end, p.row_end));
+      }
     }
   }
 

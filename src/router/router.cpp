@@ -1,0 +1,710 @@
+#include "router/router.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string_view>
+
+#include "core/shard_plan.hpp"
+#include "kernels/simd/dispatch.hpp"
+#include "kernels/simd/specialize.hpp"
+#include "kernels/simd/table.hpp"
+#include "router/calibration.hpp"
+
+namespace rrspmm::router {
+
+namespace {
+
+// Matrices at or below this row count offer the sequential arm: the
+// worker pool's fan-out/join overhead is comparable to the whole SpMM
+// there, and only a measurement can say which side wins on this host.
+constexpr index_t kSequentialArmMaxRows = 4096;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::spmm: return "spmm";
+    case Workload::sddmm: return "sddmm";
+    case Workload::spgemm: return "spgemm";
+    case Workload::shard: return "shard";
+    case Workload::coalesce: return "coalesce";
+  }
+  return "?";
+}
+
+int k_bucket(index_t k) {
+  if (k <= 1) return 0;
+  int b = 0;
+  index_t v = k - 1;
+  while (v > 0) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::string RouteChoice::key() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "s%ug%ud%ut%ub%ua%u", static_cast<unsigned>(spec_mode),
+                micro_gemm ? 1U : 0U, static_cast<unsigned>(shard_strategy),
+                static_cast<unsigned>(threads), static_cast<unsigned>(batch),
+                static_cast<unsigned>(accumulator));
+  return buf;
+}
+
+bool RouteChoice::parse(const std::string& s, RouteChoice& out) {
+  unsigned sm = 0, g = 0, d = 0, t = 0, b = 0, a = 0;
+  if (std::sscanf(s.c_str(), "s%ug%ud%ut%ub%ua%u", &sm, &g, &d, &t, &b, &a) != 6) return false;
+  if (sm > 255 || g > 1 || d > 255 || t > 255 || b > 255 || a > 255) return false;
+  out.spec_mode = static_cast<std::uint8_t>(sm);
+  out.micro_gemm = g != 0;
+  out.shard_strategy = static_cast<std::uint8_t>(d);
+  out.threads = static_cast<std::uint8_t>(t);
+  out.batch = static_cast<std::uint8_t>(b);
+  out.accumulator = static_cast<std::uint8_t>(a);
+  return true;
+}
+
+std::string route_key(const std::string& fingerprint, Workload w, index_t k,
+                      const RouteChoice& choice) {
+  std::string s = fingerprint;
+  s += '|';
+  s += workload_name(w);
+  s += "|k";
+  s += std::to_string(k_bucket(k));
+  s += '|';
+  s += choice.key();
+  return s;
+}
+
+bool compiled() {
+#ifdef RRSPMM_ROUTER_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+Router::Router(RouterConfig cfg) : cfg_(cfg) {
+  if (cfg_.max_keys == 0) cfg_.max_keys = 1;
+}
+
+std::string Router::table_key(const std::string& fingerprint, Workload w, int bucket) {
+  std::string s = fingerprint;
+  s += '|';
+  s += std::to_string(static_cast<int>(w));
+  s += '|';
+  s += std::to_string(bucket);
+  return s;
+}
+
+Router::KeyState* Router::find_locked(const std::string& key) {
+  auto it = table_.find(key);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+const Router::KeyState* Router::find_locked(const std::string& key) const {
+  auto it = table_.find(key);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+Router::Arm& Router::arm_locked(KeyState& ks, const RouteChoice& choice) {
+  for (Arm& a : ks.arms) {
+    if (a.choice == choice) return a;
+  }
+  ks.arms.push_back(Arm{choice, {}});
+  return ks.arms.back();
+}
+
+const ArmStats* Router::prior_locked(Workload w, int bucket, const RouteChoice& choice) const {
+  const KeyState* ks = find_locked(table_key(std::string(), w, bucket));
+  if (!ks) return nullptr;
+  for (const Arm& a : ks->arms) {
+    if (a.choice == choice && a.stats.count > 0) return &a.stats;
+  }
+  return nullptr;
+}
+
+Decision Router::decide(const std::string& fingerprint, Workload w, index_t k,
+                        const std::vector<RouteChoice>& arms) {
+  Decision dec;
+  if (!arms.empty()) dec.choice = arms[0];
+#ifdef RRSPMM_ROUTER_DISABLED
+  (void)fingerprint;
+  (void)w;
+  (void)k;
+  return dec;
+#else
+  if (arms.empty()) return dec;
+  const int bucket = k_bucket(k);
+  const std::string key = table_key(fingerprint, w, bucket);
+
+  std::lock_guard<std::mutex> lk(m_);
+  KeyState* ks = find_locked(key);
+  if (!ks) {
+    if (table_.size() >= cfg_.max_keys) return dec;  // table full: default, unrouted
+    ks = &table_[key];
+  }
+  ++decisions_;
+  dec.routed = true;
+
+  // Score every offered arm: local mean, else the fingerprint-agnostic
+  // prior, else unknown (+inf — sampled first in online mode, ranked
+  // last in frozen mode where arms[0] wins ties).
+  std::size_t best = 0;
+  double best_score = kInf;
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    double score = kInf;
+    for (const Arm& a : ks->arms) {
+      if (a.choice == arms[i] && a.stats.count > 0) {
+        score = a.stats.mean_us();
+        break;
+      }
+    }
+    if (score == kInf) {
+      if (const ArmStats* p = prior_locked(w, bucket, arms[i])) score = p->mean_us();
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+
+  if (cfg_.frozen) {
+    dec.choice = arms[best_score == kInf ? 0 : best];
+    return dec;
+  }
+
+  const std::uint64_t c = ks->counter++;
+
+  // Fill phase: every arm gets min_samples local observations before the
+  // key exploits, in offer order — deterministic, no RNG.
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    std::uint64_t have = 0;
+    for (const Arm& a : ks->arms) {
+      if (a.choice == arms[i]) {
+        have = a.stats.count;
+        break;
+      }
+    }
+    if (have < cfg_.min_samples) {
+      dec.choice = arms[i];
+      dec.explored = true;
+      ++explorations_;
+      return dec;
+    }
+  }
+
+  // Periodic re-probe so a drifted workload can re-converge.
+  if (cfg_.explore_period > 0 && (c % cfg_.explore_period) == cfg_.explore_period - 1) {
+    const std::size_t i = static_cast<std::size_t>(c / cfg_.explore_period) % arms.size();
+    dec.choice = arms[i];
+    dec.explored = i != best;
+    if (dec.explored) ++explorations_;
+    return dec;
+  }
+
+  dec.choice = arms[best_score == kInf ? 0 : best];
+  return dec;
+#endif
+}
+
+void Router::observe(const std::string& fingerprint, Workload w, index_t k,
+                     const RouteChoice& choice, double us) {
+#ifdef RRSPMM_ROUTER_DISABLED
+  (void)fingerprint;
+  (void)w;
+  (void)k;
+  (void)choice;
+  (void)us;
+#else
+  if (cfg_.frozen || us < 0.0) return;
+  const std::string key = table_key(fingerprint, w, k_bucket(k));
+  std::lock_guard<std::mutex> lk(m_);
+  KeyState* ks = find_locked(key);
+  if (!ks) {
+    if (table_.size() >= cfg_.max_keys) return;
+    ks = &table_[key];
+  }
+  arm_locked(*ks, choice).stats.add(us);
+#endif
+}
+
+RouteChoice Router::preferred(const std::string& fingerprint, Workload w,
+                              const RouteChoice& fallback) const {
+#ifndef RRSPMM_ROUTER_DISABLED
+  const std::string prefix = fingerprint + '|' + std::to_string(static_cast<int>(w)) + '|';
+  std::lock_guard<std::mutex> lk(m_);
+  // Aggregate each arm across this (fingerprint, workload)'s K-buckets;
+  // best mean with at least one observation wins.
+  std::vector<Arm> merged;
+  for (const auto& [key, ks] : table_) {
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    for (const Arm& a : ks.arms) {
+      bool found = false;
+      for (Arm& m : merged) {
+        if (m.choice == a.choice) {
+          m.stats.merge(a.stats);
+          found = true;
+          break;
+        }
+      }
+      if (!found) merged.push_back(a);
+    }
+  }
+  const Arm* best = nullptr;
+  for (const Arm& a : merged) {
+    if (a.stats.count == 0) continue;
+    if (!best || a.stats.mean_us() < best->stats.mean_us()) best = &a;
+  }
+  if (best) return best->choice;
+#else
+  (void)fingerprint;
+  (void)w;
+#endif
+  return fallback;
+}
+
+std::vector<RouteChoice> Router::spmm_arms(const kernels::simd::SpecializationPlan* spec,
+                                           index_t k, index_t rows,
+                                           double dense_row_fraction) {
+  std::vector<RouteChoice> arms;
+  arms.emplace_back();  // the configured default path
+  RouteChoice off;
+  off.spec_mode = static_cast<std::uint8_t>(kernels::simd::SpecMode::off);
+  arms.push_back(off);
+  if (spec != nullptr && spec->enabled) {
+    if (spec->dense_panels > 0 && kernels::simd::spec_k_slot(k) >= 0 &&
+        k <= kernels::simd::kSpecPanelKMax) {
+      RouteChoice all;
+      all.spec_mode = static_cast<std::uint8_t>(kernels::simd::SpecMode::all);
+      arms.push_back(all);
+    }
+    if (spec->dense_tile_rows > 0 && spec->dense_full_fraction() >= dense_row_fraction) {
+      RouteChoice micro;
+      micro.micro_gemm = true;
+      arms.push_back(micro);
+    }
+  }
+  if (rows > 0 && rows <= kSequentialArmMaxRows) {
+    RouteChoice seq;
+    seq.threads = 1;
+    arms.push_back(seq);
+  }
+  return arms;
+}
+
+std::vector<RouteChoice> Router::sddmm_arms(const kernels::simd::SpecializationPlan* spec,
+                                            index_t k) {
+  std::vector<RouteChoice> arms;
+  arms.emplace_back();
+  RouteChoice off;
+  off.spec_mode = static_cast<std::uint8_t>(kernels::simd::SpecMode::off);
+  arms.push_back(off);
+  if (spec != nullptr && spec->enabled && spec->dense_panels > 0 &&
+      kernels::simd::spec_k_slot(k) >= 0 && k <= kernels::simd::kSpecPanelKMax) {
+    RouteChoice all;
+    all.spec_mode = static_cast<std::uint8_t>(kernels::simd::SpecMode::all);
+    arms.push_back(all);
+  }
+  return arms;
+}
+
+std::vector<RouteChoice> Router::shard_arms(std::uint8_t default_strategy) {
+  std::vector<RouteChoice> arms;
+  RouteChoice def;
+  def.shard_strategy = default_strategy;
+  arms.push_back(def);
+  for (std::uint8_t s = 0;
+       s <= static_cast<std::uint8_t>(core::ShardStrategy::reorder_aware); ++s) {
+    if (s == default_strategy) continue;
+    RouteChoice c;
+    c.shard_strategy = s;
+    arms.push_back(c);
+  }
+  return arms;
+}
+
+std::vector<RouteChoice> Router::spgemm_arms() {
+  std::vector<RouteChoice> arms;
+  arms.emplace_back();  // config default (auto_select unless overridden)
+  RouteChoice hash;
+  hash.accumulator = 0;
+  arms.push_back(hash);
+  RouteChoice sort;
+  sort.accumulator = 1;
+  arms.push_back(sort);
+  return arms;
+}
+
+std::vector<RouteChoice> Router::coalesce_arms() {
+  std::vector<RouteChoice> arms;
+  arms.emplace_back();  // batch = 0: the server's configured max_batch
+  RouteChoice single;
+  single.batch = 1;
+  arms.push_back(single);
+  return arms;
+}
+
+void Router::install_prior(Workload w, int bucket, const RouteChoice& choice, double mean_us,
+                           std::uint64_t weight) {
+#ifdef RRSPMM_ROUTER_DISABLED
+  (void)w;
+  (void)bucket;
+  (void)choice;
+  (void)mean_us;
+  (void)weight;
+#else
+  if (weight == 0 || mean_us < 0.0) return;
+  std::lock_guard<std::mutex> lk(m_);
+  KeyState* ks = find_locked(table_key(std::string(), w, bucket));
+  if (!ks) {
+    if (table_.size() >= cfg_.max_keys) return;
+    ks = &table_[table_key(std::string(), w, bucket)];
+  }
+  ArmStats s;
+  s.count = weight;
+  s.total_us = mean_us * static_cast<double>(weight);
+  s.min_us = mean_us;
+  s.max_us = mean_us;
+  arm_locked(*ks, choice).stats.merge(s);
+#endif
+}
+
+std::size_t Router::load_calibration_json(const std::string& json) {
+#ifdef RRSPMM_ROUTER_DISABLED
+  (void)json;
+  return 0;
+#else
+  return calibrate_from_json(*this, parse_json(json));
+#endif
+}
+
+std::size_t Router::load_calibration_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("router calibration: cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return load_calibration_json(buf.str());
+}
+
+void Router::save_table(std::ostream& out) const {
+  std::lock_guard<std::mutex> lk(m_);
+  out << "rrspmm-router-table v1\n" << table_.size() << '\n';
+  out.precision(17);
+  for (const auto& [key, ks] : table_) {
+    // key = "<fp>|<workload>|<bucket>"; fp may be empty (priors).
+    const std::size_t p2 = key.rfind('|');
+    const std::size_t p1 = key.rfind('|', p2 - 1);
+    std::string fp = key.substr(0, p1);
+    out << (fp.empty() ? "-" : fp) << ' ' << key.substr(p1 + 1, p2 - p1 - 1) << ' '
+        << key.substr(p2 + 1) << ' ' << ks.arms.size() << ' ' << ks.counter << '\n';
+    for (const Arm& a : ks.arms) {
+      out << a.choice.key() << ' ' << a.stats.count << ' ' << a.stats.total_us << ' '
+          << a.stats.min_us << ' ' << a.stats.max_us << '\n';
+    }
+  }
+}
+
+std::size_t Router::load_table(std::istream& in) {
+#ifdef RRSPMM_ROUTER_DISABLED
+  (void)in;
+  return 0;
+#else
+  std::string header;
+  std::getline(in, header);
+  if (header != "rrspmm-router-table v1") {
+    throw std::runtime_error("not an rrspmm router table");
+  }
+  std::size_t nkeys = 0;
+  in >> nkeys;
+  std::size_t loaded = 0;
+  std::lock_guard<std::mutex> lk(m_);
+  for (std::size_t i = 0; i < nkeys; ++i) {
+    std::string fp;
+    int w = 0;
+    int bucket = 0;
+    std::size_t narms = 0;
+    std::uint64_t counter = 0;
+    if (!(in >> fp >> w >> bucket >> narms >> counter)) {
+      throw std::runtime_error("router table truncated");
+    }
+    if (fp == "-") fp.clear();
+    if (w < 0 || w >= static_cast<int>(kWorkloadCount) || narms > 256) {
+      throw std::runtime_error("router table is corrupt");
+    }
+    const std::string key = table_key(fp, static_cast<Workload>(w), bucket);
+    KeyState* ks = find_locked(key);
+    if (!ks && table_.size() < cfg_.max_keys) ks = &table_[key];
+    for (std::size_t a = 0; a < narms; ++a) {
+      std::string ck;
+      ArmStats s;
+      if (!(in >> ck >> s.count >> s.total_us >> s.min_us >> s.max_us)) {
+        throw std::runtime_error("router table truncated");
+      }
+      RouteChoice choice;
+      if (!RouteChoice::parse(ck, choice)) throw std::runtime_error("router table is corrupt");
+      if (ks) {
+        arm_locked(*ks, choice).stats.merge(s);
+        ++loaded;
+      }
+    }
+    if (ks && counter > ks->counter) ks->counter = counter;
+  }
+  return loaded;
+#endif
+}
+
+void Router::save_table_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("router table: cannot open " + path + " for writing");
+  save_table(f);
+  if (!f) throw std::runtime_error("router table: failed writing " + path);
+}
+
+std::size_t Router::load_table_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("router table: cannot open " + path);
+  return load_table(f);
+}
+
+std::vector<core::RouteRecord> Router::export_records(const std::string& fingerprint) const {
+  std::vector<core::RouteRecord> out;
+#ifndef RRSPMM_ROUTER_DISABLED
+  const std::string prefix = fingerprint + '|';
+  std::lock_guard<std::mutex> lk(m_);
+  for (const auto& [key, ks] : table_) {
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::size_t p2 = key.rfind('|');
+    const std::size_t p1 = key.rfind('|', p2 - 1);
+    if (p1 < prefix.size() - 1) continue;  // '|' inside the fingerprint? skip
+    const int w = std::atoi(key.c_str() + p1 + 1);
+    const int bucket = std::atoi(key.c_str() + p2 + 1);
+    if (key.substr(0, p1) != fingerprint) continue;
+    for (const Arm& a : ks.arms) {
+      if (a.stats.count == 0) continue;
+      core::RouteRecord r;
+      r.workload = static_cast<std::uint8_t>(w);
+      r.k_bucket = bucket;
+      r.spec_mode = a.choice.spec_mode;
+      r.micro_gemm = a.choice.micro_gemm ? 1 : 0;
+      r.shard_strategy = a.choice.shard_strategy;
+      r.threads = a.choice.threads;
+      r.batch = a.choice.batch;
+      r.accumulator = a.choice.accumulator;
+      r.count = a.stats.count;
+      r.total_us = a.stats.total_us;
+      r.min_us = a.stats.min_us;
+      r.max_us = a.stats.max_us;
+      out.push_back(r);
+    }
+  }
+#else
+  (void)fingerprint;
+#endif
+  return out;
+}
+
+std::size_t Router::import_records(const std::string& fingerprint,
+                                   const std::vector<core::RouteRecord>& records) {
+#ifdef RRSPMM_ROUTER_DISABLED
+  (void)fingerprint;
+  (void)records;
+  return 0;
+#else
+  std::size_t merged = 0;
+  std::lock_guard<std::mutex> lk(m_);
+  for (const core::RouteRecord& r : records) {
+    if (r.workload >= kWorkloadCount || r.count == 0) continue;
+    const std::string key =
+        table_key(fingerprint, static_cast<Workload>(r.workload), r.k_bucket);
+    KeyState* ks = find_locked(key);
+    if (!ks) {
+      if (table_.size() >= cfg_.max_keys) continue;
+      ks = &table_[key];
+    }
+    RouteChoice choice;
+    choice.spec_mode = r.spec_mode;
+    choice.micro_gemm = r.micro_gemm != 0;
+    choice.shard_strategy = r.shard_strategy;
+    choice.threads = r.threads;
+    choice.batch = r.batch;
+    choice.accumulator = r.accumulator;
+    ArmStats s;
+    s.count = r.count;
+    s.total_us = r.total_us;
+    s.min_us = r.min_us;
+    s.max_us = r.max_us;
+    arm_locked(*ks, choice).stats.merge(s);
+    ++merged;
+  }
+  return merged;
+#endif
+}
+
+std::string Router::to_json() const {
+  std::ostringstream js;
+  js.precision(9);
+  std::lock_guard<std::mutex> lk(m_);
+  js << "{\"frozen\":" << (cfg_.frozen ? "true" : "false") << ",\"keys\":" << table_.size()
+     << ",\"decisions\":" << decisions_ << ",\"explorations\":" << explorations_
+     << ",\"table\":{";
+  bool first_key = true;
+  for (const auto& [key, ks] : table_) {
+    if (!first_key) js << ',';
+    first_key = false;
+    js << '"' << key << "\":{";
+    for (std::size_t i = 0; i < ks.arms.size(); ++i) {
+      const Arm& a = ks.arms[i];
+      if (i) js << ',';
+      js << '"' << a.choice.key() << "\":{\"count\":" << a.stats.count
+         << ",\"mean_us\":" << a.stats.mean_us() << ",\"min_us\":" << a.stats.min_us
+         << ",\"max_us\":" << a.stats.max_us << '}';
+    }
+    js << '}';
+  }
+  js << "}}";
+  return js.str();
+}
+
+std::uint64_t Router::decisions() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return decisions_;
+}
+
+std::uint64_t Router::explorations() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return explorations_;
+}
+
+std::size_t Router::keys() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return table_.size();
+}
+
+std::shared_ptr<Router> from_env() {
+#ifdef RRSPMM_ROUTER_DISABLED
+  return nullptr;
+#else
+  const char* s = std::getenv("RRSPMM_ROUTER");
+  if (s == nullptr) return nullptr;
+  const std::string_view v(s);
+  RouterConfig cfg;
+  if (v == "frozen") {
+    cfg.frozen = true;
+  } else if (!(v == "1" || v == "on" || v == "true" || v == "yes" || v == "online")) {
+    return nullptr;
+  }
+  auto r = std::make_shared<Router>(cfg);
+  if (const char* path = std::getenv("RRSPMM_ROUTER_TABLE")) {
+    try {
+      r->load_table_file(path);
+    } catch (const std::exception& e) {
+      // Serving must not die for a stale or missing table: warn and run
+      // cold (online mode will relearn; frozen mode routes defaults).
+      std::fprintf(stderr, "rrspmm: RRSPMM_ROUTER_TABLE ignored: %s\n", e.what());
+    }
+  }
+  return r;
+#endif
+}
+
+// --- Calibration ------------------------------------------------------
+
+std::size_t calibrate_from_json(Router& r, const JsonValue& doc) {
+  const JsonValue* bench = doc.find("bench");
+  const std::string* name = bench ? bench->string_or_null() : nullptr;
+  if (name == nullptr) return 0;
+  std::size_t installed = 0;
+
+  if (*name == "kernel_scaling") {
+    // The specialization table measures exactly the spec-on vs spec-off
+    // alternative per (op, K): generic_ms seeds the spec-off arm,
+    // spec_ms the default arm.
+    if (const JsonValue* spec = doc.find("specialization")) {
+      for (const JsonValue& e : spec->arr) {
+        const JsonValue* op = e.find("op");
+        const std::string* opname = op ? op->string_or_null() : nullptr;
+        if (opname == nullptr) continue;
+        const Workload w = *opname == "sddmm" ? Workload::sddmm : Workload::spmm;
+        const int bucket = k_bucket(static_cast<index_t>(
+            e.find("k") ? e.find("k")->number_or(0) : 0));
+        const double generic_ms = e.find("generic_ms") ? e.find("generic_ms")->number_or(-1) : -1;
+        const double spec_ms = e.find("spec_ms") ? e.find("spec_ms")->number_or(-1) : -1;
+        if (generic_ms > 0) {
+          RouteChoice off;
+          off.spec_mode = static_cast<std::uint8_t>(kernels::simd::SpecMode::off);
+          r.install_prior(w, bucket, off, generic_ms * 1000.0);
+          ++installed;
+        }
+        if (spec_ms > 0) {
+          r.install_prior(w, bucket, RouteChoice{}, spec_ms * 1000.0);
+          ++installed;
+        }
+      }
+    }
+  } else if (*name == "dist_scaling") {
+    const int bucket =
+        k_bucket(static_cast<index_t>(doc.find("k") ? doc.find("k")->number_or(0) : 0));
+    if (const JsonValue* results = doc.find("results")) {
+      for (const JsonValue& e : results->arr) {
+        const JsonValue* strat = e.find("strategy");
+        const std::string* sname = strat ? strat->string_or_null() : nullptr;
+        const double makespan = e.find("makespan_s") ? e.find("makespan_s")->number_or(-1) : -1;
+        if (sname == nullptr || makespan <= 0) continue;
+        RouteChoice c;
+        if (*sname == "contiguous") {
+          c.shard_strategy = static_cast<std::uint8_t>(core::ShardStrategy::contiguous);
+        } else if (*sname == "nnz_balanced") {
+          c.shard_strategy = static_cast<std::uint8_t>(core::ShardStrategy::nnz_balanced);
+        } else if (*sname == "reorder_aware") {
+          c.shard_strategy = static_cast<std::uint8_t>(core::ShardStrategy::reorder_aware);
+        } else {
+          continue;
+        }
+        r.install_prior(Workload::shard, bucket, c, makespan * 1e6);
+        ++installed;
+      }
+    }
+  } else if (*name == "spgemm_scaling") {
+    if (const JsonValue* results = doc.find("results")) {
+      for (const JsonValue& e : results->arr) {
+        const double hash_ms = e.find("hash_ms") ? e.find("hash_ms")->number_or(-1) : -1;
+        const double sort_ms = e.find("sort_ms") ? e.find("sort_ms")->number_or(-1) : -1;
+        if (hash_ms > 0) {
+          RouteChoice c;
+          c.accumulator = 0;
+          r.install_prior(Workload::spgemm, 0, c, hash_ms * 1000.0);
+          ++installed;
+        }
+        if (sort_ms > 0) {
+          RouteChoice c;
+          c.accumulator = 1;
+          r.install_prior(Workload::spgemm, 0, c, sort_ms * 1000.0);
+          ++installed;
+        }
+      }
+    }
+  } else if (*name == "serving_throughput") {
+    // Serving latency seeds the coalescing default arm: the measured mix
+    // already runs with coalescing on, so its p50 is that arm's prior.
+    if (const JsonValue* results = doc.find("results")) {
+      for (const JsonValue& e : results->arr) {
+        const double p50 =
+            e.find("latency_p50_s") ? e.find("latency_p50_s")->number_or(-1) : -1;
+        if (p50 <= 0) continue;
+        r.install_prior(Workload::coalesce, 0, RouteChoice{}, p50 * 1e6);
+        ++installed;
+      }
+    }
+  }
+  return installed;
+}
+
+}  // namespace rrspmm::router

@@ -1,0 +1,273 @@
+// Cost-model-driven adaptive execution: a per-plan router that turns
+// measured latency into closed-loop kernel/shard/batch decisions.
+//
+// The paper's thesis is that the right layout and execution strategy
+// depend on the matrix; the repo has every knob that thesis implies
+// (scalar vs SIMD ISA, AOT-specialized variants, the dense-tile
+// micro-GEMM, hash/sort SpGEMM accumulators, shard strategies, batch
+// coalescing) but picked them statically until now. The Router closes
+// the loop, AHAS-style: a cost table keyed on
+//
+//   (matrix fingerprint, workload, ceil-log2 K bucket)
+//
+// maps candidate configurations ("arms") to measured latency stats.
+// The Server and the ShardedExecutor ask it to decide() before each
+// batch and observe() the measured latency after — a deterministic
+// epsilon-greedy bandit per key. Seeding comes from the BENCH_*.json
+// trajectories (calibration.hpp) as fingerprint-agnostic priors, and
+// learned entries ride the ExecutionPlan through plan files (v4) as
+// core::RouteRecord, so a redeployed plan starts warm.
+//
+// Routing never changes result bits: every arm is one of the existing
+// bitwise-guarded execution paths (specialization on/off, micro-GEMM,
+// shard strategy, accumulator, sequential fallback), all of which
+// preserve the scalar reference's per-element accumulation order on the
+// non-fma path. The router only chooses *which* of the bit-identical
+// paths runs, so bitwise/chaos CI contracts hold with it enabled.
+//
+// Determinism: online mode explores on a per-key decision counter (fill
+// each arm to min_samples round-robin, then every explore_period-th
+// decision probes the next arm) — no wall clock, no RNG, so a replay
+// with the same request sequence makes the same decisions. Frozen mode
+// (RRSPMM_ROUTER=frozen) never updates the table and never explores:
+// decisions are a pure function of the loaded table, identical across
+// thread counts, process restarts, and plan-cache eviction/reload.
+//
+// Env knobs (read by from_env()):
+//   RRSPMM_ROUTER       = off (default) | on | frozen
+//   RRSPMM_ROUTER_TABLE = path to a saved table (save_table_file) loaded
+//                         at construction; with "frozen" this is the
+//                         whole cost model.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "sparse/types.hpp"
+
+namespace rrspmm::kernels::simd {
+struct SpecializationPlan;
+}
+
+namespace rrspmm::router {
+
+/// Workloads routed independently (same matrix, different cost shape).
+enum class Workload : std::uint8_t {
+  spmm = 0,      ///< server SpMM batches (kernel variant + threads)
+  sddmm = 1,     ///< server SDDMM requests (kernel variant)
+  spgemm = 2,    ///< server SpGEMM requests (accumulator)
+  shard = 3,     ///< ShardedExecutor partitioning (shard strategy)
+  coalesce = 4,  ///< server batch formation (coalescing width)
+};
+inline constexpr std::size_t kWorkloadCount = 5;
+const char* workload_name(Workload w);
+
+/// Sentinels for "leave the caller's configured value alone".
+inline constexpr std::uint8_t kDefaultShard = 255;
+inline constexpr std::uint8_t kDefaultAccumulator = 255;
+
+/// One arm: a complete configuration choice for a decision. Fields the
+/// workload does not route stay at their defaults and take no part in
+/// the executed configuration.
+struct RouteChoice {
+  /// kernels::simd::SpecMode as uint8 (0 env, 1 off, 2 rows, 3 all).
+  std::uint8_t spec_mode = 0;
+  /// Dense-tile micro-GEMM (KernelConfig::micro_gemm).
+  bool micro_gemm = false;
+  /// core::ShardStrategy as uint8, kDefaultShard = executor's default.
+  std::uint8_t shard_strategy = kDefaultShard;
+  /// 0 = worker pool, 1 = sequential in-thread execution.
+  std::uint8_t threads = 0;
+  /// Batch coalescing cap; 0 = the server's configured max_batch.
+  std::uint8_t batch = 0;
+  /// spgemm::Accumulator as uint8, kDefaultAccumulator = config default.
+  std::uint8_t accumulator = kDefaultAccumulator;
+
+  /// Compact stable encoding, e.g. "s2g0d255t0b0a255" — the arm's
+  /// identity in tables, metrics keys, and saved files.
+  std::string key() const;
+  /// Inverse of key(); false on malformed input.
+  static bool parse(const std::string& s, RouteChoice& out);
+  bool operator==(const RouteChoice& o) const {
+    return spec_mode == o.spec_mode && micro_gemm == o.micro_gemm &&
+           shard_strategy == o.shard_strategy && threads == o.threads && batch == o.batch &&
+           accumulator == o.accumulator;
+  }
+  bool operator!=(const RouteChoice& o) const { return !(*this == o); }
+};
+
+/// Latency statistics of one arm under one key.
+struct ArmStats {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+
+  void add(double us) {
+    min_us = count == 0 ? us : (us < min_us ? us : min_us);
+    max_us = count == 0 ? us : (us > max_us ? us : max_us);
+    ++count;
+    total_us += us;
+  }
+  void merge(const ArmStats& o) {
+    if (o.count == 0) return;
+    min_us = count == 0 ? o.min_us : (o.min_us < min_us ? o.min_us : min_us);
+    max_us = count == 0 ? o.max_us : (o.max_us > max_us ? o.max_us : max_us);
+    count += o.count;
+    total_us += o.total_us;
+  }
+  double mean_us() const { return count > 0 ? total_us / static_cast<double>(count) : 0.0; }
+};
+
+struct Decision {
+  RouteChoice choice;
+  bool routed = false;    ///< false: router off/disabled — caller's defaults ran
+  bool explored = false;  ///< true: this pick samples, it is not the argmin
+};
+
+struct RouterConfig {
+  /// Frozen: pure table lookups, no exploration, no updates.
+  bool frozen = false;
+  /// Online: every arm is sampled this many times (round-robin) before
+  /// exploitation starts for a key.
+  std::uint32_t min_samples = 2;
+  /// Online: every explore_period-th decision of a key re-probes arms in
+  /// rotation so a drifting workload can re-converge. 0 disables.
+  std::uint32_t explore_period = 16;
+  /// spmm_arms offers the micro-GEMM arm when the plan's
+  /// dense_full_fraction() clears this (seeded from calibration).
+  double dense_row_fraction = 0.5;
+  /// Bound on distinct (fingerprint, workload, k-bucket) keys; new keys
+  /// beyond it fall back to the default arm unrouted.
+  std::size_t max_keys = 1 << 14;
+};
+
+/// K-bucket: ceil(log2(k)) for k >= 1, 0 otherwise — nearby operand
+/// widths share a table row, distant ones do not.
+int k_bucket(index_t k);
+
+/// Metrics attribution key of one decided execution:
+/// "<fp>|<workload>|k<bucket>|<choice>".
+std::string route_key(const std::string& fingerprint, Workload w, index_t k,
+                      const RouteChoice& choice);
+
+/// True unless built with RRSPMM_ENABLE_ROUTER=OFF
+/// (RRSPMM_ROUTER_DISABLED): then decide() always returns the first arm
+/// unrouted, observe/load/save are no-ops, and from_env() returns null.
+bool compiled();
+
+class Router {
+ public:
+  explicit Router(RouterConfig cfg = {});
+
+  const RouterConfig& config() const { return cfg_; }
+  bool frozen() const { return cfg_.frozen; }
+
+  /// Picks an arm for (fingerprint, workload, K). `arms` is the caller's
+  /// candidate list; arms[0] must be the safe default. Empty arms or a
+  /// disabled build return an unrouted default decision.
+  Decision decide(const std::string& fingerprint, Workload w, index_t k,
+                  const std::vector<RouteChoice>& arms);
+
+  /// Records a measured latency for a decided execution. No-op when
+  /// frozen (the table is the contract) or compiled out.
+  void observe(const std::string& fingerprint, Workload w, index_t k,
+               const RouteChoice& choice, double us);
+
+  /// Read-only best arm across every K-bucket of (fingerprint, w),
+  /// weighted by sample count; `fallback` when nothing is known. Used by
+  /// batch formation, which runs before the operand width is known.
+  RouteChoice preferred(const std::string& fingerprint, Workload w,
+                        const RouteChoice& fallback) const;
+
+  // --- Arm builders (the policy of what is worth trying) ---------------
+
+  /// SpMM arms: default; spec off; spec all (panel entries) when K
+  /// admits them; micro-GEMM when the plan's dense_full_fraction clears
+  /// cfg.dense_row_fraction; sequential execution for small matrices.
+  static std::vector<RouteChoice> spmm_arms(const kernels::simd::SpecializationPlan* spec,
+                                            index_t k, index_t rows,
+                                            double dense_row_fraction);
+  /// SDDMM arms: default vs specialization off.
+  static std::vector<RouteChoice> sddmm_arms(const kernels::simd::SpecializationPlan* spec,
+                                             index_t k);
+  /// Shard-strategy arms: the executor's default first, then the other
+  /// two strategies.
+  static std::vector<RouteChoice> shard_arms(std::uint8_t default_strategy);
+  /// SpGEMM accumulator arms: config default, then hash and sort pinned.
+  static std::vector<RouteChoice> spgemm_arms();
+  /// Coalescing arms: configured max_batch (0) vs no coalescing (1).
+  static std::vector<RouteChoice> coalesce_arms();
+
+  // --- Seeding and persistence ----------------------------------------
+
+  /// Installs a fingerprint-agnostic prior: arms with no per-matrix
+  /// observations score by these means in decide(). `weight` counts as
+  /// that many observations when later measurements merge in.
+  void install_prior(Workload w, int bucket, const RouteChoice& choice, double mean_us,
+                     std::uint64_t weight = 1);
+
+  /// Parses one BENCH_{kernels,dist,spgemm,serving}.json payload and
+  /// installs fingerprint-agnostic priors (see calibration.hpp).
+  /// Returns the number of prior entries installed.
+  std::size_t load_calibration_json(const std::string& json);
+  std::size_t load_calibration_file(const std::string& path);
+
+  /// Plain-text table round trip ("rrspmm-router-table v1"). load_table
+  /// merges into the current table and returns entries read.
+  void save_table(std::ostream& out) const;
+  std::size_t load_table(std::istream& in);
+  void save_table_file(const std::string& path) const;
+  std::size_t load_table_file(const std::string& path);
+
+  /// Learned entries of one fingerprint as plan-portable RouteRecords
+  /// (plan-file v4), and the inverse. import returns entries merged.
+  std::vector<core::RouteRecord> export_records(const std::string& fingerprint) const;
+  std::size_t import_records(const std::string& fingerprint,
+                             const std::vector<core::RouteRecord>& records);
+
+  /// Whole table as JSON (diagnostics; shape mirrors Metrics::to_json).
+  std::string to_json() const;
+
+  std::uint64_t decisions() const;
+  std::uint64_t explorations() const;
+  std::size_t keys() const;
+
+ private:
+  struct Arm {
+    RouteChoice choice;
+    ArmStats stats;
+  };
+  struct KeyState {
+    std::uint64_t counter = 0;  ///< decisions taken under this key
+    std::vector<Arm> arms;      ///< caller order preserved; arms[0] = default
+  };
+
+  // Key layout: "<fingerprint>|<workload>|<k_bucket>"; priors live under
+  // the empty fingerprint and are consulted for arms with no local data.
+  static std::string table_key(const std::string& fingerprint, Workload w, int bucket);
+  KeyState* find_locked(const std::string& key);
+  const KeyState* find_locked(const std::string& key) const;
+  Arm& arm_locked(KeyState& ks, const RouteChoice& choice);
+  const ArmStats* prior_locked(Workload w, int bucket, const RouteChoice& choice) const;
+
+  RouterConfig cfg_;
+  mutable std::mutex m_;
+  std::unordered_map<std::string, KeyState> table_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t explorations_ = 0;
+};
+
+/// Builds a Router from RRSPMM_ROUTER / RRSPMM_ROUTER_TABLE; null when
+/// the knob is unset/off or the router is compiled out. A table path
+/// that fails to load warns on stderr and continues (serving must not
+/// die for a stale table file).
+std::shared_ptr<Router> from_env();
+
+}  // namespace rrspmm::router

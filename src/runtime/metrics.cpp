@@ -1,9 +1,42 @@
 #include "runtime/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 namespace rrspmm::runtime {
+
+void RouteLatency::record(const std::string& key, double us) {
+  std::lock_guard<std::mutex> lk(m_);
+  for (auto& [k, s] : table_) {
+    if (k == key) {
+      s.min_us = s.count == 0 ? us : std::min(s.min_us, us);
+      s.max_us = s.count == 0 ? us : std::max(s.max_us, us);
+      ++s.count;
+      s.total_us += us;
+      return;
+    }
+  }
+  if (table_.size() >= kMaxKeys) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Stats s;
+  s.count = 1;
+  s.total_us = s.min_us = s.max_us = us;
+  table_.emplace_back(key, s);
+}
+
+std::vector<std::pair<std::string, RouteLatency::Stats>> RouteLatency::snapshot() const {
+  std::vector<std::pair<std::string, Stats>> out;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    out = table_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
 
 void LatencyHistogram::record(double seconds) {
   const double us = seconds * 1e6;
@@ -92,6 +125,20 @@ std::string Metrics::to_json() const {
   os << "\"preproc_score_us\":" << get(preproc_score_us) << ",";
   os << "\"preproc_merge_us\":" << get(preproc_merge_us) << ",";
   os << "\"preproc_degradations\":" << get(preproc_degradations) << ",";
+  os << "\"router_decisions\":" << get(router_decisions) << ",";
+  os << "\"router_explorations\":" << get(router_explorations) << ",";
+  os << "\"route_latency_dropped\":" << route_latency.dropped() << ",";
+  os << "\"route_latency\":{";
+  {
+    const auto routes = route_latency.snapshot();
+    for (std::size_t i = 0; i < routes.size(); ++i) {
+      const auto& [key, s] = routes[i];
+      if (i) os << ",";
+      os << "\"" << key << "\":{\"count\":" << s.count << ",\"total_us\":" << s.total_us
+         << ",\"min_us\":" << s.min_us << ",\"max_us\":" << s.max_us << "}";
+    }
+  }
+  os << "},";
   os << "\"latency_count\":" << latency.count() << ",";
   os << "\"latency_total_s\":" << latency.total_seconds() << ",";
   os << "\"latency_p50_s\":" << latency.quantile(0.50) << ",";

@@ -8,7 +8,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "kernels/simd/isa.hpp"
 
@@ -40,6 +43,39 @@ class LatencyHistogram {
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> total_ns_{0};
+};
+
+/// Per-route latency attribution: measured execution latency keyed by the
+/// router's attribution string "<fingerprint>|<workload>|k<bucket>|<choice>"
+/// (router::route_key). Unlike the process-wide histogram this is exact
+/// (count/sum/min/max per key) and per-configuration, which is what the
+/// router's cost table is audited against. The key set is bounded: past
+/// kMaxKeys new keys are counted in dropped() instead of allocated, so a
+/// fingerprint flood cannot grow the map without bound. Mutex-guarded —
+/// routed paths already take the router's own lock per decision, so one
+/// more uncontended lock on the same (batch-grained) path is noise.
+class RouteLatency {
+ public:
+  static constexpr std::size_t kMaxKeys = 4096;
+
+  struct Stats {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    double min_us = 0.0;
+    double max_us = 0.0;
+  };
+
+  void record(const std::string& key, double us);
+
+  /// Copy of the table, sorted by key (deterministic JSON output).
+  std::vector<std::pair<std::string, Stats>> snapshot() const;
+
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::mutex m_;
+  std::vector<std::pair<std::string, Stats>> table_;  ///< small; linear scan
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 /// Counters shared by PlanCache, WorkerPool executions, and Server.
@@ -129,6 +165,15 @@ struct Metrics {
   std::atomic<std::uint64_t> preproc_degradations{0};
 
   LatencyHistogram latency;
+
+  /// Adaptive-execution router activity, serving-scoped (the Router keeps
+  /// its own totals): decisions taken for this server's requests, and how
+  /// many of them were exploration picks rather than the current argmin.
+  std::atomic<std::uint64_t> router_decisions{0};
+  std::atomic<std::uint64_t> router_explorations{0};
+  /// Measured latency per routed (fingerprint, workload, K-bucket,
+  /// choice) — the closed-loop evidence behind the router's table.
+  RouteLatency route_latency;
 
   /// One JSON object with every counter plus p50/p95/p99 latency in
   /// seconds. Values are read individually (relaxed), so a dump taken

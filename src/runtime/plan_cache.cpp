@@ -64,7 +64,7 @@ PlanPtr PlanCache::get(const std::string& matrix_fingerprint, const sparse::CsrM
     // Build outside the lock — this is the expensive part, and other keys
     // must keep hitting while it runs.
     try {
-      PlanPtr plan = build(m, mode);
+      PlanPtr plan = build(m, mode, matrix_fingerprint);
       metrics_->plans_built.fetch_add(1, std::memory_order_relaxed);
       const core::PipelineStats& ps = plan->stats;
       metrics_->preproc_sig_us.fetch_add(to_us(ps.sig_ms), std::memory_order_relaxed);
@@ -101,18 +101,25 @@ PlanPtr PlanCache::get(const std::string& matrix_fingerprint, const sparse::CsrM
   return fut.get();
 }
 
-PlanPtr PlanCache::build(const sparse::CsrMatrix& m, PlanMode mode) const {
+PlanPtr PlanCache::build(const sparse::CsrMatrix& m, PlanMode mode,
+                         const std::string& matrix_fingerprint) const {
   fault::hit(fault::points::kPlanCacheBuild);
+  core::ExecutionPlan plan;
   switch (mode) {
     case PlanMode::nr:
-      return std::make_shared<const core::ExecutionPlan>(core::build_plan_nr(m, cfg_.pipeline));
+      plan = core::build_plan_nr(m, cfg_.pipeline);
+      break;
     case PlanMode::autotune:
-      return std::make_shared<const core::ExecutionPlan>(
-          core::autotune_plan(m, cfg_.autotune_k, cfg_.device, cfg_.pipeline));
+      plan = core::autotune_plan(m, cfg_.autotune_k, cfg_.device, cfg_.pipeline);
+      break;
     case PlanMode::rr:
+      plan = core::build_plan(m, cfg_.pipeline);
       break;
   }
-  return std::make_shared<const core::ExecutionPlan>(core::build_plan(m, cfg_.pipeline));
+  // Stamp the matrix fingerprint so router keys survive eviction and
+  // rebuild: the same matrix always maps to the same cost-table rows.
+  plan.fingerprint = matrix_fingerprint;
+  return std::make_shared<const core::ExecutionPlan>(std::move(plan));
 }
 
 void PlanCache::evict_excess_locked() {

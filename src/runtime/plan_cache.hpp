@@ -82,7 +82,8 @@ class PlanCache {
   };
   using EntryList = std::list<Entry>;
 
-  PlanPtr build(const sparse::CsrMatrix& m, PlanMode mode) const;
+  PlanPtr build(const sparse::CsrMatrix& m, PlanMode mode,
+                const std::string& matrix_fingerprint) const;
   void evict_excess_locked();
 
   PlanCacheConfig cfg_;

@@ -18,6 +18,10 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+double micros_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
 // Backoff before retry attempt n (n >= 1): base * multiplier^(n-1), capped.
 std::chrono::microseconds retry_delay(const RetryPolicy& rp, int attempt) {
   double us = static_cast<double>(rp.backoff_base.count());
@@ -130,9 +134,32 @@ Server::Registered& Server::entry(const std::string& name) const {
   return *it->second;
 }
 
+void Server::count_decision(const router::Decision& dec) {
+  if (!dec.routed) return;
+  metrics_.router_decisions.fetch_add(1, std::memory_order_relaxed);
+  if (dec.explored) metrics_.router_explorations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::observe_route(Registered& e, router::Workload w, index_t k,
+                           const router::Decision& dec, double us) {
+  if (!dec.routed) return;
+  cfg_.router->observe(e.fingerprint, w, k, dec.choice, us);
+  metrics_.route_latency.record(router::route_key(e.fingerprint, w, k, dec.choice), us);
+}
+
 PlanPtr Server::warm(const std::string& name) {
   Registered& e = entry(name);
-  return plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+  PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+  if (cfg_.router && plan && !plan->routes.empty()) {
+    bool import = false;
+    {
+      std::lock_guard<std::mutex> lk(e.m);
+      import = !e.routes_imported;
+      e.routes_imported = true;
+    }
+    if (import) cfg_.router->import_records(e.fingerprint, plan->routes);
+  }
+  return plan;
 }
 
 std::future<sparse::DenseMatrix> Server::submit(const std::string& name, sparse::DenseMatrix x) {
@@ -172,10 +199,35 @@ std::future<sparse::DenseMatrix> Server::submit(const std::string& name, sparse:
 
 void Server::drain(Registered& e) {
   for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(e.m);
+      if (e.queue.empty()) {
+        e.drain_scheduled = false;
+        return;
+      }
+    }
+
+    // Coalescing-width decision: full configured batching vs per-request
+    // execution. Taken before pickup (the width shapes the batch), scored
+    // on per-request latency after it — wide batches amortise the matrix
+    // traversal but make early requests wait for the whole batch. K is
+    // not known until pickup, so this key uses bucket 0. The queue only
+    // grows between this check and pickup (drain is the sole consumer).
+    std::size_t limit = cfg_.max_batch;
+    router::Decision cdec;
+    if (cfg_.router) {
+      cdec = cfg_.router->decide(e.fingerprint, router::Workload::coalesce, 0,
+                                 router::Router::coalesce_arms());
+      count_decision(cdec);
+      if (cdec.routed && cdec.choice.batch != 0) {
+        limit = std::min<std::size_t>(limit, cdec.choice.batch);
+      }
+    }
+
     std::vector<SpmmRequest> batch;
     {
       std::lock_guard<std::mutex> lk(e.m);
-      const std::size_t n = std::min(e.queue.size(), cfg_.max_batch);
+      const std::size_t n = std::min(e.queue.size(), limit);
       if (n == 0) {
         e.drain_scheduled = false;
         return;
@@ -194,7 +246,12 @@ void Server::drain(Registered& e) {
     // Completion metrics are bumped BEFORE a promise is fulfilled so a
     // client that observed its future ready always sees itself counted.
     try {
+      const auto exec_t0 = Clock::now();
       std::vector<sparse::DenseMatrix> ys = run_spmm_batch(e, batch);
+      // The coalescing arm is judged on latency per request, not per
+      // batch — that is what the width trades off.
+      observe_route(e, router::Workload::coalesce, 0, cdec,
+                    micros_since(exec_t0) / static_cast<double>(batch.size()));
       metrics_.batches_executed.fetch_add(1, std::memory_order_relaxed);
       if (batch.size() > 1) {
         metrics_.requests_coalesced.fetch_add(batch.size(), std::memory_order_relaxed);
@@ -226,9 +283,45 @@ std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
   std::vector<sparse::DenseMatrix> ys;
   ys.reserve(batch.size());
 
+  index_t k_total = 0;
+  for (const SpmmRequest& r : batch) k_total += r.x.cols();
+
+  // Kernel-variant decision for this batch. Only the built-in
+  // panel-parallel path is routed here — a configured Executor owns its
+  // own kernel choice (and its own router hook for the shard strategy).
+  // Every arm is a bitwise-guarded path: routing changes which of the
+  // bit-identical executions runs, never the result.
+  router::Decision dec;
+  if (cfg_.router && !cfg_.executor) {
+    dec = cfg_.router->decide(
+        e.fingerprint, router::Workload::spmm, k_total,
+        router::Router::spmm_arms(plan->spec.get(), k_total, e.matrix.rows(),
+                                  cfg_.router->config().dense_row_fraction));
+    count_decision(dec);
+  }
+  const auto run = [&](const sparse::DenseMatrix& x, sparse::DenseMatrix& y) {
+    if (!dec.routed) {
+      exec_spmm(*plan, x, y);
+      return;
+    }
+    if (dec.choice.threads == 1) {
+      // Sequential arm: the core pipeline in this thread, skipping the
+      // pool fan-out whose overhead dominates small matrices.
+      core::run_spmm(*plan, x, y);
+      return;
+    }
+    kernels::simd::KernelConfig kc =
+        cfg_.kernel ? *cfg_.kernel : kernels::simd::active_config();
+    kc.spec_mode = static_cast<kernels::simd::SpecMode>(dec.choice.spec_mode);
+    kc.micro_gemm = dec.choice.micro_gemm;
+    parallel_spmm(pool_, *plan, x, y, &metrics_, &kc);
+  };
+
   if (batch.size() == 1) {
     sparse::DenseMatrix y(e.matrix.rows(), batch[0].x.cols());
-    exec_spmm(*plan, batch[0].x, y);
+    const auto t0 = Clock::now();
+    run(batch[0].x, y);
+    observe_route(e, router::Workload::spmm, k_total, dec, micros_since(t0));
     ys.push_back(std::move(y));
     return ys;
   }
@@ -237,8 +330,6 @@ std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
   // SpMM, split the product back per request. The batch buffers use the
   // aligned (padded-ld) storage mode so every row pointer the SIMD
   // kernels see is vector-aligned; per-request results stay packed.
-  index_t k_total = 0;
-  for (const SpmmRequest& r : batch) k_total += r.x.cols();
   sparse::DenseMatrix x_all = sparse::DenseMatrix::aligned(e.matrix.cols(), k_total);
   index_t off = 0;
   for (const SpmmRequest& r : batch) {
@@ -251,7 +342,9 @@ std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
   }
 
   sparse::DenseMatrix y_all = sparse::DenseMatrix::aligned(e.matrix.rows(), k_total);
-  exec_spmm(*plan, x_all, y_all);
+  const auto t0 = Clock::now();
+  run(x_all, y_all);
+  observe_route(e, router::Workload::spmm, k_total, dec, micros_since(t0));
 
   off = 0;
   for (const SpmmRequest& r : batch) {
@@ -318,8 +411,23 @@ std::vector<value_t> Server::run_sddmm_request(Registered& e, const sparse::Dens
         std::this_thread::sleep_for(retry_delay(cfg_.retry, attempt));
       }
       const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+      router::Decision dec;
+      if (cfg_.router && !cfg_.executor) {
+        dec = cfg_.router->decide(e.fingerprint, router::Workload::sddmm, x.cols(),
+                                  router::Router::sddmm_arms(plan->spec.get(), x.cols()));
+        count_decision(dec);
+      }
       std::vector<value_t> out;
-      exec_sddmm(*plan, e.matrix, x, y, out);
+      if (dec.routed) {
+        kernels::simd::KernelConfig kc =
+            cfg_.kernel ? *cfg_.kernel : kernels::simd::active_config();
+        kc.spec_mode = static_cast<kernels::simd::SpecMode>(dec.choice.spec_mode);
+        const auto t0 = Clock::now();
+        parallel_sddmm(pool_, *plan, e.matrix, x, y, out, &metrics_, &kc);
+        observe_route(e, router::Workload::sddmm, x.cols(), dec, micros_since(t0));
+      } else {
+        exec_sddmm(*plan, e.matrix, x, y, out);
+      }
       return out;
     } catch (const fault::injected_fault&) {
       metrics_.faults_injected.fetch_add(1, std::memory_order_relaxed);
@@ -353,8 +461,28 @@ sparse::CsrMatrix Server::run_spgemm_request(Registered& ea, Registered& eb) {
         std::this_thread::sleep_for(retry_delay(cfg_.retry, attempt));
       }
       const PlanPtr plan = plan_cache_.get(ea.fingerprint, ea.matrix, cfg_.mode);
+      // Accumulator decision: config default vs hash vs sort pinned. The
+      // accumulators are bitwise-equal by construction (see
+      // spgemm/accumulators.hpp), so the choice is pure speed. SpGEMM has
+      // no dense operand width; the key uses bucket 0.
+      router::Decision dec;
+      if (cfg_.router && !cfg_.executor) {
+        dec = cfg_.router->decide(ea.fingerprint, router::Workload::spgemm, 0,
+                                  router::Router::spgemm_arms());
+        count_decision(dec);
+      }
       sparse::CsrMatrix c;
-      exec_spgemm(*plan, ea.matrix, eb.matrix, c);
+      if (dec.routed) {
+        spgemm::SpgemmConfig sc = cfg_.spgemm;
+        if (dec.choice.accumulator != router::kDefaultAccumulator) {
+          sc.accumulator = static_cast<spgemm::Accumulator>(dec.choice.accumulator);
+        }
+        const auto t0 = Clock::now();
+        parallel_spgemm(pool_, *plan, ea.matrix, eb.matrix, c, &metrics_, sc);
+        observe_route(ea, router::Workload::spgemm, 0, dec, micros_since(t0));
+      } else {
+        exec_spgemm(*plan, ea.matrix, eb.matrix, c);
+      }
       metrics_.spgemm_batches.fetch_add(1, std::memory_order_relaxed);
       return c;
     } catch (const fault::injected_fault&) {

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "router/router.hpp"
 #include "runtime/execute.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/plan_cache.hpp"
@@ -79,6 +80,19 @@ struct ServerConfig {
   /// RRSPMM_KERNEL_FMA env knobs). A configured Executor owns its own
   /// kernel choice (see dist::ShardedExecutorConfig::kernel).
   std::optional<kernels::simd::KernelConfig> kernel;
+  /// Adaptive-execution router. The default consults RRSPMM_ROUTER
+  /// (off/on/frozen) via router::from_env(); null keeps every decision
+  /// static, exactly the pre-router behaviour. When set, the server asks
+  /// it per batch for the kernel variant (specialization mode, dense-tile
+  /// micro-GEMM, sequential fallback), the SpGEMM accumulator, and the
+  /// coalescing width, and feeds measured latency back through observe().
+  /// Every arm is one of the existing bitwise-guarded paths, so routing
+  /// never changes result bits. Kernel-variant arms apply only to the
+  /// built-in panel-parallel path (a configured Executor owns its own
+  /// kernel choice — dist::ShardedExecutorConfig has its own router hook
+  /// for the shard strategy); accumulator and coalescing arms apply
+  /// either way.
+  std::shared_ptr<router::Router> router = router::from_env();
 };
 
 class Server {
@@ -100,7 +114,9 @@ class Server {
 
   /// Builds (or fetches) the plan for `name` synchronously — call after
   /// register_matrix to pay the preprocessing cost before traffic
-  /// arrives.
+  /// arrives. When a router is configured and the plan carries learned
+  /// RouteRecords (a plan-file v4 round trip), they are imported once so
+  /// a redeployed plan starts with its measured cost table warm.
   PlanPtr warm(const std::string& name);
 
   /// Enqueues an SpMM request: the future resolves to Y = S_name * x
@@ -159,9 +175,16 @@ class Server {
     std::mutex m;                       ///< guards queue + drain_scheduled
     std::deque<SpmmRequest> queue;
     bool drain_scheduled = false;
+    bool routes_imported = false;       ///< plan RouteRecords fed to the router once
   };
 
   Registered& entry(const std::string& name) const;
+  /// Bumps the serving-scoped router counters for a routed decision.
+  void count_decision(const router::Decision& dec);
+  /// Feeds a measured latency back to the router and the per-route
+  /// metrics attribution; no-op for unrouted decisions.
+  void observe_route(Registered& e, router::Workload w, index_t k,
+                     const router::Decision& dec, double us);
   void drain(Registered& e);
   /// One execution attempt: fetch the plan, run the batch (single or
   /// coalesced), return one Y per request. No promises or completion
