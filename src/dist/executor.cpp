@@ -1,7 +1,10 @@
 #include "dist/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -90,6 +93,67 @@ void spmm_shards(runtime::WorkerPool& pool, const aspt::AsptMatrix& a, const Sha
   });
 }
 
+/// Runs body(0..n-1) with each item preferentially on the node owning
+/// its device (devices[i] mod node_count). Deadlock-free by the same
+/// discipline as WorkerPool::parallel_for: every item is guarded by a
+/// claim flag and the CALLER sweeps all items too, so progress never
+/// depends on the node-targeted helper tasks actually running — they
+/// only improve placement. Falls back to plain parallel_for on a
+/// topology-blind pool. `body` must not throw (the shard loops catch
+/// internally).
+void run_on_device_nodes(runtime::WorkerPool& pool, const std::vector<int>& devices,
+                         const std::function<void(std::size_t)>& body) {
+  const std::size_t n = devices.size();
+  if (n == 0) return;
+  if (!pool.numa_active()) {
+    pool.parallel_for(n, body);
+    return;
+  }
+
+  struct State {
+    std::vector<std::atomic<char>> claimed;
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::mutex m;
+    std::condition_variable cv;
+    explicit State(std::size_t n_) : claimed(n_), n(n_) {}
+  };
+  auto st = std::make_shared<State>(n);
+  st->body = &body;
+
+  const auto claim_and_run = [](const std::shared_ptr<State>& s, std::size_t i) {
+    char expected = 0;
+    if (!s->claimed[i].compare_exchange_strong(expected, 1, std::memory_order_acq_rel)) return;
+    (*s->body)(i);
+    if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->n) {
+      std::lock_guard<std::mutex> lk(s->m);
+      s->cv.notify_all();
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit_on_node(devices[i] % pool.node_count(),
+                        [st, claim_and_run, i] { claim_and_run(st, i); });
+  }
+  // Caller participation: claim whatever the helpers have not started
+  // yet — own-node items first, so the cross-node claims that spoil
+  // placement happen only once local work is gone. A helper arriving
+  // later finds the item claimed and exits without touching `body`
+  // (which may be gone by then — the state it does touch is
+  // shared-owned).
+  const int self = runtime::WorkerPool::current_node();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool local = devices[i] % pool.node_count() == self;
+      if ((pass == 0) == local) claim_and_run(st, i);
+    }
+  }
+
+  std::unique_lock<std::mutex> lk(st->m);
+  st->cv.wait(lk, [&] { return st->done.load(std::memory_order_acquire) == st->n; });
+}
+
 }  // namespace
 
 void sharded_spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
@@ -166,22 +230,27 @@ ShardedExecutor::ShardedExecutor(ShardedExecutorConfig cfg)
 }
 
 void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
-                           const DenseMatrix& x, DenseMatrix& y, runtime::Metrics* metrics) {
+                           sparse::DenseView x, sparse::DenseMutView y,
+                           runtime::Metrics* metrics) {
+  if (!x.valid() || !y.valid() || y.rows != plan.tiled.rows() || y.cols != x.cols) {
+    throw sparse::invalid_matrix("ShardedExecutor::spmm: operand views do not match the plan");
+  }
   ShardStrategy strategy = cfg_.strategy;
   const router::Decision rdec =
-      decide_strategy(cfg_.router, plan, x.cols(), cfg_.strategy, strategy, metrics);
+      decide_strategy(cfg_.router, plan, x.cols, cfg_.strategy, strategy, metrics);
   const auto rt0 = std::chrono::steady_clock::now();
   const ShardPlan sp = planner_.plan_rows(plan, cfg_.num_devices, strategy);
   if (metrics) metrics->sharded_batches.fetch_add(1, std::memory_order_relaxed);
   const simd::KernelConfig kcfg = effective_config(cfg_.kernel ? &*cfg_.kernel : nullptr, plan);
-  const simd::KernelSelection ksel = simd::select_kernels(kcfg, x.cols());
+  const simd::KernelSelection ksel = simd::select_kernels(kcfg, x.cols);
 
-  // Execute in permuted row space; unpermute once at the end, after all
-  // failover rounds, so recovery never perturbs the output ordering.
+  // Execute in permuted row space; scatter into the caller's y once at
+  // the end, after all failover rounds, so recovery never perturbs the
+  // output ordering. Identity plans write the caller's storage directly.
   const bool identity = is_identity(plan.row_perm);
   DenseMatrix yp_store;
-  if (!identity) yp_store = DenseMatrix(plan.tiled.rows(), x.cols());
-  DenseMatrix& yp = identity ? y : yp_store;
+  if (!identity) yp_store = DenseMatrix(plan.tiled.rows(), x.cols);
+  sparse::DenseMutView yp = identity ? y : sparse::DenseMutView(yp_store);
 
   // One work item per (row range, owning device). Device ids index the
   // original shard assignment; a device that throws is dead for the rest
@@ -201,7 +270,10 @@ void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan&
   while (!work.empty()) {
     std::vector<Work> failed;
     std::mutex failed_m;
-    pool.parallel_for(work.size(), [&](std::size_t wi) {
+    std::vector<int> devices;
+    devices.reserve(work.size());
+    for (const Work& w : work) devices.push_back(w.device);
+    run_on_device_nodes(pool, devices, [&](std::size_t wi) {
       const Work& w = work[wi];
       try {
         fault::hit(fault::points::kShardExec);
@@ -257,10 +329,18 @@ void ShardedExecutor::spmm(runtime::WorkerPool& pool, const core::ExecutionPlan&
     work = std::move(next);
   }
 
-  if (!identity) y = sparse::unpermute_dense_rows(yp, plan.row_perm);
+  if (!identity) {
+    // Unpermute scatter straight into the caller's storage:
+    // y.row(row_perm[i]) = yp.row(i). Same copies as
+    // unpermute_dense_rows, no intermediate owned result.
+    for (index_t i = 0; i < yp_store.rows(); ++i) {
+      const auto src = yp_store.row(i);
+      std::copy(src.begin(), src.end(), y.row(plan.row_perm[static_cast<std::size_t>(i)]));
+    }
+  }
   // Makespan of the whole sharded batch, failover included — a strategy
   // whose cuts keep failing scores as slow as it is in practice.
-  observe_strategy(cfg_.router, plan, x.cols(), rdec, micros_since(rt0), metrics);
+  observe_strategy(cfg_.router, plan, x.cols, rdec, micros_since(rt0), metrics);
 }
 
 void ShardedExecutor::spgemm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan,
@@ -304,7 +384,10 @@ void ShardedExecutor::spgemm(runtime::WorkerPool& pool, const core::ExecutionPla
   while (!work.empty()) {
     std::vector<Work> failed;
     std::mutex failed_m;
-    pool.parallel_for(work.size(), [&](std::size_t wi) {
+    std::vector<int> devices;
+    devices.reserve(work.size());
+    for (const Work& w : work) devices.push_back(w.device);
+    run_on_device_nodes(pool, devices, [&](std::size_t wi) {
       const Work& w = work[wi];
       try {
         fault::hit(fault::points::kShardExec);

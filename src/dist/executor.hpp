@@ -88,8 +88,13 @@ class ShardedExecutor final : public runtime::Executor {
  public:
   explicit ShardedExecutor(ShardedExecutorConfig cfg = {});
 
-  void spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
-            DenseMatrix& y, runtime::Metrics* metrics) override;
+  /// View-based (zero-copy) entry point; owning callers convert
+  /// implicitly. On a NUMA-aware pool each shard is dispatched to the
+  /// node owning its device (device d → node d mod node_count), so a
+  /// shard's staging and accumulation run next to the memory its worker
+  /// first-touches; topology-blind pools keep the plain parallel_for.
+  void spmm(runtime::WorkerPool& pool, const core::ExecutionPlan& plan, sparse::DenseView x,
+            sparse::DenseMutView y, runtime::Metrics* metrics) override;
 
   /// CSR×CSR across the device shards: the symbolic phase runs
   /// pool-parallel (it is cheap and deterministic), then each shard's

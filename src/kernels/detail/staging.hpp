@@ -15,7 +15,7 @@
 
 #include "aspt/aspt.hpp"
 #include "sparse/aligned.hpp"
-#include "sparse/dense.hpp"
+#include "sparse/dense_view.hpp"
 
 namespace rrspmm::kernels::detail {
 
@@ -41,10 +41,10 @@ inline std::size_t max_panel_dense_cols_in_range(const aspt::AsptMatrix& a, inde
 /// Copies the panel's dense-column X rows into the staged buffer with
 /// leading dimension staged_ld (>= k). Padding lanes are never read by
 /// the kernels, so only the first k elements of each row are written.
-inline void stage_panel(const aspt::Panel& p, const sparse::DenseMatrix& x, index_t k,
-                        value_t* staged, index_t staged_ld) {
+inline void stage_panel(const aspt::Panel& p, sparse::DenseView x, index_t k, value_t* staged,
+                        index_t staged_ld) {
   for (std::size_t d = 0; d < p.dense_cols.size(); ++d) {
-    const value_t* xr = x.row(p.dense_cols[d]).data();
+    const value_t* xr = x.row(p.dense_cols[d]);
     std::copy(xr, xr + k, staged + d * static_cast<std::size_t>(staged_ld));
   }
 }

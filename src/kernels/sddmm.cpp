@@ -12,28 +12,27 @@ namespace {
 
 constexpr index_t kRowBlock = 64;  // see spmm.cpp
 
-void check_sddmm_shapes(index_t s_rows, index_t s_cols, const DenseMatrix& x,
-                        const DenseMatrix& y) {
-  if (y.rows() != s_rows) throw sparse::invalid_matrix("SDDMM: Y rows must equal S rows");
-  if (x.rows() != s_cols) throw sparse::invalid_matrix("SDDMM: X rows must equal S cols");
-  if (x.cols() != y.cols()) throw sparse::invalid_matrix("SDDMM: X and Y must share K");
+void check_sddmm_shapes(index_t s_rows, index_t s_cols, DenseView x, DenseView y) {
+  if (!x.valid() || !y.valid()) throw sparse::invalid_matrix("SDDMM: invalid dense view");
+  if (y.rows != s_rows) throw sparse::invalid_matrix("SDDMM: Y rows must equal S rows");
+  if (x.rows != s_cols) throw sparse::invalid_matrix("SDDMM: X rows must equal S cols");
+  if (x.cols != y.cols) throw sparse::invalid_matrix("SDDMM: X and Y must share K");
 }
 
 }  // namespace
 
-void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
-                   std::vector<value_t>& out) {
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, std::vector<value_t>& out) {
   sddmm_rowwise(s, x, y, out, simd::active_config());
 }
 
-void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
-                   std::vector<value_t>& out, const simd::KernelConfig& cfg) {
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, std::vector<value_t>& out,
+                   const simd::KernelConfig& cfg) {
   sparse::validate_csr(s, "sddmm_rowwise");
   check_sddmm_shapes(s.rows(), s.cols(), x, y);
-  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols);
   simd::count_invocation(t.isa);
   if (t.specialized) simd::count_specialized(t.isa);
-  const index_t k = x.cols();
+  const index_t k = x.cols;
   out.assign(static_cast<std::size_t>(s.nnz()), value_t{0});
   const index_t blocks = (s.rows() + kRowBlock - 1) / kRowBlock;
 
@@ -43,47 +42,55 @@ void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& 
   for (index_t blk = 0; blk < blocks; ++blk) {
     const index_t lo = blk * kRowBlock;
     const index_t hi = std::min(s.rows(), lo + kRowBlock);
-    t.sddmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data(), x.ld(),
-                 y.data(), y.ld(), k, out.data(), /*src=*/nullptr, /*order=*/nullptr, lo, hi);
+    t.sddmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data, x.ld, y.data,
+                 y.ld, k, out.data(), /*src=*/nullptr, /*order=*/nullptr, lo, hi);
   }
 }
 
-void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
-                   std::vector<value_t>& out, index_t row_begin, index_t row_end) {
-  sddmm_rowwise(s, x, y, out, row_begin, row_end, simd::active_config());
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, value_t* out,
+                   std::size_t out_size, index_t row_begin, index_t row_end) {
+  sddmm_rowwise(s, x, y, out, out_size, row_begin, row_end, simd::active_config());
 }
 
-void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
-                   std::vector<value_t>& out, index_t row_begin, index_t row_end,
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, value_t* out,
+                   std::size_t out_size, index_t row_begin, index_t row_end,
                    const simd::KernelConfig& cfg) {
   check_sddmm_shapes(s.rows(), s.cols(), x, y);
   if (row_begin < 0 || row_end > s.rows() || row_begin > row_end) {
     throw sparse::invalid_matrix("SDDMM: row range out of bounds");
   }
-  if (out.size() != static_cast<std::size_t>(s.nnz())) {
+  if (out_size != static_cast<std::size_t>(s.nnz())) {
     throw sparse::invalid_matrix("SDDMM: out must be pre-sized to nnz for row-range calls");
   }
-  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols);
   simd::count_invocation(t.isa);
   if (t.specialized) simd::count_specialized(t.isa);
-  t.sddmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data(), x.ld(),
-               y.data(), y.ld(), x.cols(), out.data(), /*src=*/nullptr, /*order=*/nullptr,
-               row_begin, row_end);
+  t.sddmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data, x.ld, y.data,
+               y.ld, x.cols, out, /*src=*/nullptr, /*order=*/nullptr, row_begin, row_end);
 }
 
-void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
-                std::vector<value_t>& out, const std::vector<index_t>* sparse_order) {
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, std::vector<value_t>& out,
+                   index_t row_begin, index_t row_end) {
+  sddmm_rowwise(s, x, y, out.data(), out.size(), row_begin, row_end, simd::active_config());
+}
+
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, std::vector<value_t>& out,
+                   index_t row_begin, index_t row_end, const simd::KernelConfig& cfg) {
+  sddmm_rowwise(s, x, y, out.data(), out.size(), row_begin, row_end, cfg);
+}
+
+void sddmm_aspt(const AsptMatrix& a, DenseView x, DenseView y, std::vector<value_t>& out,
+                const std::vector<index_t>* sparse_order) {
   sddmm_aspt(a, x, y, out, sparse_order, simd::active_config());
 }
 
-void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
-                std::vector<value_t>& out, const std::vector<index_t>* sparse_order,
-                const simd::KernelConfig& cfg) {
+void sddmm_aspt(const AsptMatrix& a, DenseView x, DenseView y, std::vector<value_t>& out,
+                const std::vector<index_t>* sparse_order, const simd::KernelConfig& cfg) {
   check_sddmm_shapes(a.rows(), a.cols(), x, y);
-  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols);
   simd::count_invocation(t.isa);
   if (t.specialized) simd::count_specialized(t.isa);
-  const index_t k = x.cols();
+  const index_t k = x.cols;
   out.assign(static_cast<std::size_t>(a.stats().nnz_total), value_t{0});
 
   // Phase 1: dense tiles with an aligned staged panel buffer per thread,
@@ -104,8 +111,8 @@ void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
         if (p.dense_cols.empty()) continue;
         detail::stage_panel(p, x, k, staged.data(), staged_ld);
         t.sddmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
-                      p.dense_src_idx.data(), p.row_begin, staged.data(), staged_ld, y.data(),
-                      y.ld(), k, out.data(), p.row_begin, p.row_end);
+                      p.dense_src_idx.data(), p.row_begin, staged.data(), staged_ld, y.data,
+                      y.ld, k, out.data(), p.row_begin, p.row_end);
       }
     }
   }
@@ -121,30 +128,30 @@ void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
   for (index_t blk = 0; blk < blocks; ++blk) {
     const index_t lo = blk * kRowBlock;
     const index_t hi = std::min(sp.rows(), lo + kRowBlock);
-    t.sddmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data(), x.ld(),
-                 y.data(), y.ld(), k, out.data(), a.sparse_src_idx().data(), order, lo, hi);
+    t.sddmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data, x.ld,
+                 y.data, y.ld, k, out.data(), a.sparse_src_idx().data(), order, lo, hi);
   }
 }
 
-void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
-                          std::vector<value_t>& out, index_t row_begin, index_t row_end) {
-  sddmm_aspt_row_range(a, x, y, out, row_begin, row_end, simd::active_config());
+void sddmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseView y, value_t* out,
+                          std::size_t out_size, index_t row_begin, index_t row_end) {
+  sddmm_aspt_row_range(a, x, y, out, out_size, row_begin, row_end, simd::active_config());
 }
 
-void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
-                          std::vector<value_t>& out, index_t row_begin, index_t row_end,
+void sddmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseView y, value_t* out,
+                          std::size_t out_size, index_t row_begin, index_t row_end,
                           const simd::KernelConfig& cfg) {
   check_sddmm_shapes(a.rows(), a.cols(), x, y);
   if (row_begin < 0 || row_end > a.rows() || row_begin > row_end) {
     throw sparse::invalid_matrix("SDDMM: row range out of bounds");
   }
-  if (out.size() != static_cast<std::size_t>(a.stats().nnz_total)) {
+  if (out_size != static_cast<std::size_t>(a.stats().nnz_total)) {
     throw sparse::invalid_matrix("SDDMM: out must be pre-sized to nnz for row-range calls");
   }
-  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols);
   simd::count_invocation(t.isa);
   if (t.specialized) simd::count_specialized(t.isa);
-  const index_t k = x.cols();
+  const index_t k = x.cols;
 
   // Dense tiles of the panels intersecting the range, clipped to it; one
   // staging buffer sized to the largest intersecting panel.
@@ -157,17 +164,29 @@ void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const Dense
       if (p.dense_cols.empty()) continue;
       detail::stage_panel(p, x, k, staged.data(), staged_ld);
       t.sddmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
-                    p.dense_src_idx.data(), p.row_begin, staged.data(), staged_ld, y.data(),
-                    y.ld(), k, out.data(), std::max(row_begin, p.row_begin),
+                    p.dense_src_idx.data(), p.row_begin, staged.data(), staged_ld, y.data,
+                    y.ld, k, out, std::max(row_begin, p.row_begin),
                     std::min(row_end, p.row_end));
     }
   }
 
   // Sparse remainder of the same rows.
   const CsrMatrix& sp = a.sparse_part();
-  t.sddmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data(), x.ld(),
-               y.data(), y.ld(), k, out.data(), a.sparse_src_idx().data(), /*order=*/nullptr,
-               row_begin, row_end);
+  t.sddmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data, x.ld,
+               y.data, y.ld, k, out, a.sparse_src_idx().data(), /*order=*/nullptr, row_begin,
+               row_end);
+}
+
+void sddmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseView y,
+                          std::vector<value_t>& out, index_t row_begin, index_t row_end) {
+  sddmm_aspt_row_range(a, x, y, out.data(), out.size(), row_begin, row_end,
+                       simd::active_config());
+}
+
+void sddmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseView y,
+                          std::vector<value_t>& out, index_t row_begin, index_t row_end,
+                          const simd::KernelConfig& cfg) {
+  sddmm_aspt_row_range(a, x, y, out.data(), out.size(), row_begin, row_end, cfg);
 }
 
 }  // namespace rrspmm::kernels

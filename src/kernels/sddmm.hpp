@@ -9,54 +9,69 @@
 // (kernels/simd); overloads without a simd::KernelConfig use the
 // process-wide active configuration, and the default (non-fma) path is
 // bitwise-identical to the scalar reference on every backend.
+//
+// Dense operands are borrowed views (sparse/dense_view.hpp); DenseMatrix
+// converts implicitly. The row-range variants additionally take the
+// output as a raw pre-sized pointer — the zero-copy serving path writes
+// straight into a caller-provided span — with the std::vector overloads
+// forwarding to it.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "aspt/aspt.hpp"
 #include "kernels/simd/dispatch.hpp"
 #include "sparse/csr.hpp"
-#include "sparse/dense.hpp"
+#include "sparse/dense_view.hpp"
 
 namespace rrspmm::kernels {
 
 using aspt::AsptMatrix;
 using sparse::CsrMatrix;
 using sparse::DenseMatrix;
+using sparse::DenseView;
 
 /// Row-wise SDDMM. `out` is resized to s.nnz(); out[j] corresponds to the
 /// j-th nonzero of `s`. y must be s.rows() x K, x must be s.cols() x K.
-void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
-                   std::vector<value_t>& out);
-void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
-                   std::vector<value_t>& out, const simd::KernelConfig& cfg);
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, std::vector<value_t>& out);
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, std::vector<value_t>& out,
+                   const simd::KernelConfig& cfg);
 
 /// Row-range variant: fills only the output slots of rows
-/// [row_begin, row_end); `out` must already be sized to s.nnz(). Serial,
-/// race-free across disjoint ranges (each nonzero belongs to one row).
-void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
-                   std::vector<value_t>& out, index_t row_begin, index_t row_end);
-void sddmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, const DenseMatrix& y,
-                   std::vector<value_t>& out, index_t row_begin, index_t row_end,
+/// [row_begin, row_end); `out` must already be sized to s.nnz()
+/// (`out_size` is validated). Serial, race-free across disjoint ranges
+/// (each nonzero belongs to one row).
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, value_t* out,
+                   std::size_t out_size, index_t row_begin, index_t row_end);
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, value_t* out,
+                   std::size_t out_size, index_t row_begin, index_t row_end,
                    const simd::KernelConfig& cfg);
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, std::vector<value_t>& out,
+                   index_t row_begin, index_t row_end);
+void sddmm_rowwise(const CsrMatrix& s, DenseView x, DenseView y, std::vector<value_t>& out,
+                   index_t row_begin, index_t row_end, const simd::KernelConfig& cfg);
 
 /// ASpT-structured SDDMM; `out` is aligned with the CSR that `a` was
 /// built from (via the tiling's source-index maps).
-void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
-                std::vector<value_t>& out,
+void sddmm_aspt(const AsptMatrix& a, DenseView x, DenseView y, std::vector<value_t>& out,
                 const std::vector<index_t>* sparse_order = nullptr);
-void sddmm_aspt(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
-                std::vector<value_t>& out, const std::vector<index_t>* sparse_order,
-                const simd::KernelConfig& cfg);
+void sddmm_aspt(const AsptMatrix& a, DenseView x, DenseView y, std::vector<value_t>& out,
+                const std::vector<index_t>* sparse_order, const simd::KernelConfig& cfg);
 
 /// Row-range ASpT SDDMM: dense tiles clipped to [row_begin, row_end) plus
 /// the sparse remainder of those rows, scattering through the source-
 /// index maps. `out` must already be sized to the tiling's nnz_total.
 /// Serial and race-free across disjoint ranges; ranges partitioning
 /// [0, rows) reproduce sddmm_aspt exactly.
-void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
+void sddmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseView y, value_t* out,
+                          std::size_t out_size, index_t row_begin, index_t row_end);
+void sddmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseView y, value_t* out,
+                          std::size_t out_size, index_t row_begin, index_t row_end,
+                          const simd::KernelConfig& cfg);
+void sddmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseView y,
                           std::vector<value_t>& out, index_t row_begin, index_t row_end);
-void sddmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, const DenseMatrix& y,
+void sddmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseView y,
                           std::vector<value_t>& out, index_t row_begin, index_t row_end,
                           const simd::KernelConfig& cfg);
 

@@ -14,28 +14,35 @@ namespace {
 // the pre-dispatch kernels' `schedule(dynamic, 64)` row distribution.
 constexpr index_t kRowBlock = 64;
 
-void check_spmm_shapes(index_t s_rows, index_t s_cols, const DenseMatrix& x,
-                       const DenseMatrix& y) {
-  if (x.rows() != s_cols) throw sparse::invalid_matrix("SpMM: X rows must equal S cols");
-  if (y.rows() != s_rows || y.cols() != x.cols()) {
+void check_spmm_shapes(index_t s_rows, index_t s_cols, DenseView x, DenseMutView y) {
+  if (!x.valid() || !y.valid()) throw sparse::invalid_matrix("SpMM: invalid dense view");
+  if (x.rows != s_cols) throw sparse::invalid_matrix("SpMM: X rows must equal S cols");
+  if (y.rows != s_rows || y.cols != x.cols) {
     throw sparse::invalid_matrix("SpMM: Y must be S.rows x X.cols");
+  }
+}
+
+void zero_rows(DenseMutView y, index_t row_begin, index_t row_end) {
+  for (index_t i = row_begin; i < row_end; ++i) {
+    value_t* yr = y.row(i);
+    std::fill(yr, yr + y.cols, value_t{0});
   }
 }
 
 }  // namespace
 
-void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y) {
+void spmm_rowwise(const CsrMatrix& s, DenseView x, DenseMutView y) {
   spmm_rowwise(s, x, y, simd::active_config());
 }
 
-void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y,
+void spmm_rowwise(const CsrMatrix& s, DenseView x, DenseMutView y,
                   const simd::KernelConfig& cfg) {
   sparse::validate_csr(s, "spmm_rowwise");
   check_spmm_shapes(s.rows(), s.cols(), x, y);
-  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols);
   simd::count_invocation(t.isa);
   if (t.specialized) simd::count_specialized(t.isa);
-  const index_t k = x.cols();
+  const index_t k = x.cols;
   const index_t rows = s.rows();
   const index_t blocks = (rows + kRowBlock - 1) / kRowBlock;
 
@@ -45,43 +52,42 @@ void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y,
   for (index_t blk = 0; blk < blocks; ++blk) {
     const index_t lo = blk * kRowBlock;
     const index_t hi = std::min(rows, lo + kRowBlock);
-    t.spmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data(), x.ld(),
-                y.data(), y.ld(), k, /*order=*/nullptr, /*zero_y=*/true, lo, hi);
+    t.spmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data, x.ld, y.data,
+                y.ld, k, /*order=*/nullptr, /*zero_y=*/true, lo, hi);
   }
 }
 
-void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, index_t row_begin,
+void spmm_rowwise(const CsrMatrix& s, DenseView x, DenseMutView y, index_t row_begin,
                   index_t row_end) {
   spmm_rowwise(s, x, y, row_begin, row_end, simd::active_config());
 }
 
-void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, index_t row_begin,
+void spmm_rowwise(const CsrMatrix& s, DenseView x, DenseMutView y, index_t row_begin,
                   index_t row_end, const simd::KernelConfig& cfg) {
   check_spmm_shapes(s.rows(), s.cols(), x, y);
   if (row_begin < 0 || row_end > s.rows() || row_begin > row_end) {
     throw sparse::invalid_matrix("SpMM: row range out of bounds");
   }
-  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols);
   simd::count_invocation(t.isa);
   if (t.specialized) simd::count_specialized(t.isa);
-  t.spmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data(), x.ld(),
-              y.data(), y.ld(), x.cols(), /*order=*/nullptr, /*zero_y=*/true, row_begin,
-              row_end);
+  t.spmm_rows(s.rowptr().data(), s.colidx().data(), s.values().data(), x.data, x.ld, y.data,
+              y.ld, x.cols, /*order=*/nullptr, /*zero_y=*/true, row_begin, row_end);
 }
 
-void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+void spmm_aspt(const AsptMatrix& a, DenseView x, DenseMutView y,
                const std::vector<index_t>* sparse_order) {
   spmm_aspt(a, x, y, sparse_order, simd::active_config());
 }
 
-void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+void spmm_aspt(const AsptMatrix& a, DenseView x, DenseMutView y,
                const std::vector<index_t>* sparse_order, const simd::KernelConfig& cfg) {
   check_spmm_shapes(a.rows(), a.cols(), x, y);
-  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols);
   simd::count_invocation(t.isa);
   if (t.specialized) simd::count_specialized(t.isa);
-  const index_t k = x.cols();
-  y.fill(value_t{0});
+  const index_t k = x.cols;
+  zero_rows(y, 0, y.rows);
 
   // Phase 1: dense tiles. One aligned staging buffer per thread, sized
   // once to the largest panel (satellite: no per-panel resize), plays
@@ -104,12 +110,12 @@ void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
         detail::stage_panel(p, x, k, staged.data(), staged_ld);
         if (t.spmm_panel_dense != nullptr) {
           t.spmm_panel_dense(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
-                             p.row_begin, staged.data(), staged_ld, y.data(), y.ld(), k,
+                             p.row_begin, staged.data(), staged_ld, y.data, y.ld, k,
                              p.row_begin, p.row_end,
                              static_cast<index_t>(p.dense_cols.size()));
         } else {
           t.spmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
-                       p.row_begin, staged.data(), staged_ld, y.data(), y.ld(), k, p.row_begin,
+                       p.row_begin, staged.data(), staged_ld, y.data, y.ld, k, p.row_begin,
                        p.row_end);
         }
       }
@@ -128,31 +134,27 @@ void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
   for (index_t blk = 0; blk < blocks; ++blk) {
     const index_t lo = blk * kRowBlock;
     const index_t hi = std::min(sp.rows(), lo + kRowBlock);
-    t.spmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data(), x.ld(),
-                y.data(), y.ld(), k, order, /*zero_y=*/false, lo, hi);
+    t.spmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data, x.ld,
+                y.data, y.ld, k, order, /*zero_y=*/false, lo, hi);
   }
 }
 
-void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
-                         index_t row_begin, index_t row_end) {
+void spmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseMutView y, index_t row_begin,
+                         index_t row_end) {
   spmm_aspt_row_range(a, x, y, row_begin, row_end, simd::active_config());
 }
 
-void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
-                         index_t row_begin, index_t row_end,
-                         const simd::KernelConfig& cfg) {
+void spmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseMutView y, index_t row_begin,
+                         index_t row_end, const simd::KernelConfig& cfg) {
   check_spmm_shapes(a.rows(), a.cols(), x, y);
   if (row_begin < 0 || row_end > a.rows() || row_begin > row_end) {
     throw sparse::invalid_matrix("SpMM: row range out of bounds");
   }
-  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols());
+  const simd::KernelSelection t = simd::select_kernels(cfg, x.cols);
   simd::count_invocation(t.isa);
   if (t.specialized) simd::count_specialized(t.isa);
-  const index_t k = x.cols();
-  for (index_t i = row_begin; i < row_end; ++i) {
-    auto yr = y.row(i);
-    std::fill(yr.begin(), yr.end(), value_t{0});
-  }
+  const index_t k = x.cols;
+  zero_rows(y, row_begin, row_end);
 
   // Dense tiles of the panels intersecting the range, clipped to it. The
   // staging buffer is sized once to the largest intersecting panel and
@@ -167,12 +169,12 @@ void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix&
       detail::stage_panel(p, x, k, staged.data(), staged_ld);
       if (t.spmm_panel_dense != nullptr) {
         t.spmm_panel_dense(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
-                           p.row_begin, staged.data(), staged_ld, y.data(), y.ld(), k,
+                           p.row_begin, staged.data(), staged_ld, y.data, y.ld, k,
                            std::max(row_begin, p.row_begin), std::min(row_end, p.row_end),
                            static_cast<index_t>(p.dense_cols.size()));
       } else {
         t.spmm_panel(p.dense_rowptr.data(), p.dense_slot.data(), p.dense_val.data(),
-                     p.row_begin, staged.data(), staged_ld, y.data(), y.ld(), k,
+                     p.row_begin, staged.data(), staged_ld, y.data, y.ld, k,
                      std::max(row_begin, p.row_begin), std::min(row_end, p.row_end));
       }
     }
@@ -180,8 +182,8 @@ void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix&
 
   // Sparse remainder of the same rows.
   const CsrMatrix& sp = a.sparse_part();
-  t.spmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data(), x.ld(),
-              y.data(), y.ld(), k, /*order=*/nullptr, /*zero_y=*/false, row_begin, row_end);
+  t.spmm_rows(sp.rowptr().data(), sp.colidx().data(), sp.values().data(), x.data, x.ld, y.data,
+              y.ld, k, /*order=*/nullptr, /*zero_y=*/false, row_begin, row_end);
 }
 
 }  // namespace rrspmm::kernels

@@ -15,6 +15,12 @@
 // RRSPMM_KERNEL_FMA). With allow_fma off — the default — every backend
 // is bitwise-identical to the scalar reference, so results do not depend
 // on which ISA the dispatcher picked.
+//
+// Dense operands are passed as borrowed views (sparse/dense_view.hpp) —
+// the zero-copy ABI the serving runtime rides on. DenseMatrix converts
+// to a view implicitly, so owning callers are unaffected; a view over
+// caller-provided storage runs the identical code path and therefore
+// produces byte-identical results.
 #pragma once
 
 #include <vector>
@@ -22,18 +28,20 @@
 #include "aspt/aspt.hpp"
 #include "kernels/simd/dispatch.hpp"
 #include "sparse/csr.hpp"
-#include "sparse/dense.hpp"
+#include "sparse/dense_view.hpp"
 
 namespace rrspmm::kernels {
 
 using aspt::AsptMatrix;
 using sparse::CsrMatrix;
 using sparse::DenseMatrix;
+using sparse::DenseMutView;
+using sparse::DenseView;
 
 /// Y = S * X, row-wise (paper Alg 1). Y is overwritten; it must be
 /// S.rows() x X.cols(); X must be S.cols() x K.
-void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y);
-void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y,
+void spmm_rowwise(const CsrMatrix& s, DenseView x, DenseMutView y);
+void spmm_rowwise(const CsrMatrix& s, DenseView x, DenseMutView y,
                   const simd::KernelConfig& cfg);
 
 /// Row-range variant: computes (and zeroes) only Y rows
@@ -42,9 +50,9 @@ void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y,
 /// concurrently; disjoint ranges touch disjoint Y rows, and per-row
 /// accumulation order matches the full kernel, so a range-partitioned
 /// run is bitwise equal to it.
-void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, index_t row_begin,
+void spmm_rowwise(const CsrMatrix& s, DenseView x, DenseMutView y, index_t row_begin,
                   index_t row_end);
-void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, index_t row_begin,
+void spmm_rowwise(const CsrMatrix& s, DenseView x, DenseMutView y, index_t row_begin,
                   index_t row_end, const simd::KernelConfig& cfg);
 
 /// Y = S * X over an ASpT tiling: dense-tile phase with an aligned
@@ -52,9 +60,9 @@ void spmm_rowwise(const CsrMatrix& s, const DenseMatrix& x, DenseMatrix& y, inde
 /// remainder row-wise. `sparse_order`, if non-null, is the processing
 /// order of the sparse-part rows (affects performance only; the result
 /// is identical).
-void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+void spmm_aspt(const AsptMatrix& a, DenseView x, DenseMutView y,
                const std::vector<index_t>* sparse_order = nullptr);
-void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
+void spmm_aspt(const AsptMatrix& a, DenseView x, DenseMutView y,
                const std::vector<index_t>* sparse_order, const simd::KernelConfig& cfg);
 
 /// Row-range ASpT SpMM: zeroes Y rows [row_begin, row_end), then runs the
@@ -65,9 +73,9 @@ void spmm_aspt(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
 /// contributions first, then sparse, in the same nonzero order. The
 /// sparse processing order is irrelevant here because each row's sum is
 /// independent; panel-aligned ranges reproduce the staging locality.
-void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
-                         index_t row_begin, index_t row_end);
-void spmm_aspt_row_range(const AsptMatrix& a, const DenseMatrix& x, DenseMatrix& y,
-                         index_t row_begin, index_t row_end, const simd::KernelConfig& cfg);
+void spmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseMutView y, index_t row_begin,
+                         index_t row_end);
+void spmm_aspt_row_range(const AsptMatrix& a, DenseView x, DenseMutView y, index_t row_begin,
+                         index_t row_end, const simd::KernelConfig& cfg);
 
 }  // namespace rrspmm::kernels

@@ -71,13 +71,42 @@ bool RouteChoice::parse(const std::string& s, RouteChoice& out) {
   return true;
 }
 
+RouteContext make_route_context(double mean_nnz_row, double p90_nnz_row) {
+  RouteContext ctx;
+  ctx.contextual = true;
+  ctx.mean_bucket = mean_nnz_row < 2.0 ? 0 : mean_nnz_row < 8.0 ? 1 : mean_nnz_row < 32.0 ? 2 : 3;
+  ctx.p90_bucket = p90_nnz_row < 4.0 ? 0 : p90_nnz_row < 16.0 ? 1 : p90_nnz_row < 64.0 ? 2 : 3;
+  return ctx;
+}
+
+int ctx_bucket(index_t k, const RouteContext& ctx) {
+  const int kb = k_bucket(k);
+  if (!ctx.contextual) return kb;
+  // k_bucket is at most 32 for 32-bit index_t, so the plain buckets
+  // occupy 0..63 and every contextual block starts at a multiple of 64
+  // with block 0 reserved for "no context" — the two keyings can never
+  // collide in a persisted table.
+  return kb + 64 * (1 + static_cast<int>(ctx.mean_bucket) * 4 + static_cast<int>(ctx.p90_bucket));
+}
+
 std::string route_key(const std::string& fingerprint, Workload w, index_t k,
                       const RouteChoice& choice) {
+  return route_key(fingerprint, w, k, RouteContext{}, choice);
+}
+
+std::string route_key(const std::string& fingerprint, Workload w, index_t k,
+                      const RouteContext& ctx, const RouteChoice& choice) {
   std::string s = fingerprint;
   s += '|';
   s += workload_name(w);
   s += "|k";
   s += std::to_string(k_bucket(k));
+  if (ctx.contextual) {
+    s += 'm';
+    s += std::to_string(static_cast<int>(ctx.mean_bucket));
+    s += 'p';
+    s += std::to_string(static_cast<int>(ctx.p90_bucket));
+  }
   s += '|';
   s += choice.key();
   return s;
@@ -133,16 +162,23 @@ const ArmStats* Router::prior_locked(Workload w, int bucket, const RouteChoice& 
 
 Decision Router::decide(const std::string& fingerprint, Workload w, index_t k,
                         const std::vector<RouteChoice>& arms) {
+  return decide(fingerprint, w, k, RouteContext{}, arms);
+}
+
+Decision Router::decide(const std::string& fingerprint, Workload w, index_t k,
+                        const RouteContext& ctx, const std::vector<RouteChoice>& arms) {
   Decision dec;
   if (!arms.empty()) dec.choice = arms[0];
 #ifdef RRSPMM_ROUTER_DISABLED
   (void)fingerprint;
   (void)w;
   (void)k;
+  (void)ctx;
   return dec;
 #else
   if (arms.empty()) return dec;
-  const int bucket = k_bucket(k);
+  const int base_bucket = k_bucket(k);
+  const int bucket = ctx_bucket(k, ctx);
   const std::string key = table_key(fingerprint, w, bucket);
 
   std::lock_guard<std::mutex> lk(m_);
@@ -154,9 +190,16 @@ Decision Router::decide(const std::string& fingerprint, Workload w, index_t k,
   ++decisions_;
   dec.routed = true;
 
-  // Score every offered arm: local mean, else the fingerprint-agnostic
-  // prior, else unknown (+inf — sampled first in online mode, ranked
-  // last in frozen mode where arms[0] wins ties).
+  // Arms observed under the plain K-bucket key seed a contextual key
+  // that has not measured them yet, so a pre-contextual table (or a
+  // sibling context) still informs the first contextual decisions.
+  const KeyState* legacy =
+      ctx.contextual ? find_locked(table_key(fingerprint, w, base_bucket)) : nullptr;
+
+  // Score every offered arm: local mean, else the legacy pure-K key,
+  // else the fingerprint-agnostic prior, else unknown (+inf — sampled
+  // first in online mode, ranked last in frozen mode where arms[0]
+  // wins ties).
   std::size_t best = 0;
   double best_score = kInf;
   for (std::size_t i = 0; i < arms.size(); ++i) {
@@ -167,8 +210,16 @@ Decision Router::decide(const std::string& fingerprint, Workload w, index_t k,
         break;
       }
     }
+    if (score == kInf && legacy != nullptr) {
+      for (const Arm& a : legacy->arms) {
+        if (a.choice == arms[i] && a.stats.count > 0) {
+          score = a.stats.mean_us();
+          break;
+        }
+      }
+    }
     if (score == kInf) {
-      if (const ArmStats* p = prior_locked(w, bucket, arms[i])) score = p->mean_us();
+      if (const ArmStats* p = prior_locked(w, base_bucket, arms[i])) score = p->mean_us();
     }
     if (score < best_score) {
       best_score = score;
@@ -217,15 +268,21 @@ Decision Router::decide(const std::string& fingerprint, Workload w, index_t k,
 
 void Router::observe(const std::string& fingerprint, Workload w, index_t k,
                      const RouteChoice& choice, double us) {
+  observe(fingerprint, w, k, RouteContext{}, choice, us);
+}
+
+void Router::observe(const std::string& fingerprint, Workload w, index_t k,
+                     const RouteContext& ctx, const RouteChoice& choice, double us) {
 #ifdef RRSPMM_ROUTER_DISABLED
   (void)fingerprint;
   (void)w;
   (void)k;
+  (void)ctx;
   (void)choice;
   (void)us;
 #else
   if (cfg_.frozen || us < 0.0) return;
-  const std::string key = table_key(fingerprint, w, k_bucket(k));
+  const std::string key = table_key(fingerprint, w, ctx_bucket(k, ctx));
   std::lock_guard<std::mutex> lk(m_);
   KeyState* ks = find_locked(key);
   if (!ks) {

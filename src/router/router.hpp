@@ -152,10 +152,40 @@ struct RouterConfig {
 /// widths share a table row, distant ones do not.
 int k_bucket(index_t k);
 
+/// Contextual features of the routed matrix beyond the operand width:
+/// coarse nnz/row moments (mean + p90), 4 buckets each. A
+/// default-constructed context is "no context" and reproduces the pure
+/// K-bucket keying, so pre-contextual tables and plan files keep
+/// working untouched.
+struct RouteContext {
+  std::uint8_t mean_bucket = 0;  ///< mean nnz/row: <2, <8, <32, >=32
+  std::uint8_t p90_bucket = 0;   ///< p90 nnz/row: <4, <16, <64, >=64
+  bool contextual = false;
+
+  bool operator==(const RouteContext& o) const {
+    return contextual == o.contextual && mean_bucket == o.mean_bucket &&
+           p90_bucket == o.p90_bucket;
+  }
+};
+
+/// Buckets the nnz/row moments (thresholds above).
+RouteContext make_route_context(double mean_nnz_row, double p90_nnz_row);
+
+/// Packs (K bucket, context) into the one integer bucket dimension the
+/// table/plan-file formats already carry: plain k_bucket(k) without
+/// context (values 0..63), 64*(1 + mean*4 + p90) + k_bucket(k) with.
+/// Both round-trip through "rrspmm-router-table v1" and RouteRecord
+/// untouched — the packing is why the satellite's backward-compat
+/// requirement holds by construction.
+int ctx_bucket(index_t k, const RouteContext& ctx);
+
 /// Metrics attribution key of one decided execution:
-/// "<fp>|<workload>|k<bucket>|<choice>".
+/// "<fp>|<workload>|k<bucket>[m<mean>p<p90>]|<choice>" (the bracketed
+/// context part appears only for contextual decisions).
 std::string route_key(const std::string& fingerprint, Workload w, index_t k,
                       const RouteChoice& choice);
+std::string route_key(const std::string& fingerprint, Workload w, index_t k,
+                      const RouteContext& ctx, const RouteChoice& choice);
 
 /// True unless built with RRSPMM_ENABLE_ROUTER=OFF
 /// (RRSPMM_ROUTER_DISABLED): then decide() always returns the first arm
@@ -171,13 +201,21 @@ class Router {
 
   /// Picks an arm for (fingerprint, workload, K). `arms` is the caller's
   /// candidate list; arms[0] must be the safe default. Empty arms or a
-  /// disabled build return an unrouted default decision.
+  /// disabled build return an unrouted default decision. The contextual
+  /// overload keys on ctx_bucket(k, ctx); arms with no observations
+  /// under the contextual key fall back to the legacy pure-K key's
+  /// stats, then the fingerprint-agnostic priors, so a pre-contextual
+  /// table still seeds contextual decisions.
   Decision decide(const std::string& fingerprint, Workload w, index_t k,
                   const std::vector<RouteChoice>& arms);
+  Decision decide(const std::string& fingerprint, Workload w, index_t k,
+                  const RouteContext& ctx, const std::vector<RouteChoice>& arms);
 
   /// Records a measured latency for a decided execution. No-op when
   /// frozen (the table is the contract) or compiled out.
   void observe(const std::string& fingerprint, Workload w, index_t k,
+               const RouteChoice& choice, double us);
+  void observe(const std::string& fingerprint, Workload w, index_t k, const RouteContext& ctx,
                const RouteChoice& choice, double us);
 
   /// Read-only best arm across every K-bucket of (fingerprint, w),

@@ -29,6 +29,7 @@
 #include "sparse/coo.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
+#include "sparse/dense_view.hpp"
 #include "sparse/io_mm.hpp"
 #include "sparse/permute.hpp"
 #include "sparse/stats.hpp"

@@ -36,9 +36,9 @@ void count_selection(Metrics* metrics, const simd::KernelSelection& sel) {
   if (sel.specialized) metrics->count_specialized();
 }
 
-void spmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix& x,
-                 DenseMatrix& y, Metrics* metrics, const simd::KernelConfig& cfg) {
-  const simd::KernelSelection sel = simd::select_kernels(cfg, x.cols());
+void spmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, sparse::DenseView x,
+                 sparse::DenseMutView y, Metrics* metrics, const simd::KernelConfig& cfg) {
+  const simd::KernelSelection sel = simd::select_kernels(cfg, x.cols);
   const auto& panels = a.panels();
   if (panels.empty()) {
     kernels::spmm_aspt_row_range(a, x, y, 0, a.rows(), cfg);
@@ -54,19 +54,21 @@ void spmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix&
   });
 }
 
-void sddmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix& x,
-                  const DenseMatrix& y, std::vector<value_t>& out, Metrics* metrics,
+void sddmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, sparse::DenseView x,
+                  sparse::DenseView y, value_t* out, Metrics* metrics,
                   const simd::KernelConfig& cfg) {
-  const simd::KernelSelection sel = simd::select_kernels(cfg, x.cols());
-  out.assign(static_cast<std::size_t>(a.stats().nnz_total), value_t{0});
+  const simd::KernelSelection sel = simd::select_kernels(cfg, x.cols);
+  const std::size_t nnz = static_cast<std::size_t>(a.stats().nnz_total);
+  std::fill(out, out + nnz, value_t{0});
   const auto& panels = a.panels();
   if (panels.empty()) {
-    kernels::sddmm_aspt_row_range(a, x, y, out, 0, a.rows(), cfg);
+    kernels::sddmm_aspt_row_range(a, x, y, out, nnz, 0, a.rows(), cfg);
     count_selection(metrics, sel);
     return;
   }
   pool.parallel_for(panels.size(), [&](std::size_t pi) {
-    kernels::sddmm_aspt_row_range(a, x, y, out, panels[pi].row_begin, panels[pi].row_end, cfg);
+    kernels::sddmm_aspt_row_range(a, x, y, out, nnz, panels[pi].row_begin, panels[pi].row_end,
+                                  cfg);
     if (metrics) {
       metrics->panels_executed.fetch_add(1, std::memory_order_relaxed);
       count_selection(metrics, sel);
@@ -75,6 +77,27 @@ void sddmm_panels(WorkerPool& pool, const aspt::AsptMatrix& a, const DenseMatrix
 }
 
 }  // namespace
+
+void parallel_spmm(WorkerPool& pool, const core::ExecutionPlan& plan, DenseView x,
+                   DenseMutView y, Metrics* metrics, const simd::KernelConfig* kernel) {
+  const simd::KernelConfig cfg = effective_config(kernel, plan);
+  if (is_identity(plan.row_perm)) {
+    spmm_panels(pool, plan.tiled, x, y, metrics, cfg);
+    return;
+  }
+  // Reordered plan: compute in permuted row space, then scatter straight
+  // into the caller's storage (out row perm[i] = permuted row i), the
+  // same row copies sparse::unpermute_dense_rows performs.
+  if (y.rows != plan.tiled.rows() || y.cols != x.cols) {
+    throw sparse::invalid_matrix("parallel_spmm: y view must be plan.rows x x.cols");
+  }
+  DenseMatrix yp(plan.tiled.rows(), x.cols);
+  spmm_panels(pool, plan.tiled, x, yp, metrics, cfg);
+  for (index_t i = 0; i < yp.rows(); ++i) {
+    const value_t* src = yp.row(i).data();
+    std::copy(src, src + yp.cols(), y.row(plan.row_perm[static_cast<std::size_t>(i)]));
+  }
+}
 
 void parallel_spmm(WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
                    DenseMatrix& y, Metrics* metrics, const simd::KernelConfig* kernel) {
@@ -89,10 +112,13 @@ void parallel_spmm(WorkerPool& pool, const core::ExecutionPlan& plan, const Dens
 }
 
 void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
-                    const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
+                    DenseView x, DenseView y, value_t* out, std::size_t out_size,
                     Metrics* metrics, const simd::KernelConfig* kernel) {
   if (m.rows() != plan.tiled.rows() || m.nnz() != plan.tiled.stats().nnz_total) {
     throw sparse::invalid_matrix("parallel_sddmm: matrix does not match the plan");
+  }
+  if (out_size != static_cast<std::size_t>(m.nnz())) {
+    throw sparse::invalid_matrix("parallel_sddmm: out must be pre-sized to nnz");
   }
   const simd::KernelConfig cfg = effective_config(kernel, plan);
   if (is_identity(plan.row_perm)) {
@@ -102,18 +128,25 @@ void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const Csr
   // Same permutation dance as core::run_sddmm: Y into permuted row space,
   // then scatter per-row output segments back to the caller's layout.
   const DenseMatrix yp = sparse::permute_dense_rows(y, plan.row_perm);
-  std::vector<value_t> outp;
-  sddmm_panels(pool, plan.tiled, x, yp, outp, metrics, cfg);
+  std::vector<value_t> outp(static_cast<std::size_t>(m.nnz()));
+  sddmm_panels(pool, plan.tiled, x, yp, outp.data(), metrics, cfg);
 
-  out.resize(static_cast<std::size_t>(m.nnz()));
   offset_t ppos = 0;
   for (index_t i = 0; i < m.rows(); ++i) {
     const index_t orig = plan.row_perm[static_cast<std::size_t>(i)];
     const offset_t base = m.rowptr()[static_cast<std::size_t>(orig)];
     const index_t len = m.row_nnz(orig);
-    std::copy(outp.begin() + ppos, outp.begin() + ppos + len, out.begin() + base);
+    std::copy(outp.begin() + ppos, outp.begin() + ppos + len, out + base);
     ppos += len;
   }
+}
+
+void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
+                    const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
+                    Metrics* metrics, const simd::KernelConfig* kernel) {
+  out.resize(static_cast<std::size_t>(m.nnz()));
+  parallel_sddmm(pool, plan, m, DenseView(x), DenseView(y), out.data(), out.size(), metrics,
+                 kernel);
 }
 
 spgemm::SymbolicResult parallel_spgemm_symbolic(WorkerPool& pool, const CsrMatrix& a,
@@ -191,9 +224,9 @@ void parallel_spgemm(WorkerPool& pool, const core::ExecutionPlan& plan, const Cs
 }
 
 void Executor::sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
-                     const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
+                     DenseView x, DenseView y, value_t* out, std::size_t out_size,
                      Metrics* metrics) {
-  parallel_sddmm(pool, plan, m, x, y, out, metrics);
+  parallel_sddmm(pool, plan, m, x, y, out, out_size, metrics);
 }
 
 void Executor::spgemm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& a,

@@ -8,18 +8,22 @@
 // run_sddmm — the runtime changes who computes, never what.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "kernels/simd/dispatch.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/worker_pool.hpp"
+#include "sparse/dense_view.hpp"
 #include "spgemm/spgemm.hpp"
 
 namespace rrspmm::runtime {
 
 using sparse::CsrMatrix;
 using sparse::DenseMatrix;
+using sparse::DenseMutView;
+using sparse::DenseView;
 
 /// Same contract as core::run_spmm (y in the caller's row order), executed
 /// panel-parallel on `pool`. `metrics`, when given, counts the panels and
@@ -27,12 +31,26 @@ using sparse::DenseMatrix;
 /// backend selection; nullptr uses the process-wide active configuration
 /// (RRSPMM_KERNEL_ISA / RRSPMM_KERNEL_FMA). Either way the default
 /// (non-fma) result is bitwise equal to the scalar reference.
+///
+/// The view overload is the zero-copy entry point: `y` must already be
+/// shaped plan.rows x x.cols and the result lands directly in the
+/// caller's storage (for reordered plans via a scatter from an internal
+/// permuted-space buffer). Byte-identical to the owning overload.
+void parallel_spmm(WorkerPool& pool, const core::ExecutionPlan& plan, DenseView x,
+                   DenseMutView y, Metrics* metrics = nullptr,
+                   const kernels::simd::KernelConfig* kernel = nullptr);
 void parallel_spmm(WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
                    DenseMatrix& y, Metrics* metrics = nullptr,
                    const kernels::simd::KernelConfig* kernel = nullptr);
 
 /// Same contract as core::run_sddmm (out aligned with m's nonzero order),
-/// executed panel-parallel on `pool`.
+/// executed panel-parallel on `pool`. The raw-pointer overload writes
+/// into a caller-provided buffer pre-sized to m.nnz() (zero-copy path);
+/// the vector overload resizes and forwards.
+void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
+                    DenseView x, DenseView y, value_t* out, std::size_t out_size,
+                    Metrics* metrics = nullptr,
+                    const kernels::simd::KernelConfig* kernel = nullptr);
 void parallel_sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
                     const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
                     Metrics* metrics = nullptr,
@@ -68,13 +86,16 @@ class Executor {
  public:
   virtual ~Executor() = default;
 
-  virtual void spmm(WorkerPool& pool, const core::ExecutionPlan& plan, const DenseMatrix& x,
-                    DenseMatrix& y, Metrics* metrics) = 0;
+  /// View-based (zero-copy) ABI: `y` is pre-shaped caller storage.
+  /// DenseMatrix arguments convert implicitly, so owning callers use the
+  /// same entry point.
+  virtual void spmm(WorkerPool& pool, const core::ExecutionPlan& plan, DenseView x,
+                    DenseMutView y, Metrics* metrics) = 0;
 
-  /// Default SDDMM: panel-parallel (shard-specific SDDMM layouts can
-  /// override).
+  /// Default SDDMM: panel-parallel into a pre-sized output buffer
+  /// (shard-specific SDDMM layouts can override).
   virtual void sddmm(WorkerPool& pool, const core::ExecutionPlan& plan, const CsrMatrix& m,
-                     const DenseMatrix& x, const DenseMatrix& y, std::vector<value_t>& out,
+                     DenseView x, DenseView y, value_t* out, std::size_t out_size,
                      Metrics* metrics);
 
   /// Default SpGEMM: panel-parallel via parallel_spgemm.

@@ -139,11 +139,29 @@ std::string Metrics::to_json() const {
     }
   }
   os << "},";
+  os << "\"zero_copy_requests\":" << get(zero_copy_requests) << ",";
+  os << "\"zero_copy_fallbacks\":" << get(zero_copy_fallbacks) << ",";
+  os << "\"submit_copy_us\":" << get(submit_copy_us) << ",";
+  os << "\"execute_us\":" << get(execute_us) << ",";
+  os << "\"numa_local_batches\":[";
+  for (std::size_t i = 0; i < kMaxTrackedNodes; ++i) {
+    if (i) os << ",";
+    os << get(numa_local_batches[i]);
+  }
+  os << "],";
+  os << "\"numa_remote_steals\":[";
+  for (std::size_t i = 0; i < kMaxTrackedNodes; ++i) {
+    if (i) os << ",";
+    os << get(numa_remote_steals[i]);
+  }
+  os << "],";
   os << "\"latency_count\":" << latency.count() << ",";
   os << "\"latency_total_s\":" << latency.total_seconds() << ",";
   os << "\"latency_p50_s\":" << latency.quantile(0.50) << ",";
   os << "\"latency_p95_s\":" << latency.quantile(0.95) << ",";
-  os << "\"latency_p99_s\":" << latency.quantile(0.99);
+  os << "\"latency_p99_s\":" << latency.quantile(0.99) << ",";
+  os << "\"latency_p999_s\":" << latency.quantile(0.999) << ",";
+  os << "\"p999_us\":" << latency.quantile(0.999) * 1e6;
   os << "}";
   return os.str();
 }

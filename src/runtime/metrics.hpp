@@ -5,6 +5,7 @@
 // interleaving does not matter, only their eventual totals.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -103,6 +104,40 @@ struct Metrics {
   /// Requests currently queued or executing (gauge, not a counter).
   std::atomic<std::uint64_t> queue_depth{0};
 
+  /// Zero-copy serving data path: requests admitted on borrowed views
+  /// (no input copy, kernels write the caller's buffer) vs view requests
+  /// that fell back to the owned-copy path (misaligned storage or
+  /// RRSPMM_ZERO_COPY=off). Owned DenseMatrix submissions count in
+  /// neither.
+  std::atomic<std::uint64_t> zero_copy_requests{0};
+  std::atomic<std::uint64_t> zero_copy_fallbacks{0};
+  /// Batch-formation/result copy time vs kernel execution time (µs
+  /// totals) on the Server's SpMM/SDDMM paths — the honest attribution
+  /// split behind the zero-copy win (a zero-copy batch accrues ~no
+  /// submit_copy_us).
+  std::atomic<std::uint64_t> submit_copy_us{0};
+  std::atomic<std::uint64_t> execute_us{0};
+
+  /// NUMA placement counters, indexed by node id (bounded; nodes past
+  /// the bound fold into the last slot). numa_local_batches counts
+  /// batches drained on their plan's home node; numa_remote_steals
+  /// counts worker-pool steals that crossed nodes (attributed to the
+  /// stealing worker's node). Both stay 0 when the topology layer is
+  /// inactive.
+  static constexpr std::size_t kMaxTrackedNodes = 8;
+  std::array<std::atomic<std::uint64_t>, kMaxTrackedNodes> numa_local_batches{};
+  std::array<std::atomic<std::uint64_t>, kMaxTrackedNodes> numa_remote_steals{};
+  static std::size_t clamp_node(int node) {
+    return node <= 0 ? 0
+                     : std::min(static_cast<std::size_t>(node), kMaxTrackedNodes - 1);
+  }
+  void count_numa_local(int node) {
+    numa_local_batches[clamp_node(node)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_remote_steal(int node) {
+    numa_remote_steals[clamp_node(node)].fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Kernel invocations by resolved SIMD backend (index = simd::Isa):
   /// which ISA the dispatcher actually ran, per row-range / full kernel
   /// call issued through this runtime. The kernels layer keeps its own
@@ -175,9 +210,10 @@ struct Metrics {
   /// choice) — the closed-loop evidence behind the router's table.
   RouteLatency route_latency;
 
-  /// One JSON object with every counter plus p50/p95/p99 latency in
-  /// seconds. Values are read individually (relaxed), so a dump taken
-  /// while traffic is in flight is approximate but well-formed.
+  /// One JSON object with every counter plus p50/p95/p99/p999 latency in
+  /// seconds (and p999_us in microseconds for tail-SLO dashboards).
+  /// Values are read individually (relaxed), so a dump taken while
+  /// traffic is in flight is approximate but well-formed.
   std::string to_json() const;
 };
 

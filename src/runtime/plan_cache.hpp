@@ -26,6 +26,7 @@
 #include "core/pipeline.hpp"
 #include "gpusim/device.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/topology.hpp"
 #include "sparse/csr.hpp"
 
 namespace rrspmm::runtime {
@@ -46,6 +47,10 @@ struct PlanCacheConfig {
   core::PipelineConfig pipeline;         ///< knobs baked into every build
   gpusim::DeviceConfig device = gpusim::DeviceConfig::p100();
   index_t autotune_k = 512;              ///< K the autotune mode simulates at
+  /// NUMA topology for plan placement (borrowed; must outlive the
+  /// cache). nullptr — or a single-node topology — makes the node-hint
+  /// get() overload behave exactly like the plain one.
+  const topo::Topology* topology = nullptr;
 };
 
 class PlanCache {
@@ -63,6 +68,16 @@ class PlanCache {
   /// As above with the matrix fingerprint precomputed by the caller
   /// (core::matrix_fingerprint). `m` is only touched on a miss.
   PlanPtr get(const std::string& matrix_fingerprint, const sparse::CsrMatrix& m, PlanMode mode);
+
+  /// As above with a NUMA placement hint: when the cache has a
+  /// multi-node topology and `numa_node` >= 0, a freshly built plan's
+  /// arrays are bound to that node's memory (best-effort mbind) so
+  /// batches dispatched to the node's workers read the plan locally.
+  /// Placement happens once, at build; hits return the plan wherever it
+  /// already lives. Purely a performance hint — result bits never
+  /// depend on it.
+  PlanPtr get(const std::string& matrix_fingerprint, const sparse::CsrMatrix& m, PlanMode mode,
+              int numa_node);
 
   /// Resident entries (including in-flight builds).
   std::size_t size() const;

@@ -1,8 +1,11 @@
 #include "runtime/server.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/fingerprint.hpp"
 #include "core/pipeline.hpp"
@@ -32,14 +35,64 @@ std::chrono::microseconds retry_delay(const RetryPolicy& rp, int attempt) {
   return std::chrono::microseconds(static_cast<long long>(us));
 }
 
+// Owned aligned copy of a borrowed view — the fallback's copy-in.
+sparse::DenseMatrix materialize(sparse::DenseView v) {
+  sparse::DenseMatrix m = sparse::DenseMatrix::aligned(v.rows, v.cols);
+  for (index_t i = 0; i < v.rows; ++i) {
+    const value_t* src = v.row(i);
+    std::copy(src, src + v.cols, m.row(i).data());
+  }
+  return m;
+}
+
+// Copies an owned result into the caller's buffer — the fallback's
+// copy-out.
+void copy_out(const sparse::DenseMatrix& src, sparse::DenseMutView dst) {
+  for (index_t i = 0; i < src.rows(); ++i) {
+    const auto row = src.row(i);
+    std::copy(row.begin(), row.end(), dst.row(i));
+  }
+}
+
+void add_us(std::atomic<std::uint64_t>& counter, Clock::time_point t0) {
+  const double us = micros_since(t0);
+  counter.fetch_add(us > 0 ? static_cast<std::uint64_t>(us) : 0, std::memory_order_relaxed);
+}
+
+// Coarse nnz/row moments for the router's contextual buckets, computed
+// once at registration.
+router::RouteContext context_of(const sparse::CsrMatrix& m) {
+  const index_t rows = m.rows();
+  if (rows <= 0) return router::make_route_context(0.0, 0.0);
+  const auto& rp = m.rowptr();
+  std::vector<offset_t> lens(static_cast<std::size_t>(rows));
+  for (index_t i = 0; i < rows; ++i) {
+    lens[static_cast<std::size_t>(i)] = rp[static_cast<std::size_t>(i) + 1] - rp[static_cast<std::size_t>(i)];
+  }
+  std::sort(lens.begin(), lens.end());
+  const std::size_t p90 =
+      std::min(lens.size() - 1,
+               static_cast<std::size_t>(0.9 * static_cast<double>(lens.size())));
+  const double mean = static_cast<double>(m.nnz()) / static_cast<double>(rows);
+  return router::make_route_context(mean, static_cast<double>(lens[p90]));
+}
+
 }  // namespace
+
+bool zero_copy_from_env() {
+  const char* s = std::getenv("RRSPMM_ZERO_COPY");
+  if (s == nullptr) return true;
+  const std::string_view v(s);
+  return !(v == "off" || v == "0");
+}
 
 Server::Server(ServerConfig cfg)
     : cfg_(std::move(cfg)),
+      numa_on_(topo::numa_active(cfg_.numa, topo::system())),
       plan_cache_(PlanCacheConfig{cfg_.plan_cache_capacity, cfg_.pipeline, cfg_.device,
-                                  cfg_.autotune_k},
+                                  cfg_.autotune_k, numa_on_ ? &topo::system() : nullptr},
                   &metrics_),
-      pool_(cfg_.threads) {
+      pool_(cfg_.threads, numa_on_ ? &topo::system() : nullptr, &metrics_) {
   if (cfg_.max_batch == 0) cfg_.max_batch = 1;
 }
 
@@ -72,8 +125,8 @@ bool Server::stopped() const {
   return !accepting_;
 }
 
-void Server::exec_spmm(const core::ExecutionPlan& plan, const sparse::DenseMatrix& x,
-                       sparse::DenseMatrix& y) {
+void Server::exec_spmm(const core::ExecutionPlan& plan, sparse::DenseView x,
+                       sparse::DenseMutView y) {
   if (cfg_.executor) {
     cfg_.executor->spmm(pool_, plan, x, y, &metrics_);
   } else {
@@ -82,12 +135,13 @@ void Server::exec_spmm(const core::ExecutionPlan& plan, const sparse::DenseMatri
 }
 
 void Server::exec_sddmm(const core::ExecutionPlan& plan, const sparse::CsrMatrix& m,
-                        const sparse::DenseMatrix& x, const sparse::DenseMatrix& y,
-                        std::vector<value_t>& out) {
+                        sparse::DenseView x, sparse::DenseView y, value_t* out,
+                        std::size_t out_size) {
   if (cfg_.executor) {
-    cfg_.executor->sddmm(pool_, plan, m, x, y, out, &metrics_);
+    cfg_.executor->sddmm(pool_, plan, m, x, y, out, out_size, &metrics_);
   } else {
-    parallel_sddmm(pool_, plan, m, x, y, out, &metrics_, cfg_.kernel ? &*cfg_.kernel : nullptr);
+    parallel_sddmm(pool_, plan, m, x, y, out, out_size, &metrics_,
+                   cfg_.kernel ? &*cfg_.kernel : nullptr);
   }
 }
 
@@ -103,8 +157,12 @@ void Server::exec_spgemm(const core::ExecutionPlan& plan, const sparse::CsrMatri
 void Server::register_matrix(const std::string& name, sparse::CsrMatrix m) {
   auto reg = std::make_unique<Registered>();
   reg->fingerprint = core::matrix_fingerprint(m);
+  reg->ctx = context_of(m);
   reg->matrix = std::move(m);
   std::lock_guard<std::mutex> lk(reg_m_);
+  // Round-robin home-node assignment spreads matrices (and so their plan
+  // memory and batch executions) across the nodes.
+  reg->node = numa_on_ ? static_cast<int>(registry_.size()) % pool_.node_count() : 0;
   if (!registry_.emplace(name, std::move(reg)).second) {
     throw sparse::invalid_matrix("Server: matrix name already registered: " + name);
   }
@@ -143,13 +201,25 @@ void Server::count_decision(const router::Decision& dec) {
 void Server::observe_route(Registered& e, router::Workload w, index_t k,
                            const router::Decision& dec, double us) {
   if (!dec.routed) return;
-  cfg_.router->observe(e.fingerprint, w, k, dec.choice, us);
-  metrics_.route_latency.record(router::route_key(e.fingerprint, w, k, dec.choice), us);
+  // SpMM/SDDMM decisions are keyed contextually (nnz/row moments); the
+  // operand-free workloads keep the plain key.
+  const bool ctxed = w == router::Workload::spmm || w == router::Workload::sddmm;
+  const router::RouteContext ctx = ctxed ? e.ctx : router::RouteContext{};
+  cfg_.router->observe(e.fingerprint, w, k, ctx, dec.choice, us);
+  // Metrics attribution uses the context-free key: the fingerprint
+  // already pins the matrix (and so its context), so the plain key keeps
+  // dashboards and replay tooling stable across the contextual upgrade.
+  std::string key = router::route_key(e.fingerprint, w, k, dec.choice);
+  if (numa_on_) {
+    key += "|n";
+    key += std::to_string(e.node);
+  }
+  metrics_.route_latency.record(key, us);
 }
 
 PlanPtr Server::warm(const std::string& name) {
   Registered& e = entry(name);
-  PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+  PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode, numa_on_ ? e.node : -1);
   if (cfg_.router && plan && !plan->routes.empty()) {
     bool import = false;
     {
@@ -181,6 +251,49 @@ std::future<sparse::DenseMatrix> Server::submit(const std::string& name, sparse:
   metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
   metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
 
+  enqueue_spmm(e, std::move(req));
+  return fut;
+}
+
+std::future<void> Server::submit(const std::string& name, sparse::DenseView x,
+                                 sparse::DenseMutView y) {
+  Registered& e = entry(name);
+  if (!x.valid() || !y.valid()) {
+    throw sparse::invalid_matrix("Server::submit: invalid dense view");
+  }
+  if (x.rows != e.matrix.cols() || y.rows != e.matrix.rows() || y.cols != x.cols) {
+    throw sparse::invalid_matrix("Server::submit: view shapes do not match the matrix");
+  }
+
+  SpmmRequest req;
+  req.t0 = Clock::now();
+  req.yv = y;
+  metrics_.zero_copy_requests.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.zero_copy && x.zero_copy_eligible() && y.zero_copy_eligible()) {
+    req.xv = x;
+    req.borrowed = true;
+  } else {
+    // Misaligned caller (or zero-copy switched off): owned-copy fallback.
+    // The result still lands in the caller's y — via a timed copy-out at
+    // completion — so the two paths are interchangeable bit-for-bit.
+    metrics_.zero_copy_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    const auto c0 = Clock::now();
+    req.x = materialize(x);
+    add_us(metrics_.submit_copy_us, c0);
+    req.view_result = true;
+  }
+  std::future<void> fut = req.done.get_future();
+
+  admit();
+  fault::hit_nothrow(fault::points::kServerSubmit);
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+
+  enqueue_spmm(e, std::move(req));
+  return fut;
+}
+
+void Server::enqueue_spmm(Registered& e, SpmmRequest req) {
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lk(e.m);
@@ -192,9 +305,9 @@ std::future<sparse::DenseMatrix> Server::submit(const std::string& name, sparse:
   }
   // One drain task per matrix at a time: it owns the queue until empty,
   // so same-matrix requests queued while it runs coalesce into its next
-  // batch instead of spawning competing executions.
-  if (schedule) pool_.submit([this, &e] { drain(e); });
-  return fut;
+  // batch instead of spawning competing executions. The drain runs on
+  // the matrix's home node, next to its plan memory.
+  if (schedule) pool_.submit_on_node(e.node, [this, &e] { drain(e); });
 }
 
 void Server::drain(Registered& e) {
@@ -233,9 +346,17 @@ void Server::drain(Registered& e) {
         return;
       }
       batch.reserve(n);
+      // Borrowed (zero-copy) requests execute singly — coalescing one
+      // would mean copying its operand into the concatenated X, exactly
+      // the copy it exists to avoid. FIFO order is preserved: a borrowed
+      // request at the front forms its own batch of one; otherwise the
+      // batch stops just before the first borrowed request.
       for (std::size_t i = 0; i < n; ++i) {
+        if (e.queue.front().borrowed && !batch.empty()) break;
+        const bool borrowed = e.queue.front().borrowed;
         batch.push_back(std::move(e.queue.front()));
         e.queue.pop_front();
+        if (borrowed) break;
       }
     }
 
@@ -253,21 +374,39 @@ void Server::drain(Registered& e) {
       observe_route(e, router::Workload::coalesce, 0, cdec,
                     micros_since(exec_t0) / static_cast<double>(batch.size()));
       metrics_.batches_executed.fetch_add(1, std::memory_order_relaxed);
+      if (numa_on_ && WorkerPool::current_node() == e.node) {
+        metrics_.count_numa_local(e.node);
+      }
       if (batch.size() > 1) {
         metrics_.requests_coalesced.fetch_add(batch.size(), std::memory_order_relaxed);
       }
       metrics_.requests_completed.fetch_add(batch.size(), std::memory_order_relaxed);
       metrics_.queue_depth.fetch_sub(batch.size(), std::memory_order_relaxed);
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        metrics_.latency.record(seconds_since(batch[i].t0));
-        batch[i].result.set_value(std::move(ys[i]));
+        SpmmRequest& r = batch[i];
+        if (r.view_result) {
+          // Fallback copy-out: the owned result into the caller's y.
+          const auto c0 = Clock::now();
+          copy_out(ys[i], r.yv);
+          add_us(metrics_.submit_copy_us, c0);
+        }
+        metrics_.latency.record(seconds_since(r.t0));
+        if (r.borrowed || r.view_result) {
+          r.done.set_value();
+        } else {
+          r.result.set_value(std::move(ys[i]));
+        }
       }
     } catch (...) {
       metrics_.requests_failed.fetch_add(batch.size(), std::memory_order_relaxed);
       metrics_.queue_depth.fetch_sub(batch.size(), std::memory_order_relaxed);
       for (SpmmRequest& r : batch) {
         metrics_.latency.record(seconds_since(r.t0));
-        r.result.set_exception(std::current_exception());
+        if (r.borrowed || r.view_result) {
+          r.done.set_exception(std::current_exception());
+        } else {
+          r.result.set_exception(std::current_exception());
+        }
       }
     }
 
@@ -279,12 +418,14 @@ std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
                                                             std::vector<SpmmRequest>& batch) {
   // The plan fetch is part of the attempt: a failed build drops its cache
   // entry, so a retry rebuilds instead of re-fetching the exception.
-  const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+  const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode,
+                                       numa_on_ ? e.node : -1);
   std::vector<sparse::DenseMatrix> ys;
   ys.reserve(batch.size());
 
   index_t k_total = 0;
-  for (const SpmmRequest& r : batch) k_total += r.x.cols();
+  for (const SpmmRequest& r : batch) k_total += r.k();
+  const bool borrowed = batch.size() == 1 && batch[0].borrowed;
 
   // Kernel-variant decision for this batch. Only the built-in
   // panel-parallel path is routed here — a configured Executor owns its
@@ -293,21 +434,22 @@ std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
   // bit-identical executions runs, never the result.
   router::Decision dec;
   if (cfg_.router && !cfg_.executor) {
-    dec = cfg_.router->decide(
-        e.fingerprint, router::Workload::spmm, k_total,
-        router::Router::spmm_arms(plan->spec.get(), k_total, e.matrix.rows(),
-                                  cfg_.router->config().dense_row_fraction));
+    auto arms = router::Router::spmm_arms(plan->spec.get(), k_total, e.matrix.rows(),
+                                          cfg_.router->config().dense_row_fraction);
+    if (borrowed) {
+      // The sequential arm runs through core::run_spmm, which takes
+      // owning matrices; offering it to a borrowed request would force
+      // the copies zero-copy exists to avoid.
+      arms.erase(std::remove_if(arms.begin(), arms.end(),
+                                [](const router::RouteChoice& c) { return c.threads == 1; }),
+                 arms.end());
+    }
+    dec = cfg_.router->decide(e.fingerprint, router::Workload::spmm, k_total, e.ctx, arms);
     count_decision(dec);
   }
-  const auto run = [&](const sparse::DenseMatrix& x, sparse::DenseMatrix& y) {
+  const auto run = [&](sparse::DenseView x, sparse::DenseMutView y) {
     if (!dec.routed) {
       exec_spmm(*plan, x, y);
-      return;
-    }
-    if (dec.choice.threads == 1) {
-      // Sequential arm: the core pipeline in this thread, skipping the
-      // pool fan-out whose overhead dominates small matrices.
-      core::run_spmm(*plan, x, y);
       return;
     }
     kernels::simd::KernelConfig kc =
@@ -316,11 +458,32 @@ std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
     kc.micro_gemm = dec.choice.micro_gemm;
     parallel_spmm(pool_, *plan, x, y, &metrics_, &kc);
   };
+  // Sequential arm: the core pipeline in this thread, skipping the pool
+  // fan-out whose overhead dominates small matrices. Never offered for
+  // borrowed batches (filtered above).
+  const bool sequential = dec.routed && dec.choice.threads == 1;
+
+  if (borrowed) {
+    // Zero-copy: the kernels read the caller's x and write the caller's
+    // y directly; the batch produces no owned result.
+    SpmmRequest& r = batch[0];
+    const auto t0 = Clock::now();
+    run(r.xv, r.yv);
+    add_us(metrics_.execute_us, t0);
+    observe_route(e, router::Workload::spmm, k_total, dec, micros_since(t0));
+    ys.emplace_back();
+    return ys;
+  }
 
   if (batch.size() == 1) {
     sparse::DenseMatrix y(e.matrix.rows(), batch[0].x.cols());
     const auto t0 = Clock::now();
-    run(batch[0].x, y);
+    if (sequential) {
+      core::run_spmm(*plan, batch[0].x, y);
+    } else {
+      run(batch[0].x, y);
+    }
+    add_us(metrics_.execute_us, t0);
     observe_route(e, router::Workload::spmm, k_total, dec, micros_since(t0));
     ys.push_back(std::move(y));
     return ys;
@@ -330,6 +493,7 @@ std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
   // SpMM, split the product back per request. The batch buffers use the
   // aligned (padded-ld) storage mode so every row pointer the SIMD
   // kernels see is vector-aligned; per-request results stay packed.
+  const auto gather_t0 = Clock::now();
   sparse::DenseMatrix x_all = sparse::DenseMatrix::aligned(e.matrix.cols(), k_total);
   index_t off = 0;
   for (const SpmmRequest& r : batch) {
@@ -340,12 +504,19 @@ std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
     }
     off += k;
   }
+  add_us(metrics_.submit_copy_us, gather_t0);
 
   sparse::DenseMatrix y_all = sparse::DenseMatrix::aligned(e.matrix.rows(), k_total);
   const auto t0 = Clock::now();
-  run(x_all, y_all);
+  if (sequential) {
+    core::run_spmm(*plan, x_all, y_all);
+  } else {
+    run(x_all, y_all);
+  }
+  add_us(metrics_.execute_us, t0);
   observe_route(e, router::Workload::spmm, k_total, dec, micros_since(t0));
 
+  const auto split_t0 = Clock::now();
   off = 0;
   for (const SpmmRequest& r : batch) {
     const index_t k = r.x.cols();
@@ -357,6 +528,7 @@ std::vector<sparse::DenseMatrix> Server::execute_spmm_batch(Registered& e,
     ys.push_back(std::move(y));
     off += k;
   }
+  add_us(metrics_.submit_copy_us, split_t0);
   return ys;
 }
 
@@ -389,20 +561,32 @@ std::vector<sparse::DenseMatrix> Server::run_spmm_batch(Registered& e,
   // Graceful degradation: retries exhausted, run each request
   // sequentially through the core pipeline. Same plan, same accumulation
   // order, so the results stay bitwise-equal to the fault-free path.
+  // Borrowed requests are materialised into owned copies here —
+  // correctness over speed once the fast path has failed — and the
+  // result is copied back into the caller's buffer.
   metrics_.degradations.fetch_add(1, std::memory_order_relaxed);
-  const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+  const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode,
+                                       numa_on_ ? e.node : -1);
   std::vector<sparse::DenseMatrix> ys;
   ys.reserve(batch.size());
-  for (const SpmmRequest& r : batch) {
-    sparse::DenseMatrix y(e.matrix.rows(), r.x.cols());
-    core::run_spmm(*plan, r.x, y);
-    ys.push_back(std::move(y));
+  for (SpmmRequest& r : batch) {
+    if (r.borrowed) {
+      const sparse::DenseMatrix x = materialize(r.xv);
+      sparse::DenseMatrix y(e.matrix.rows(), r.xv.cols);
+      core::run_spmm(*plan, x, y);
+      copy_out(y, r.yv);
+      ys.emplace_back();
+    } else {
+      sparse::DenseMatrix y(e.matrix.rows(), r.x.cols());
+      core::run_spmm(*plan, r.x, y);
+      ys.push_back(std::move(y));
+    }
   }
   return ys;
 }
 
-std::vector<value_t> Server::run_sddmm_request(Registered& e, const sparse::DenseMatrix& x,
-                                               const sparse::DenseMatrix& y) {
+void Server::run_sddmm_request(Registered& e, sparse::DenseView x, sparse::DenseView y,
+                               value_t* out, std::size_t out_size) {
   const int max_attempts = std::max(1, cfg_.retry.max_attempts);
   for (int attempt = 0;; ++attempt) {
     try {
@@ -410,25 +594,25 @@ std::vector<value_t> Server::run_sddmm_request(Registered& e, const sparse::Dens
         metrics_.retries.fetch_add(1, std::memory_order_relaxed);
         std::this_thread::sleep_for(retry_delay(cfg_.retry, attempt));
       }
-      const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
+      const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode,
+                                           numa_on_ ? e.node : -1);
       router::Decision dec;
       if (cfg_.router && !cfg_.executor) {
-        dec = cfg_.router->decide(e.fingerprint, router::Workload::sddmm, x.cols(),
-                                  router::Router::sddmm_arms(plan->spec.get(), x.cols()));
+        dec = cfg_.router->decide(e.fingerprint, router::Workload::sddmm, x.cols, e.ctx,
+                                  router::Router::sddmm_arms(plan->spec.get(), x.cols));
         count_decision(dec);
       }
-      std::vector<value_t> out;
       if (dec.routed) {
         kernels::simd::KernelConfig kc =
             cfg_.kernel ? *cfg_.kernel : kernels::simd::active_config();
         kc.spec_mode = static_cast<kernels::simd::SpecMode>(dec.choice.spec_mode);
         const auto t0 = Clock::now();
-        parallel_sddmm(pool_, *plan, e.matrix, x, y, out, &metrics_, &kc);
-        observe_route(e, router::Workload::sddmm, x.cols(), dec, micros_since(t0));
+        parallel_sddmm(pool_, *plan, e.matrix, x, y, out, out_size, &metrics_, &kc);
+        observe_route(e, router::Workload::sddmm, x.cols, dec, micros_since(t0));
       } else {
-        exec_sddmm(*plan, e.matrix, x, y, out);
+        exec_sddmm(*plan, e.matrix, x, y, out, out_size);
       }
-      return out;
+      return;
     } catch (const fault::injected_fault&) {
       metrics_.faults_injected.fetch_add(1, std::memory_order_relaxed);
       if (attempt + 1 >= max_attempts) {
@@ -445,11 +629,20 @@ std::vector<value_t> Server::run_sddmm_request(Registered& e, const sparse::Dens
     }
   }
 
+  // Degradation materialises owned operands (core::run_sddmm takes
+  // owning matrices) and copies the result into the caller's buffer —
+  // bitwise-equal, one copy slower, only after the fast path failed.
   metrics_.degradations.fetch_add(1, std::memory_order_relaxed);
-  const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode);
-  std::vector<value_t> out;
-  core::run_sddmm(*plan, e.matrix, x, y, out);
-  return out;
+  const PlanPtr plan = plan_cache_.get(e.fingerprint, e.matrix, cfg_.mode,
+                                       numa_on_ ? e.node : -1);
+  const sparse::DenseMatrix xo = materialize(x);
+  const sparse::DenseMatrix yo = materialize(y);
+  std::vector<value_t> tmp;
+  core::run_sddmm(*plan, e.matrix, xo, yo, tmp);
+  if (tmp.size() != out_size) {
+    throw sparse::invalid_matrix("Server: SDDMM output size mismatch in degraded path");
+  }
+  std::copy(tmp.begin(), tmp.end(), out);
 }
 
 sparse::CsrMatrix Server::run_spgemm_request(Registered& ea, Registered& eb) {
@@ -460,7 +653,8 @@ sparse::CsrMatrix Server::run_spgemm_request(Registered& ea, Registered& eb) {
         metrics_.retries.fetch_add(1, std::memory_order_relaxed);
         std::this_thread::sleep_for(retry_delay(cfg_.retry, attempt));
       }
-      const PlanPtr plan = plan_cache_.get(ea.fingerprint, ea.matrix, cfg_.mode);
+      const PlanPtr plan = plan_cache_.get(ea.fingerprint, ea.matrix, cfg_.mode,
+                                           numa_on_ ? ea.node : -1);
       // Accumulator decision: config default vs hash vs sort pinned. The
       // accumulators are bitwise-equal by construction (see
       // spgemm/accumulators.hpp), so the choice is pure speed. SpGEMM has
@@ -536,7 +730,7 @@ std::future<sparse::CsrMatrix> Server::submit_spgemm(const std::string& a_name,
   metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
   metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
 
-  pool_.submit([this, &ea, &eb, req] {
+  pool_.submit_on_node(ea.node, [this, &ea, &eb, req] {
     try {
       sparse::CsrMatrix c = run_spgemm_request(ea, eb);
       metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
@@ -578,13 +772,80 @@ std::future<std::vector<value_t>> Server::submit_sddmm(const std::string& name,
   metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
   metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
 
-  pool_.submit([this, &e, req] {
+  pool_.submit_on_node(e.node, [this, &e, req] {
     try {
-      std::vector<value_t> out = run_sddmm_request(e, req->x, req->y);
+      std::vector<value_t> out(static_cast<std::size_t>(e.matrix.nnz()));
+      run_sddmm_request(e, req->x, req->y, out.data(), out.size());
       metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
       metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
       metrics_.latency.record(seconds_since(req->t0));
       req->result.set_value(std::move(out));
+    } catch (...) {
+      metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      metrics_.latency.record(seconds_since(req->t0));
+      req->result.set_exception(std::current_exception());
+    }
+    finish_requests(1);
+  });
+  return fut;
+}
+
+std::future<void> Server::submit_sddmm(const std::string& name, sparse::DenseView x,
+                                       sparse::DenseView y, value_t* out,
+                                       std::size_t out_size) {
+  Registered& e = entry(name);
+  if (!x.valid() || !y.valid() || out == nullptr) {
+    throw sparse::invalid_matrix("Server::submit_sddmm: invalid view or output buffer");
+  }
+  if (x.rows != e.matrix.cols() || y.rows != e.matrix.rows() || x.cols != y.cols) {
+    throw sparse::invalid_matrix("Server::submit_sddmm: view shapes do not match the matrix");
+  }
+  if (out_size != static_cast<std::size_t>(e.matrix.nnz())) {
+    throw sparse::invalid_matrix("Server::submit_sddmm: out must hold exactly nnz values");
+  }
+
+  struct SddmmViewRequest {
+    sparse::DenseMatrix x_own, y_own;  ///< fallback copies (own the views below)
+    sparse::DenseView x, y;            ///< what execution reads
+    value_t* out;
+    std::size_t out_size;
+    std::promise<void> result;
+    Clock::time_point t0;
+  };
+  auto req = std::make_shared<SddmmViewRequest>();
+  req->t0 = Clock::now();
+  req->out = out;
+  req->out_size = out_size;
+  metrics_.zero_copy_requests.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.zero_copy && x.zero_copy_eligible() && y.zero_copy_eligible()) {
+    req->x = x;
+    req->y = y;
+  } else {
+    // The output is written scalar-wise either way, so only the operand
+    // views need the aligned owned fallback.
+    metrics_.zero_copy_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    const auto c0 = Clock::now();
+    req->x_own = materialize(x);
+    req->y_own = materialize(y);
+    add_us(metrics_.submit_copy_us, c0);
+    req->x = req->x_own;
+    req->y = req->y_own;
+  }
+  std::future<void> fut = req->result.get_future();
+
+  admit();
+  fault::hit_nothrow(fault::points::kServerSubmit);
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_.queue_depth.fetch_add(1, std::memory_order_relaxed);
+
+  pool_.submit_on_node(e.node, [this, &e, req] {
+    try {
+      run_sddmm_request(e, req->x, req->y, req->out, req->out_size);
+      metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+      metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      metrics_.latency.record(seconds_since(req->t0));
+      req->result.set_value();
     } catch (...) {
       metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
       metrics_.queue_depth.fetch_sub(1, std::memory_order_relaxed);

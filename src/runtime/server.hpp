@@ -31,9 +31,16 @@
 #include "runtime/execute.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/topology.hpp"
 #include "runtime/worker_pool.hpp"
+#include "sparse/dense_view.hpp"
 
 namespace rrspmm::runtime {
+
+/// The RRSPMM_ZERO_COPY env knob: "off"/"0" forces the owned-copy
+/// fallback in the view-based submit overloads; anything else (or
+/// unset) leaves zero-copy on.
+bool zero_copy_from_env();
 
 /// Thrown by submit()/submit_sddmm() once stop() has begun: the server no
 /// longer accepts work, but everything admitted before the stop still
@@ -93,6 +100,18 @@ struct ServerConfig {
   /// for the shard strategy); accumulator and coalescing arms apply
   /// either way.
   std::shared_ptr<router::Router> router = router::from_env();
+  /// Borrow caller buffers in the view-based submit overloads instead of
+  /// copying (RRSPMM_ZERO_COPY; default on). Misaligned views fall back
+  /// to the owned-copy path either way — the knob and the gate choose
+  /// between two bitwise-identical executions.
+  bool zero_copy = zero_copy_from_env();
+  /// NUMA placement (RRSPMM_NUMA; default auto). Active only on a
+  /// multi-node topology: then the worker pool pins per node, each
+  /// registered matrix gets a home node for its plan memory and batch
+  /// dispatch, and per-node local/steal counters appear in the metrics.
+  /// Single-node hosts (and "off") run the topology-blind pool —
+  /// byte-identical scheduling to a server without this layer.
+  topo::NumaMode numa = topo::mode_from_env();
 };
 
 class Server {
@@ -126,11 +145,31 @@ class Server {
   /// the future.
   std::future<sparse::DenseMatrix> submit(const std::string& name, sparse::DenseMatrix x);
 
+  /// Zero-copy SpMM: the server borrows `x` and writes the product
+  /// directly into `y` (pre-shaped S.rows() x x.cols); the future
+  /// resolves once `y` is fully written. Both buffers must stay alive —
+  /// and `y` untouched by the caller — until then. Views whose base
+  /// pointer is not kDenseAlignBytes-aligned (or a server with
+  /// zero_copy off) take the owned-copy fallback: same results, one
+  /// copy-in and one copy-out more (counted in zero_copy_fallbacks /
+  /// submit_copy_us). Borrowed requests execute singly — they never
+  /// join a coalesced batch, which would mean copying them anyway.
+  std::future<void> submit(const std::string& name, sparse::DenseView x,
+                           sparse::DenseMutView y);
+
   /// Enqueues an SDDMM request: out[j] = S.values()[j] * <y row i, x row c>
   /// per nonzero, aligned with the registered matrix's CSR order. SDDMM
   /// requests are executed singly (their two operands do not concatenate).
   std::future<std::vector<value_t>> submit_sddmm(const std::string& name, sparse::DenseMatrix x,
                                                  sparse::DenseMatrix y);
+
+  /// Zero-copy SDDMM: borrows both operand views and scatters the
+  /// per-nonzero results straight into out[0..out_size), which must be
+  /// exactly S.nnz() long. Same lifetime and alignment rules as the
+  /// zero-copy submit(); out itself has no alignment requirement (the
+  /// kernels write it scalar-wise).
+  std::future<void> submit_sddmm(const std::string& name, sparse::DenseView x,
+                                 sparse::DenseView y, value_t* out, std::size_t out_size);
 
   /// Enqueues an SpGEMM request between two registered matrices: the
   /// future resolves to C = S_a * S_b in CSR, C in S_a's row order. The
@@ -159,19 +198,37 @@ class Server {
   const Metrics& metrics() const { return metrics_; }
   std::string metrics_json() const { return metrics_.to_json(); }
 
+  /// True when NUMA placement is in effect (multi-node topology and the
+  /// numa mode allows it).
+  bool numa_active() const { return numa_on_; }
+  /// Home node of a registered matrix (0 on single-node servers).
+  int matrix_node(const std::string& name) const { return entry(name).node; }
+
   WorkerPool& pool() { return pool_; }
   PlanCache& plan_cache() { return plan_cache_; }
 
  private:
   struct SpmmRequest {
-    sparse::DenseMatrix x;
-    std::promise<sparse::DenseMatrix> result;
+    sparse::DenseMatrix x;              ///< owned operand (fallback + owned API)
+    sparse::DenseView xv;               ///< borrowed operand (borrowed == true)
+    sparse::DenseMutView yv;            ///< caller result buffer (view submits)
+    bool borrowed = false;              ///< execute straight from/into the views
+    bool view_result = false;           ///< resolve `done`, result lands in yv
+    std::promise<sparse::DenseMatrix> result;  ///< owned-API completion
+    std::promise<void> done;                   ///< view-API completion
     std::chrono::steady_clock::time_point t0;
+
+    index_t k() const { return borrowed ? xv.cols : x.cols(); }
   };
 
   struct Registered {
     sparse::CsrMatrix matrix;
     std::string fingerprint;
+    /// Router context: coarse nnz/row moments, fixed at registration.
+    router::RouteContext ctx;
+    /// Home NUMA node: plan memory is bound here and drains dispatch to
+    /// this node's workers. Always 0 when placement is off.
+    int node = 0;
     std::mutex m;                       ///< guards queue + drain_scheduled
     std::deque<SpmmRequest> queue;
     bool drain_scheduled = false;
@@ -182,9 +239,14 @@ class Server {
   /// Bumps the serving-scoped router counters for a routed decision.
   void count_decision(const router::Decision& dec);
   /// Feeds a measured latency back to the router and the per-route
-  /// metrics attribution; no-op for unrouted decisions.
+  /// metrics attribution (suffixed "|n<node>" when NUMA placement is
+  /// active, so the router's table stays node-agnostic but the metrics
+  /// split per node); no-op for unrouted decisions.
   void observe_route(Registered& e, router::Workload w, index_t k,
                      const router::Decision& dec, double us);
+  /// Queues the request and schedules the matrix's drain task (on its
+  /// home node) if one is not already running.
+  void enqueue_spmm(Registered& e, SpmmRequest req);
   void drain(Registered& e);
   /// One execution attempt: fetch the plan, run the batch (single or
   /// coalesced), return one Y per request. No promises or completion
@@ -196,9 +258,12 @@ class Server {
   /// sequential core::run_spmm. Throws only when every avenue fails.
   std::vector<sparse::DenseMatrix> run_spmm_batch(Registered& e,
                                                   std::vector<SpmmRequest>& batch);
-  /// SDDMM counterpart of run_spmm_batch (single request, no coalescing).
-  std::vector<value_t> run_sddmm_request(Registered& e, const sparse::DenseMatrix& x,
-                                         const sparse::DenseMatrix& y);
+  /// SDDMM counterpart of run_spmm_batch (single request, no
+  /// coalescing), writing into a caller-provided nnz-sized buffer —
+  /// both the owned API (which allocates the vector) and the zero-copy
+  /// API (caller storage) funnel here.
+  void run_sddmm_request(Registered& e, sparse::DenseView x, sparse::DenseView y,
+                         value_t* out, std::size_t out_size);
   /// SpGEMM counterpart: retry with backoff, then degrade to the
   /// sequential sort-based spgemm::multiply (probes off, bitwise-equal).
   sparse::CsrMatrix run_spgemm_request(Registered& ea, Registered& eb);
@@ -210,16 +275,17 @@ class Server {
   void admit();
   /// Dispatch through cfg_.executor when set, else the built-in
   /// panel-parallel path. Both sides keep the bitwise-equality contract.
-  void exec_spmm(const core::ExecutionPlan& plan, const sparse::DenseMatrix& x,
-                 sparse::DenseMatrix& y);
+  /// View-based: owning callers convert implicitly.
+  void exec_spmm(const core::ExecutionPlan& plan, sparse::DenseView x, sparse::DenseMutView y);
   void exec_sddmm(const core::ExecutionPlan& plan, const sparse::CsrMatrix& m,
-                  const sparse::DenseMatrix& x, const sparse::DenseMatrix& y,
-                  std::vector<value_t>& out);
+                  sparse::DenseView x, sparse::DenseView y, value_t* out,
+                  std::size_t out_size);
   void exec_spgemm(const core::ExecutionPlan& plan, const sparse::CsrMatrix& a,
                    const sparse::CsrMatrix& b, sparse::CsrMatrix& c);
 
   ServerConfig cfg_;
   Metrics metrics_;
+  bool numa_on_ = false;  ///< numa_active(cfg_.numa, topo::system()), fixed at construction
   PlanCache plan_cache_;
 
   mutable std::mutex reg_m_;

@@ -1,0 +1,182 @@
+#include "runtime/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace rrspmm::runtime::topo {
+
+namespace {
+
+int fallback_cpus() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+Topology fallback_topology() {
+  Topology t;
+  Node n;
+  n.id = 0;
+  const int cpus = fallback_cpus();
+  n.cpus.reserve(static_cast<std::size_t>(cpus));
+  for (int c = 0; c < cpus; ++c) n.cpus.push_back(c);
+  t.nodes.push_back(std::move(n));
+  return t;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int Topology::cpu_count() const {
+  int n = 0;
+  for (const Node& node : nodes) n += static_cast<int>(node.cpus.size());
+  return n;
+}
+
+std::vector<int> parse_cpulist(const std::string& s) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  const auto parse_int = [&](int& out) {
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    long v = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      v = v * 10 + (s[i] - '0');
+      if (v > 1 << 20) return false;  // implausible CPU id: reject, use fallback
+      ++i;
+    }
+    out = static_cast<int>(v);
+    return true;
+  };
+  while (i < s.size()) {
+    if (std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      continue;
+    }
+    int lo = 0;
+    if (!parse_int(lo)) return {};
+    int hi = lo;
+    if (i < s.size() && s[i] == '-') {
+      ++i;
+      if (!parse_int(hi) || hi < lo) return {};
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i < s.size() && s[i] == ',') ++i;
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology detect() {
+#if defined(__linux__)
+  Topology t;
+  // Probe node directories in order; sysfs node ids are dense in
+  // practice, but tolerate gaps up to a small scan horizon.
+  int misses = 0;
+  for (int id = 0; id < 4 * kMaxNodes && misses < kMaxNodes; ++id) {
+    std::string cpulist;
+    if (!read_file("/sys/devices/system/node/node" + std::to_string(id) + "/cpulist",
+                   cpulist)) {
+      ++misses;
+      continue;
+    }
+    std::vector<int> cpus = parse_cpulist(cpulist);
+    if (cpus.empty()) continue;  // memory-only node: no executor lives there
+    Node n;
+    n.id = id;
+    n.cpus = std::move(cpus);
+    t.nodes.push_back(std::move(n));
+    if (static_cast<int>(t.nodes.size()) >= kMaxNodes) break;
+  }
+  if (t.nodes.empty()) return fallback_topology();
+  return t;
+#else
+  return fallback_topology();
+#endif
+}
+
+const Topology& system() {
+  static const Topology t = detect();
+  return t;
+}
+
+NumaMode mode_from_env() {
+  const char* v = std::getenv("RRSPMM_NUMA");
+  if (v == nullptr) return NumaMode::auto_detect;
+  const std::string s(v);
+  if (s == "off" || s == "0") return NumaMode::off;
+  if (s == "on" || s == "1") return NumaMode::on;
+  return NumaMode::auto_detect;
+}
+
+bool numa_active(NumaMode mode, const Topology& t) {
+  if (mode == NumaMode::off) return false;
+  return t.multi_node();
+}
+
+bool bind_thread_to_node(const Topology& t, int node) {
+#if defined(__linux__)
+  if (t.node_count() == 0) return false;
+  const Node& n = t.nodes[static_cast<std::size_t>(t.clamp(node))];
+  if (n.cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : n.cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)t;
+  (void)node;
+  return false;
+#endif
+}
+
+bool bind_memory_to_node(const Topology& t, const void* p, std::size_t bytes, int node) {
+#if defined(__linux__) && defined(__NR_mbind)
+  if (!t.multi_node() || p == nullptr || bytes == 0) return false;
+  const int id = t.nodes[static_cast<std::size_t>(t.clamp(node))].id;
+  if (id < 0 || id >= 8 * static_cast<int>(sizeof(unsigned long))) return false;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return false;
+  // mbind requires a page-aligned range; widen to the covering pages.
+  const std::uintptr_t begin =
+      reinterpret_cast<std::uintptr_t>(p) & ~static_cast<std::uintptr_t>(page - 1);
+  const std::uintptr_t end = (reinterpret_cast<std::uintptr_t>(p) + bytes + page - 1) &
+                             ~static_cast<std::uintptr_t>(page - 1);
+  unsigned long nodemask = 1UL << id;
+  constexpr int kMpolBind = 2;    // MPOL_BIND
+  constexpr unsigned kMfMove = 2;  // MPOL_MF_MOVE: migrate already-touched pages
+  return syscall(__NR_mbind, reinterpret_cast<void*>(begin),
+                 static_cast<unsigned long>(end - begin), kMpolBind, &nodemask,
+                 sizeof(nodemask) * 8, kMfMove) == 0;
+#else
+  (void)t;
+  (void)p;
+  (void)bytes;
+  (void)node;
+  return false;
+#endif
+}
+
+}  // namespace rrspmm::runtime::topo

@@ -1,0 +1,78 @@
+// Memory-topology discovery and placement for the serving runtime.
+//
+// Detects NUMA nodes and their CPUs from sysfs
+// (/sys/devices/system/node/node*/cpulist) with no libnuma dependency;
+// hosts without sysfs topology — or without Linux at all — degrade to a
+// single node spanning every CPU, which turns every placement call into
+// a no-op. Placement is strictly best-effort and performance-only: the
+// bitwise-equality contract means thread pinning and memory binding can
+// fail (restricted cpusets, no mbind, cross-compiled targets) without
+// changing a single result byte.
+//
+// The layer is off by default unless more than one node is detected:
+// RRSPMM_NUMA=off|on|auto (default auto) gates it, and even "on" is
+// inert on a single-node host because there is nowhere else to place
+// anything.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rrspmm::runtime::topo {
+
+/// Upper bound on nodes the runtime tracks per-node counters for;
+/// matches Metrics::kMaxTrackedNodes (metrics.hpp).
+inline constexpr int kMaxNodes = 8;
+
+struct Node {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+struct Topology {
+  std::vector<Node> nodes;
+
+  int node_count() const { return static_cast<int>(nodes.size()); }
+  bool multi_node() const { return nodes.size() > 1; }
+  /// Total CPUs across all nodes (>= 1 on the fallback topology).
+  int cpu_count() const;
+  /// Clamps any node id into [0, node_count()).
+  int clamp(int node) const {
+    return node_count() == 0 ? 0 : ((node % node_count()) + node_count()) % node_count();
+  }
+};
+
+/// Parses a sysfs cpulist string ("0-3,8,10-11") into CPU ids; returns
+/// an empty vector on malformed input. Exposed for tests.
+std::vector<int> parse_cpulist(const std::string& s);
+
+/// Reads the node topology from sysfs. Any failure (missing files,
+/// non-Linux host, malformed contents) yields the single-node fallback:
+/// one node 0 holding hardware_concurrency CPUs. Never throws.
+Topology detect();
+
+/// Process-wide cached topology (detect() run once).
+const Topology& system();
+
+enum class NumaMode { off, on, auto_detect };
+
+/// RRSPMM_NUMA: "off"/"0" disables placement, "on"/"1" forces it,
+/// anything else (or unset) is auto.
+NumaMode mode_from_env();
+
+/// Whether placement should actually run: never for off, and only on a
+/// multi-node topology otherwise — on a single node every placement is
+/// a no-op, so the layer stays cold by default on laptops and CI.
+bool numa_active(NumaMode mode, const Topology& t);
+
+/// Pins the calling thread to the CPUs of `node`. Best-effort; returns
+/// false (and changes nothing) when unsupported or rejected.
+bool bind_thread_to_node(const Topology& t, int node);
+
+/// Binds [p, p+bytes) to `node`'s memory (mbind with page rounding),
+/// moving already-touched pages. Best-effort; single-node topologies
+/// and non-Linux hosts return false without side effects.
+bool bind_memory_to_node(const Topology& t, const void* p, std::size_t bytes, int node);
+
+}  // namespace rrspmm::runtime::topo

@@ -1,0 +1,81 @@
+// Borrowed, non-owning views over row-major dense storage — the
+// zero-copy ABI between callers, the serving runtime, and the kernel
+// layer. A view is three words (pointer, shape, leading dimension) and
+// is passed by value; it never owns or frees the storage it points at.
+//
+// Both views convert implicitly from DenseMatrix, so every kernel entry
+// point that takes a view is directly callable with the owning type —
+// the owned and borrowed paths share one implementation and are
+// bitwise-identical by construction. Lifetime is the caller's problem:
+// a view must not outlive the storage it borrows (for the serving
+// runtime, the caller's buffers must stay alive until the returned
+// future resolves).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/aligned.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/types.hpp"
+
+namespace rrspmm::sparse {
+
+/// Read-only view of a rows x cols row-major block with leading
+/// dimension ld (>= cols).
+struct DenseView {
+  const value_t* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t ld = 0;
+
+  DenseView() = default;
+  DenseView(const value_t* data_, index_t rows_, index_t cols_, index_t ld_)
+      : data(data_), rows(rows_), cols(cols_), ld(ld_) {}
+  // Implicit: lets every kernel view entry point accept a DenseMatrix.
+  DenseView(const DenseMatrix& m) : DenseView(m.data(), m.rows(), m.cols(), m.ld()) {}
+
+  const value_t* row(index_t i) const {
+    return data + static_cast<std::size_t>(i) * static_cast<std::size_t>(ld);
+  }
+  value_t operator()(index_t i, index_t j) const { return row(i)[j]; }
+
+  /// Shape/stride sanity: ld covers the row width and the pointer is
+  /// present whenever there are elements to read.
+  bool valid() const {
+    return rows >= 0 && cols >= 0 && ld >= cols && (data != nullptr || rows == 0 || cols == 0);
+  }
+
+  /// True when the base pointer is kDenseAlignBytes-aligned — the layout
+  /// the Server's zero-copy path borrows directly. Kernels accept any
+  /// valid view and produce bitwise-identical results regardless; this
+  /// gate only decides borrow vs the owned-copy fallback, so misaligned
+  /// callers keep working (through a copy) instead of hitting the SIMD
+  /// backends' slow unaligned loads.
+  bool zero_copy_eligible() const {
+    return valid() && (reinterpret_cast<std::uintptr_t>(data) % kDenseAlignBytes) == 0;
+  }
+};
+
+/// Writable view with the same layout contract as DenseView.
+struct DenseMutView {
+  value_t* data = nullptr;
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t ld = 0;
+
+  DenseMutView() = default;
+  DenseMutView(value_t* data_, index_t rows_, index_t cols_, index_t ld_)
+      : data(data_), rows(rows_), cols(cols_), ld(ld_) {}
+  DenseMutView(DenseMatrix& m) : DenseMutView(m.data(), m.rows(), m.cols(), m.ld()) {}
+
+  value_t* row(index_t i) const {
+    return data + static_cast<std::size_t>(i) * static_cast<std::size_t>(ld);
+  }
+  value_t& operator()(index_t i, index_t j) const { return row(i)[j]; }
+
+  DenseView as_const() const { return DenseView(data, rows, cols, ld); }
+  bool valid() const { return as_const().valid(); }
+  bool zero_copy_eligible() const { return as_const().zero_copy_eligible(); }
+};
+
+}  // namespace rrspmm::sparse

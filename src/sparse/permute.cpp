@@ -89,6 +89,16 @@ DenseMatrix permute_dense_rows(const DenseMatrix& m, const std::vector<index_t>&
   return out;
 }
 
+DenseMatrix permute_dense_rows(DenseView m, const std::vector<index_t>& perm) {
+  if (!is_permutation(perm, m.rows)) throw invalid_matrix("permute_dense_rows: bad permutation");
+  DenseMatrix out(m.rows, m.cols);
+  for (index_t i = 0; i < m.rows; ++i) {
+    const value_t* src = m.row(perm[static_cast<std::size_t>(i)]);
+    std::copy(src, src + m.cols, out.row(i).begin());
+  }
+  return out;
+}
+
 DenseMatrix unpermute_dense_rows(const DenseMatrix& m, const std::vector<index_t>& perm) {
   if (!is_permutation(perm, m.rows())) throw invalid_matrix("unpermute_dense_rows: bad permutation");
   DenseMatrix out(m.rows(), m.cols());

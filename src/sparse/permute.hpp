@@ -10,6 +10,7 @@
 
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
+#include "sparse/dense_view.hpp"
 #include "sparse/types.hpp"
 
 namespace rrspmm::sparse {
@@ -37,8 +38,11 @@ CsrMatrix permute_cols(const CsrMatrix& m, const std::vector<index_t>& perm);
 /// same permutation.
 CsrMatrix permute_symmetric(const CsrMatrix& m, const std::vector<index_t>& perm);
 
-/// Gathers dense rows: out row i = in row perm[i].
+/// Gathers dense rows: out row i = in row perm[i]. The view overload
+/// performs the identical copies from borrowed storage (zero-copy
+/// serving path), so both produce byte-identical output.
 DenseMatrix permute_dense_rows(const DenseMatrix& m, const std::vector<index_t>& perm);
+DenseMatrix permute_dense_rows(DenseView m, const std::vector<index_t>& perm);
 
 /// Scatter of SpMM output back to original row order: given Y computed on
 /// a row-permuted sparse matrix, returns Y in the original order

@@ -1,0 +1,151 @@
+// Topology discovery and placement tests. The layer is best-effort by
+// contract: on this (typically single-node) host the interesting
+// properties are the parser, the fallback shape, the activation gate,
+// and that a topology-aware pool stays bitwise-identical to a blind one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/topology.hpp"
+#include "synth/corpus.hpp"
+#include "test_util.hpp"
+
+namespace rrspmm {
+namespace {
+
+using runtime::WorkerPool;
+using runtime::topo::NumaMode;
+using runtime::topo::Topology;
+using runtime::topo::parse_cpulist;
+using sparse::DenseMatrix;
+
+TEST(ParseCpulist, SingleCpu) { EXPECT_EQ(parse_cpulist("0"), (std::vector<int>{0})); }
+
+TEST(ParseCpulist, Range) { EXPECT_EQ(parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3})); }
+
+TEST(ParseCpulist, MixedRangesAndSingles) {
+  EXPECT_EQ(parse_cpulist("0-3,8,10-11"), (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+}
+
+TEST(ParseCpulist, TrailingNewlineAndSpaces) {
+  EXPECT_EQ(parse_cpulist(" 4-5 ,7\n"), (std::vector<int>{4, 5, 7}));
+}
+
+TEST(ParseCpulist, DuplicatesAndOverlapsCollapse) {
+  EXPECT_EQ(parse_cpulist("2,1-3,2"), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ParseCpulist, MalformedInputsYieldEmpty) {
+  EXPECT_TRUE(parse_cpulist("a-b").empty());
+  EXPECT_TRUE(parse_cpulist("3-1").empty());
+  EXPECT_TRUE(parse_cpulist("1-").empty());
+  EXPECT_TRUE(parse_cpulist("-3").empty());
+  EXPECT_TRUE(parse_cpulist("9999999999").empty());
+}
+
+TEST(ParseCpulist, EmptyStringYieldsEmpty) { EXPECT_TRUE(parse_cpulist("").empty()); }
+
+TEST(Topology, DetectNeverReturnsEmpty) {
+  const Topology t = runtime::topo::detect();
+  ASSERT_GE(t.node_count(), 1);
+  EXPECT_GE(t.cpu_count(), 1);
+  for (const auto& n : t.nodes) EXPECT_FALSE(n.cpus.empty());
+}
+
+TEST(Topology, ClampWrapsAnyNodeId) {
+  Topology t;
+  t.nodes.resize(3);
+  EXPECT_EQ(t.clamp(0), 0);
+  EXPECT_EQ(t.clamp(4), 1);
+  EXPECT_EQ(t.clamp(-1), 2);
+  Topology empty;
+  EXPECT_EQ(empty.clamp(7), 0);
+}
+
+TEST(Topology, NumaActiveGate) {
+  Topology single;
+  single.nodes.resize(1);
+  Topology dual;
+  dual.nodes.resize(2);
+  EXPECT_FALSE(runtime::topo::numa_active(NumaMode::off, single));
+  EXPECT_FALSE(runtime::topo::numa_active(NumaMode::off, dual));
+  // Even "on" is inert without a second node to place anything on.
+  EXPECT_FALSE(runtime::topo::numa_active(NumaMode::on, single));
+  EXPECT_TRUE(runtime::topo::numa_active(NumaMode::on, dual));
+  EXPECT_FALSE(runtime::topo::numa_active(NumaMode::auto_detect, single));
+  EXPECT_TRUE(runtime::topo::numa_active(NumaMode::auto_detect, dual));
+}
+
+TEST(Topology, ModeFromEnv) {
+  ::setenv("RRSPMM_NUMA", "off", 1);
+  EXPECT_EQ(runtime::topo::mode_from_env(), NumaMode::off);
+  ::setenv("RRSPMM_NUMA", "0", 1);
+  EXPECT_EQ(runtime::topo::mode_from_env(), NumaMode::off);
+  ::setenv("RRSPMM_NUMA", "on", 1);
+  EXPECT_EQ(runtime::topo::mode_from_env(), NumaMode::on);
+  ::setenv("RRSPMM_NUMA", "1", 1);
+  EXPECT_EQ(runtime::topo::mode_from_env(), NumaMode::on);
+  ::setenv("RRSPMM_NUMA", "auto", 1);
+  EXPECT_EQ(runtime::topo::mode_from_env(), NumaMode::auto_detect);
+  ::unsetenv("RRSPMM_NUMA");
+  EXPECT_EQ(runtime::topo::mode_from_env(), NumaMode::auto_detect);
+}
+
+TEST(Topology, SingleNodeBindIsInertNoOp) {
+  Topology single;
+  single.nodes.resize(1);
+  single.nodes[0].cpus = {0};
+  std::vector<char> buf(4096, 7);
+  EXPECT_FALSE(runtime::topo::bind_memory_to_node(single, buf.data(), buf.size(), 0));
+  for (char c : buf) ASSERT_EQ(c, 7);
+}
+
+TEST(Topology, SubmitOnNodeRunsEverywhere) {
+  // submit_on_node must execute the task whatever the node id, on blind
+  // and topology-aware pools alike (single-node hosts fold everything
+  // into one queue).
+  for (const bool topo_aware : {false, true}) {
+    WorkerPool pool(2, topo_aware ? &runtime::topo::system() : nullptr);
+    std::atomic<int> ran{0};
+    std::promise<void> all_done;
+    for (int node = -1; node <= 3; ++node) {
+      pool.submit_on_node(node, [&] {
+        if (ran.fetch_add(1) + 1 == 5) all_done.set_value();
+      });
+    }
+    all_done.get_future().wait();
+    EXPECT_EQ(ran.load(), 5);
+  }
+}
+
+// Topology-fallback determinism: a pool built with the system topology
+// (single-node here, multi-node on bigger hosts) must produce bitwise
+// the same SpMM results as a topology-blind pool.
+TEST(Topology, TopologyAwarePoolIsBitwiseEqualToBlindPool) {
+  for (const auto& entry : synth::build_test_corpus()) {
+    const core::ExecutionPlan plan = core::build_plan(entry.matrix, {});
+    DenseMatrix x(entry.matrix.cols(), 16);
+    sparse::fill_random(x, 13);
+    DenseMatrix y_blind(entry.matrix.rows(), 16), y_topo(entry.matrix.rows(), 16);
+
+    WorkerPool blind(3);
+    runtime::parallel_spmm(blind, plan, x, y_blind);
+    WorkerPool aware(3, &runtime::topo::system());
+    runtime::parallel_spmm(aware, plan, x, y_topo);
+
+    ASSERT_EQ(y_blind.rows(), y_topo.rows());
+    for (index_t i = 0; i < y_blind.rows(); ++i) {
+      for (index_t j = 0; j < y_blind.cols(); ++j) {
+        ASSERT_EQ(y_blind(i, j), y_topo(i, j)) << entry.name << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rrspmm
